@@ -1,0 +1,79 @@
+// Ablation E: communication-set construction cost. An HPF run-time system
+// must derive, for dst(dsec) = src(ssec), which elements each rank sends
+// and receives. The naive method scans the whole section on every rank and
+// computes both owners per element (O(p * |section|)); the access-sequence
+// machinery lets each rank enumerate only its own elements (O(|section|)
+// total across ranks, O(k + log) setup each). This is precisely the payoff
+// the paper's introduction promises for compilers and run-time systems.
+#include "bench_common.hpp"
+#include "cyclick/runtime/section_ops.hpp"
+
+namespace {
+
+using namespace cyclick;
+using namespace cyclick::bench;
+
+// Naive plan: every rank scans all t and keeps what it receives.
+CommPlan naive_plan(const DistributedArray<double>& src, const RegularSection& ssec,
+                    const DistributedArray<double>& dst, const RegularSection& dsec,
+                    const SpmdExecutor& exec) {
+  CommPlan plan;
+  plan.ranks = exec.ranks();
+  plan.pairwise.resize(static_cast<std::size_t>(plan.ranks * plan.ranks));
+  exec.run([&](i64 rank) {
+    for (i64 t = 0; t < dsec.size(); ++t) {
+      const i64 dg = dsec.element(t);
+      if (dst.owner_of(dg) != rank) continue;
+      const i64 sg = ssec.element(t);
+      plan.pairwise[static_cast<std::size_t>(rank * plan.ranks + src.owner_of(sg))]
+          .push_back({sg, dst.local_address(dg)});
+    }
+  });
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  const i64 p = 32;
+  const int repeats = 10;
+  const SpmdExecutor exec(p);
+
+  std::cout << "Ablation E: communication-plan construction for a redistribution\n"
+            << "dst(cyclic(8)) <- src(cyclic(3)), strided sections, p = " << p << "\n\n";
+
+  TextTable table({"Elements", "Naive owner-scan (us)", "Access-sequence (us)",
+                   "Speedup"});
+  for (const i64 n : {1'000, 10'000, 100'000}) {
+    DistributedArray<double> src(BlockCyclic(p, 3), 2 * n + 10);
+    DistributedArray<double> dst(BlockCyclic(p, 8), 3 * n + 20);
+    const RegularSection ssec{0, 2 * n - 1, 2};
+    const RegularSection dsec{10, 10 + 3 * (n - 1), 3};
+
+    // Verify both builders agree.
+    const CommPlan a = naive_plan(src, ssec, dst, dsec, exec);
+    const CommPlan b = build_copy_plan(src, ssec, dst, dsec, exec);
+    for (i64 m = 0; m < p; ++m)
+      for (i64 q = 0; q < p; ++q)
+        if (a.items(m, q).size() != b.items(m, q).size()) {
+          std::cerr << "VERIFICATION FAILED at n=" << n << "\n";
+          return 1;
+        }
+
+    const double naive_us = time_best_us(repeats, [&] {
+      const CommPlan plan = naive_plan(src, ssec, dst, dsec, exec);
+      do_not_optimize(plan.pairwise.data());
+    });
+    const double fast_us = time_best_us(repeats, [&] {
+      const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
+      do_not_optimize(plan.pairwise.data());
+    });
+    table.add_row({TextTable::num(n), TextTable::fixed(naive_us, 1),
+                   TextTable::fixed(fast_us, 1), TextTable::fixed(naive_us / fast_us, 1)});
+  }
+  emit(table, csv);
+  std::cout << "\n(The naive scan repeats the whole section on every rank; the\n"
+               " access-sequence build touches each element exactly once machine-wide.)\n";
+  return 0;
+}

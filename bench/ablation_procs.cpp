@@ -1,0 +1,46 @@
+// Ablation C: the paper asserts "the effects of varying the number of
+// processors are only minor" on table construction (which is why its
+// experiments fix p = 32). This harness varies p at fixed k and s and
+// reports construction times for both methods; the lattice column should be
+// essentially flat apart from the O(min(log s, log p)) Euclid term.
+#include "bench_common.hpp"
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+  using namespace cyclick::bench;
+  const bool csv = want_csv(argc, argv);
+
+  const i64 k = 64;
+  const i64 s = 7;
+  const int repeats = 200;
+
+  std::cout << "Ablation C: construction time vs processor count, k = " << k << ", s = " << s
+            << " (expected: only minor variation with p)\n\n";
+
+  TextTable table({"p", "Lattice (us)", "Sorting (us)"});
+  for (i64 p = 2; p <= 512; p *= 2) {
+    const BlockCyclic dist(p, k);
+    for (const i64 m : {i64{0}, p / 2, p - 1}) {
+      if (compute_access_pattern(dist, 0, s, m) != chatterjee_access_pattern(dist, 0, s, m)) {
+        std::cerr << "VERIFICATION FAILED p=" << p << " m=" << m << "\n";
+        return 1;
+      }
+    }
+    // Time a fixed rank sample (timing all ranks would conflate p with work).
+    const i64 sample[] = {0, p / 2, p - 1};
+    double lat = 0.0, sort = 0.0;
+    for (const i64 m : sample) {
+      lat = std::max(lat, time_best_us(repeats, [&] {
+              do_not_optimize(compute_access_pattern(dist, 0, s, m).gaps.data());
+            }));
+      sort = std::max(sort, time_best_us(repeats, [&] {
+               do_not_optimize(chatterjee_access_pattern(dist, 0, s, m).gaps.data());
+             }));
+    }
+    table.add_row({TextTable::num(p), TextTable::fixed(lat, 3), TextTable::fixed(sort, 3)});
+  }
+  emit(table, csv);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation A (google-benchmark): the sorting policy inside the Chatterjee
+// baseline. The paper notes its comparison implementation switched to a
+// linear-time radix sort at k >= 64, which keeps the Lattice/Sorting ratio
+// roughly constant for large k ("if a sorting method that sorts the
+// sequence in place were used, for larger values of k relative performance
+// improvement would also increase"). This ablation quantifies that choice:
+// comparison sort vs radix sort vs the lattice method, across k.
+#include <benchmark/benchmark.h>
+
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace {
+
+using namespace cyclick;
+
+constexpr i64 kProcs = 32;
+constexpr i64 kStride = 7;
+
+void BM_Lattice(benchmark::State& state) {
+  const i64 k = state.range(0);
+  const BlockCyclic dist(kProcs, k);
+  for (auto _ : state) {
+    for (i64 m = 0; m < kProcs; ++m)
+      benchmark::DoNotOptimize(compute_access_pattern(dist, 0, kStride, m).gaps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kProcs);
+}
+
+void BM_SortingComparison(benchmark::State& state) {
+  const i64 k = state.range(0);
+  const BlockCyclic dist(kProcs, k);
+  for (auto _ : state) {
+    for (i64 m = 0; m < kProcs; ++m)
+      benchmark::DoNotOptimize(
+          chatterjee_access_pattern(dist, 0, kStride, m, SortKind::kComparison).gaps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kProcs);
+}
+
+void BM_SortingRadix(benchmark::State& state) {
+  const i64 k = state.range(0);
+  const BlockCyclic dist(kProcs, k);
+  for (auto _ : state) {
+    for (i64 m = 0; m < kProcs; ++m)
+      benchmark::DoNotOptimize(
+          chatterjee_access_pattern(dist, 0, kStride, m, SortKind::kRadix).gaps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kProcs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Lattice)->RangeMultiplier(2)->Range(4, 512);
+BENCHMARK(BM_SortingComparison)->RangeMultiplier(2)->Range(4, 512);
+BENCHMARK(BM_SortingRadix)->RangeMultiplier(2)->Range(4, 512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Ablation D: special-case handling.
+//  - Hiranandani et al.'s O(k) method applies when s mod pk < k; inside its
+//    domain it competes with the lattice algorithm (both are O(k)).
+//  - When gcd(s, pk) = 1, every processor's AM table is a cyclic shift of
+//    every other's (noted by Chatterjee et al. and in Section 6.1), so a
+//    run-time system can compute the table once and only solve per-processor
+//    start locations. This harness measures that reuse strategy against
+//    computing the full table on every processor.
+#include "bench_common.hpp"
+#include "cyclick/baselines/hiranandani.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+  using namespace cyclick::bench;
+  const bool csv = want_csv(argc, argv);
+  const i64 p = 32;
+  const int repeats = 200;
+
+  std::cout << "Ablation D1: inside the Hiranandani case (s mod pk < k)\n\n";
+  {
+    TextTable table({"Config", "Lattice (us)", "Hiranandani (us)"});
+    for (const i64 k : {16, 64, 256}) {
+      for (const i64 s : {i64{3}, i64{7}, k - 1}) {
+        const BlockCyclic dist(p, k);
+        if (!hiranandani_applicable(dist, s)) continue;
+        for (i64 m = 0; m < p; ++m) {
+          if (compute_access_pattern(dist, 0, s, m) !=
+              hiranandani_access_pattern(dist, 0, s, m)) {
+            std::cerr << "VERIFICATION FAILED k=" << k << " s=" << s << " m=" << m << "\n";
+            return 1;
+          }
+        }
+        const double lat = max_over_ranks_us(p, repeats, [&](i64 m) {
+          do_not_optimize(compute_access_pattern(dist, 0, s, m).gaps.data());
+        });
+        const double hir = max_over_ranks_us(p, repeats, [&](i64 m) {
+          do_not_optimize(hiranandani_access_pattern(dist, 0, s, m).gaps.data());
+        });
+        table.add_row({"k=" + std::to_string(k) + " s=" + std::to_string(s),
+                       TextTable::fixed(lat, 2), TextTable::fixed(hir, 2)});
+      }
+    }
+    emit(table, csv);
+  }
+
+  std::cout << "\nAblation D2: gcd(s, pk) = 1 shift-reuse (compute the table once,\n"
+               "then find only start locations per processor) vs full per-processor runs\n\n";
+  {
+    TextTable table({"Config", "Full per-proc (us)", "Shift reuse (us)"});
+    for (const i64 k : {16, 64, 256}) {
+      for (const i64 s : {7, 99}) {
+        const BlockCyclic dist(p, k);
+        if (gcd_i64(s, p * k) != 1) continue;
+        // Full: every processor constructs its own table (total work).
+        const double full = time_best_us(repeats, [&] {
+          for (i64 m = 0; m < p; ++m)
+            do_not_optimize(compute_access_pattern(dist, 0, s, m).gaps.data());
+        });
+        // Reuse: one table + p start-location scans.
+        const double reuse = time_best_us(repeats, [&] {
+          do_not_optimize(compute_access_pattern(dist, 0, s, 0).gaps.data());
+          for (i64 m = 1; m < p; ++m) do_not_optimize(find_start(dist, 0, s, m)->start_global);
+        });
+        table.add_row({"k=" + std::to_string(k) + " s=" + std::to_string(s),
+                       TextTable::fixed(full, 2), TextTable::fixed(reuse, 2)});
+      }
+    }
+    emit(table, csv);
+  }
+  return 0;
+}

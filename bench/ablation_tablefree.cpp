@@ -1,0 +1,81 @@
+// Ablation B (google-benchmark): the time/space tradeoff of Section 6.2 —
+// traversing a processor's accesses through the materialized AM table
+// (node-code shapes 8(b) and 8(d)) versus the table-free R/L iterator that
+// stores no tables at all. The paper claims the table-free variant
+// "eliminates memory overhead with only a small penalty in execution time".
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/codegen/nodecode.hpp"
+#include "cyclick/core/iterator.hpp"
+
+namespace {
+
+using namespace cyclick;
+
+constexpr i64 kProcs = 32;
+constexpr i64 kAccessesPerProc = 10'000;
+
+struct Fixture {
+  BlockCyclic dist;
+  RegularSection sec;
+  std::vector<double> buffer;
+  AccessPattern pattern;
+  OffsetTables tables;
+  i64 last_local;
+
+  Fixture(i64 k, i64 s)
+      : dist(kProcs, k),
+        sec(0, (kAccessesPerProc * kProcs - 1) * s, s),
+        buffer(static_cast<std::size_t>(dist.local_capacity(sec.upper + 1)), 0.0),
+        pattern(compute_access_pattern(dist, 0, s, /*proc=*/kProcs / 2)),
+        tables(compute_offset_tables(dist, 0, s, kProcs / 2)),
+        last_local(dist.local_index(*find_last(dist, sec, kProcs / 2))) {}
+};
+
+void BM_TableShapeB(benchmark::State& state) {
+  Fixture f(state.range(0), state.range(1));
+  i64 count = 0;
+  for (auto _ : state) {
+    count = run_node_code(CodeShape::kConditionalReset, std::span<double>(f.buffer),
+                          f.pattern, f.tables, f.last_local, [](double& x) { x = 100.0; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+void BM_TableShapeD(benchmark::State& state) {
+  Fixture f(state.range(0), state.range(1));
+  i64 count = 0;
+  for (auto _ : state) {
+    count = run_node_code(CodeShape::kOffsetIndexed, std::span<double>(f.buffer), f.pattern,
+                          f.tables, f.last_local, [](double& x) { x = 100.0; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+void BM_TableFreeIterator(benchmark::State& state) {
+  Fixture f(state.range(0), state.range(1));
+  i64 count = 0;
+  for (auto _ : state) {
+    count = 0;
+    for (LocalAccessIterator it(f.dist, 0, f.sec.stride, kProcs / 2);
+         !it.done() && it.local() <= f.last_local; it.advance()) {
+      f.buffer[static_cast<std::size_t>(it.local())] = 100.0;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableShapeB)->Args({4, 3})->Args({32, 15})->Args({256, 99});
+BENCHMARK(BM_TableShapeD)->Args({4, 3})->Args({32, 15})->Args({256, 99});
+BENCHMARK(BM_TableFreeIterator)->Args({4, 3})->Args({32, 15})->Args({256, 99});
+
+BENCHMARK_MAIN();

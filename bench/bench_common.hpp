@@ -1,0 +1,45 @@
+// Shared measurement discipline for the paper-shaped benchmark harnesses.
+//
+// The paper reports, for each configuration, the *maximum over all 32
+// processors* of the per-processor running time on an iPSC/860. We
+// reproduce that: each rank's computation is timed separately (best of R
+// repetitions to suppress additive noise) and the maximum over ranks is
+// reported, in microseconds.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cyclick/support/table.hpp"
+#include "cyclick/support/timer.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::bench {
+
+/// Best-of-`repeats` timing of fn(m), maximized over ranks [0, p).
+template <typename Fn>
+double max_over_ranks_us(i64 p, int repeats, Fn&& fn) {
+  double worst = 0.0;
+  for (i64 m = 0; m < p; ++m) {
+    const double t = time_best_us(repeats, [&] { fn(m); });
+    if (t > worst) worst = t;
+  }
+  return worst;
+}
+
+/// True when the harness should emit CSV instead of an aligned table.
+inline bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--csv") return true;
+  return false;
+}
+
+inline void emit(const TextTable& table, bool csv) {
+  if (csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+}  // namespace cyclick::bench

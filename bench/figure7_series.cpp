@@ -1,0 +1,63 @@
+// Reproduces Figure 7 of the paper: the s = 7 column of Table 1 as a series
+// over block size k, for plotting (the paper plots Lattice vs Sorting
+// construction time against k and shows the sorting curve growing away from
+// the lattice curve). Emits both the series and a crude ASCII rendering.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+  using namespace cyclick::bench;
+  const bool csv = want_csv(argc, argv);
+
+  const i64 p = 32;
+  const i64 s = 7;
+  const int repeats = 200;
+
+  std::cout << "Figure 7: construction time vs block size, s = " << s << ", p = " << p
+            << "\n\n";
+
+  std::vector<i64> ks;
+  std::vector<double> lat, sort;
+  for (i64 k = 4; k <= 512; k *= 2) {
+    const BlockCyclic dist(p, k);
+    for (i64 m = 0; m < p; ++m) {
+      if (compute_access_pattern(dist, 0, s, m) != chatterjee_access_pattern(dist, 0, s, m)) {
+        std::cerr << "VERIFICATION FAILED at k=" << k << " m=" << m << "\n";
+        return 1;
+      }
+    }
+    ks.push_back(k);
+    lat.push_back(max_over_ranks_us(p, repeats, [&](i64 m) {
+      do_not_optimize(compute_access_pattern(dist, 0, s, m).gaps.data());
+    }));
+    sort.push_back(max_over_ranks_us(p, repeats, [&](i64 m) {
+      do_not_optimize(chatterjee_access_pattern(dist, 0, s, m).gaps.data());
+    }));
+  }
+
+  TextTable table({"k", "Lattice (us)", "Sorting (us)", "Sorting/Lattice"});
+  for (std::size_t i = 0; i < ks.size(); ++i)
+    table.add_row({TextTable::num(ks[i]), TextTable::fixed(lat[i], 2),
+                   TextTable::fixed(sort[i], 2), TextTable::fixed(sort[i] / lat[i], 2)});
+  emit(table, csv);
+
+  if (!csv) {
+    // ASCII plot: one row per k, bar length proportional to time.
+    const double peak = *std::max_element(sort.begin(), sort.end());
+    const int width = 60;
+    std::cout << "\n  (L = lattice, S = sorting; bar width ~ time)\n";
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const int lw = std::max(1, static_cast<int>(std::lround(lat[i] / peak * width)));
+      const int sw = std::max(1, static_cast<int>(std::lround(sort[i] / peak * width)));
+      std::cout << "  k=" << ks[i] << (ks[i] < 10 ? "   " : ks[i] < 100 ? "  " : " ")
+                << "L " << std::string(static_cast<std::size_t>(lw), '#') << "\n"
+                << "        S " << std::string(static_cast<std::size_t>(sw), '#') << "\n";
+    }
+  }
+  return 0;
+}

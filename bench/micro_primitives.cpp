@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark) for the primitives underlying the
+// address-generation algorithms: the extended Euclid term (the
+// min(log s, log p) part of the complexity), the incremental residue scan
+// (the O(k) part), single iterator advances (the O(1) table-free step), and
+// the distribution's O(1) index algebra.
+#include <benchmark/benchmark.h>
+
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/support/residue_scan.hpp"
+
+namespace {
+
+using namespace cyclick;
+
+void BM_ExtendedEuclid(benchmark::State& state) {
+  const i64 s = state.range(0);
+  i64 x = 0;
+  for (auto _ : state) {
+    const EgcdResult r = extended_euclid(s, 32 * 64);
+    x += r.x;
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+void BM_ResidueScan(benchmark::State& state) {
+  const i64 k = state.range(0);
+  const ResidueScan scan(7, 32 * k);
+  for (auto _ : state) {
+    i64 acc = 0;
+    scan.for_each_solvable(0, k, [&](i64, i64 j) { acc += j; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * (k / scan.d));
+}
+
+void BM_IteratorAdvance(benchmark::State& state) {
+  const BlockCyclic dist(32, state.range(0));
+  LocalAccessIterator it(dist, 0, 7, 16);
+  for (auto _ : state) {
+    it.advance();
+    benchmark::DoNotOptimize(it.local());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LocalIndex(benchmark::State& state) {
+  const BlockCyclic dist(32, 64);
+  i64 g = 1;
+  i64 acc = 0;
+  for (auto _ : state) {
+    acc += dist.local_index(g);
+    g = (g * 2862933555777941757LL + 3037000493LL) & 0x3fffffff;  // cheap LCG
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Owner(benchmark::State& state) {
+  const BlockCyclic dist(32, 64);
+  i64 g = 1;
+  i64 acc = 0;
+  for (auto _ : state) {
+    acc += dist.owner(g);
+    g = (g * 2862933555777941757LL + 3037000493LL) & 0x3fffffff;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExtendedEuclid)->Arg(7)->Arg(99)->Arg(1 << 20);
+BENCHMARK(BM_ResidueScan)->RangeMultiplier(4)->Range(4, 1024);
+BENCHMARK(BM_IteratorAdvance)->Arg(8)->Arg(256);
+BENCHMARK(BM_LocalIndex);
+BENCHMARK(BM_Owner);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// SPMD array assignment: executes A(l:u:s) = 100.0 on a simulated
+// distributed-memory machine using each of the four Figure-8 node-code
+// shapes, and verifies all of them against sequential semantics.
+//
+//   ./build/examples/array_assignment [n p k l u s]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/runtime/distributed_array.hpp"
+#include "cyclick/runtime/section_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  i64 n = 320, p = 4, k = 8, l = 4, u = 300, s = 9;
+  if (argc == 7) {
+    n = std::atoll(argv[1]);
+    p = std::atoll(argv[2]);
+    k = std::atoll(argv[3]);
+    l = std::atoll(argv[4]);
+    u = std::atoll(argv[5]);
+    s = std::atoll(argv[6]);
+  } else if (argc != 1) {
+    std::cerr << "usage: " << argv[0] << " [n p k l u s]\n";
+    return 1;
+  }
+
+  const BlockCyclic dist(p, k);
+  const RegularSection sec{l, u, s};
+  const SpmdExecutor exec(p);
+  std::cout << "A(" << l << ":" << u << ":" << s << ") = 100.0 over " << n
+            << " elements, cyclic(" << k << ") on " << p << " processors\n\n";
+
+  // Sequential reference semantics.
+  std::vector<double> reference(static_cast<std::size_t>(n), 0.0);
+  for (i64 t = 0; t < sec.size(); ++t)
+    reference[static_cast<std::size_t>(sec.element(t))] = 100.0;
+
+  const CodeShape shapes[] = {CodeShape::kModCycle, CodeShape::kConditionalReset,
+                              CodeShape::kCycleFor, CodeShape::kOffsetIndexed};
+  for (const CodeShape shape : shapes) {
+    DistributedArray<double> arr(dist, n);
+    i64 accesses = 0;
+    exec.run([&](i64 m) {
+      accesses += run_section_node_code(shape, dist, sec, m, arr.local(m),
+                                        [](double& x) { x = 100.0; });
+    });
+    const bool ok = arr.gather() == reference;
+    std::cout << "  " << code_shape_name(shape) << ": " << accesses << " assignments, "
+              << (ok ? "verified" : "MISMATCH") << "\n";
+    if (!ok) return 1;
+  }
+
+  // Per-processor share report.
+  std::cout << "\nPer-processor access counts:\n";
+  for (i64 m = 0; m < p; ++m) {
+    i64 count = 0;
+    for_each_local_access(dist, sec, m, [&](i64, i64) { ++count; });
+    std::cout << "  processor " << m << ": " << count << " elements\n";
+  }
+  return 0;
+}

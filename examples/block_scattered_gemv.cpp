@@ -1,0 +1,108 @@
+// Block-scattered dense linear algebra (the Dongarra / van de Geijn /
+// Walker motivation cited in the paper's introduction): y = A*x with the
+// matrix's columns distributed cyclic(k) — the "block scattered"
+// decomposition used by ScaLAPACK-style libraries.
+//
+// Each rank owns whole columns; the access-sequence machinery enumerates
+// each rank's columns for strided panels, so operations on column sections
+// (here: a GEMV over an arbitrary column section A(:, jl:ju:js)) need no
+// per-column owner tests.
+//
+//   ./build/examples/block_scattered_gemv [rows cols p k jl ju js]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/runtime/spmd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  i64 rows = 512, cols = 768, p = 8, k = 16, jl = 3, ju = 760, js = 7;
+  if (argc == 8) {
+    rows = std::atoll(argv[1]);
+    cols = std::atoll(argv[2]);
+    p = std::atoll(argv[3]);
+    k = std::atoll(argv[4]);
+    jl = std::atoll(argv[5]);
+    ju = std::atoll(argv[6]);
+    js = std::atoll(argv[7]);
+  } else if (argc != 1) {
+    std::cerr << "usage: " << argv[0] << " [rows cols p k jl ju js]\n";
+    return 1;
+  }
+
+  const BlockCyclic col_dist(p, k);
+  const RegularSection panel{jl, ju, js};
+  const SpmdExecutor exec(p);
+  std::cout << "y = A(:, " << jl << ":" << ju << ":" << js << ") * x,  A is " << rows << "x"
+            << cols << ", columns cyclic(" << k << ") over " << p << " ranks\n";
+
+  // Generate A (column-major global image) and x.
+  std::mt19937_64 rng(1995);
+  std::vector<double> a(static_cast<std::size_t>(rows * cols));
+  for (auto& v : a) v = static_cast<double>(rng() % 100) / 10.0;
+  std::vector<double> x(static_cast<std::size_t>(panel.size()));
+  for (auto& v : x) v = static_cast<double>(rng() % 100) / 10.0;
+
+  // Scatter columns into per-rank packed storage.
+  std::vector<std::vector<double>> local(static_cast<std::size_t>(p));
+  for (i64 m = 0; m < p; ++m)
+    local[static_cast<std::size_t>(m)].resize(
+        static_cast<std::size_t>(col_dist.local_size(m, cols) * rows));
+  for (i64 j = 0; j < cols; ++j) {
+    const i64 m = col_dist.owner(j);
+    const i64 lj = col_dist.local_index(j);
+    for (i64 i = 0; i < rows; ++i)
+      local[static_cast<std::size_t>(m)][static_cast<std::size_t>(lj * rows + i)] =
+          a[static_cast<std::size_t>(j * rows + i)];
+  }
+
+  // SPMD GEMV over the column panel: each rank walks its share of the panel
+  // with the table-free iterator (t = position within the panel selects the
+  // x entry; lj addresses the packed local column).
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(p), std::vector<double>(static_cast<std::size_t>(rows), 0.0));
+  i64 total_cols_touched = 0;
+  exec.run([&](i64 m) {
+    auto& mine = partial[static_cast<std::size_t>(m)];
+    const auto& cols_m = local[static_cast<std::size_t>(m)];
+    total_cols_touched += for_each_local_access(col_dist, panel, m, [&](i64 j, i64) {
+      const i64 t = (j - jl) / js;  // panel position
+      const i64 lj = col_dist.local_index(j);
+      const double xt = x[static_cast<std::size_t>(t)];
+      for (i64 i = 0; i < rows; ++i)
+        mine[static_cast<std::size_t>(i)] +=
+            cols_m[static_cast<std::size_t>(lj * rows + i)] * xt;
+    });
+  });
+
+  // All-reduce of the partial products.
+  std::vector<double> y(static_cast<std::size_t>(rows), 0.0);
+  for (i64 m = 0; m < p; ++m)
+    for (i64 i = 0; i < rows; ++i)
+      y[static_cast<std::size_t>(i)] +=
+          partial[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)];
+
+  // Verify against a serial GEMV.
+  double max_err = 0.0;
+  for (i64 i = 0; i < rows; ++i) {
+    double want = 0.0;
+    for (i64 t = 0; t < panel.size(); ++t) {
+      const i64 j = panel.element(t);
+      want += a[static_cast<std::size_t>(j * rows + i)] * x[static_cast<std::size_t>(t)];
+    }
+    const double err = std::abs(want - y[static_cast<std::size_t>(i)]);
+    if (err > max_err) max_err = err;
+  }
+  // Partial sums associate differently across ranks; allow rounding slack.
+  const bool ok = max_err < 1e-9 && total_cols_touched == panel.size();
+  std::cout << "panel columns touched: " << total_cols_touched << " (expected "
+            << panel.size() << ")\n"
+            << "max |serial - SPMD| = " << max_err << "\n"
+            << (ok ? "verified" : "MISMATCH") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// 2-D heat diffusion (Jacobi) on a block-cyclic distributed grid — the
+// multidimensional case the paper reduces to per-dimension applications of
+// the 1-D access-sequence algorithm. The interior update
+//
+//   U(1:n-2, 1:m-2) = (N + S + E + W) / 4
+//
+// is executed as shifted-region copies into distribution-aligned
+// temporaries followed by a local combine, exactly how an HPF compiler
+// lowers the stencil; the result is verified against a serial Jacobi.
+//
+//   ./build/examples/heat2d [rows cols iters]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "cyclick/runtime/multidim_array.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  i64 rows = 48, cols = 36, iters = 25;
+  if (argc == 4) {
+    rows = std::atoll(argv[1]);
+    cols = std::atoll(argv[2]);
+    iters = std::atoll(argv[3]);
+  } else if (argc != 1) {
+    std::cerr << "usage: " << argv[0] << " [rows cols iters]\n";
+    return 1;
+  }
+
+  // 3x2 processor grid, cyclic(4) rows x cyclic(3) columns.
+  const auto make_map = [&] {
+    std::vector<DimMapping> dims;
+    dims.emplace_back(rows, AffineAlignment::identity(), BlockCyclic(3, 4));
+    dims.emplace_back(cols, AffineAlignment::identity(), BlockCyclic(2, 3));
+    return MultiDimMapping{std::move(dims), ProcessorGrid({3, 2})};
+  };
+  const SpmdExecutor exec(6);
+  MultiDimArray<double> u(make_map());
+
+  std::cout << "2-D heat diffusion, " << rows << "x" << cols << " grid, " << iters
+            << " Jacobi iterations, cyclic(4)x(3) over a 3x2 processor grid\n";
+
+  // Hot west edge, cold east edge.
+  std::vector<double> init(static_cast<std::size_t>(rows * cols), 0.0);
+  for (i64 i = 0; i < rows; ++i) init[static_cast<std::size_t>(i * cols)] = 100.0;
+  u.scatter(init);
+  std::vector<double> ref = init;
+
+  const Region interior{{1, rows - 2, 1}, {1, cols - 2, 1}};
+  const Region north{{0, rows - 3, 1}, {1, cols - 2, 1}};
+  const Region south{{2, rows - 1, 1}, {1, cols - 2, 1}};
+  const Region west{{1, rows - 2, 1}, {0, cols - 3, 1}};
+  const Region east{{1, rows - 2, 1}, {2, cols - 1, 1}};
+
+  MultiDimArray<double> tn(make_map()), ts(make_map()), tw(make_map()), te(make_map());
+  for (i64 it = 0; it < iters; ++it) {
+    // Communicate the four shifted neighbours into interior-aligned temps.
+    copy_region(u, north, tn, interior, exec);
+    copy_region(u, south, ts, interior, exec);
+    copy_region(u, west, tw, interior, exec);
+    copy_region(u, east, te, interior, exec);
+    // Local combine.
+    exec.run([&](i64 rank) {
+      auto out = u.local(rank);
+      auto n = tn.local(rank);
+      auto s = ts.local(rank);
+      auto w = tw.local(rank);
+      auto e = te.local(rank);
+      for_each_owned_region(u, interior, rank, [&](const std::vector<i64>&, i64 a) {
+        const auto i = static_cast<std::size_t>(a);
+        out[i] = (n[i] + s[i] + w[i] + e[i]) / 4.0;
+      });
+    });
+
+    // Serial reference.
+    std::vector<double> next = ref;
+    for (i64 i = 1; i < rows - 1; ++i)
+      for (i64 j = 1; j < cols - 1; ++j)
+        next[static_cast<std::size_t>(i * cols + j)] =
+            (ref[static_cast<std::size_t>((i - 1) * cols + j)] +
+             ref[static_cast<std::size_t>((i + 1) * cols + j)] +
+             ref[static_cast<std::size_t>(i * cols + j - 1)] +
+             ref[static_cast<std::size_t>(i * cols + j + 1)]) /
+            4.0;
+    ref = next;
+  }
+
+  const auto image = u.gather();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < image.size(); ++i)
+    max_err = std::max(max_err, std::abs(image[i] - ref[i]));
+
+  const double center = image[static_cast<std::size_t>((rows / 2) * cols + cols / 2)];
+  std::cout << "center temperature after " << iters << " iterations: " << center << "\n"
+            << "max |SPMD - serial| = " << max_err << "\n"
+            << (max_err == 0.0 ? "verified" : "MISMATCH") << "\n";
+  return max_err == 0.0 ? 0 : 1;
+}

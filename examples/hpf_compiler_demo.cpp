@@ -1,0 +1,93 @@
+// Mini-HPF compiler demo: parses and executes a small data-parallel program
+// with distribute/align directives and strided array assignments, printing
+// both the program's own output and the communication structure of one of
+// its statements.
+//
+//   ./build/examples/hpf_compiler_demo [source.hpf]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cyclick/compiler/interp.hpp"
+#include "cyclick/runtime/section_ops.hpp"
+
+namespace {
+
+constexpr const char* kDefaultProgram = R"(# 1-D red/black relaxation on a cyclic(8) array
+processors P(4)
+template T(320)
+distribute T onto P cyclic(8)
+array A(320) align with T(i)
+array B(320) align with T(i)
+
+A(0:319) = 0
+A(0:319:2) = 100          # red points hot
+B(1:318) = (A(0:317) + A(2:319)) / 2
+A(1:318:2) = B(1:318:2)   # relax black points
+print A(0:16:1)
+print B(150:158:2)
+
+total = sum(A(0:319))
+print total
+
+# Dump the paper's Figure-6 access patterns straight from the compiler.
+explain A(4:300:9)
+
+# HPF-2 style dynamic remapping (data moves, values preserved).
+redistribute A onto P cyclic(3)
+check = sum(A(0:319))
+print check
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  std::string source = kDefaultProgram;
+  if (argc == 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else if (argc != 1) {
+    std::cerr << "usage: " << argv[0] << " [source.hpf]\n";
+    return 1;
+  }
+
+  std::cout << "--- program ---\n" << source << "\n--- output ---\n";
+  try {
+    dsl::Machine machine;
+    machine.run_source(source);
+    std::cout << machine.output();
+  } catch (const dsl_error& e) {
+    std::cerr << "compile/runtime error: " << e.what() << "\n";
+    return 1;
+  }
+
+  // Show what the statement engine plans for a redistribution: copying a
+  // stride-3 section of a cyclic(8) array into a stride-1 section of a
+  // cyclic(5) array forces real communication.
+  std::cout << "\n--- communication plan demo ---\n";
+  const SpmdExecutor exec(4);
+  DistributedArray<double> src(BlockCyclic(4, 8), 320);
+  DistributedArray<double> dst(BlockCyclic(4, 5), 200);
+  const RegularSection ssec{0, 297, 3};
+  const RegularSection dsec{0, 99, 1};
+  const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
+  std::cout << "dst(0:99:1) = src(0:297:3) across cyclic(8) -> cyclic(5):\n"
+            << "  messages: " << plan.message_count() << "\n"
+            << "  elements crossing ranks: " << plan.remote_elements() << " of "
+            << ssec.size() << "\n";
+  for (i64 m = 0; m < 4; ++m) {
+    std::cout << "  recv rank " << m << ":";
+    for (i64 q = 0; q < 4; ++q)
+      std::cout << " " << plan.items(m, q).size() << (q == m ? "(self)" : "");
+    std::cout << "\n";
+  }
+  return 0;
+}

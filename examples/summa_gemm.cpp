@@ -1,0 +1,93 @@
+// SUMMA-style distributed matrix multiply C = A * B with all three
+// matrices in 2-D block-cyclic ("block scattered") distributions — the
+// scalable dense linear algebra setting (Dongarra, van de Geijn, Walker)
+// that the paper's introduction gives as the motivation for efficient
+// cyclic(k) support.
+//
+// The algorithm sweeps the inner dimension in panels; in each step the
+// owners of the current column panel of A and row panel of B broadcast
+// them (simulated), and every rank updates its local C block:
+//
+//   for t in panels:  C_local += A(:, t) * B(t, :)
+//
+// Rank-local enumeration of the panels' rows/columns uses the per-dimension
+// access-sequence machinery. Verified against a serial GEMM.
+//
+//   ./build/examples/summa_gemm [n kblock panels]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "cyclick/runtime/multidim_array.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  i64 n = 48, kb = 4;
+  if (argc >= 3) {
+    n = std::atoll(argv[1]);
+    kb = std::atoll(argv[2]);
+  } else if (argc != 1) {
+    std::cerr << "usage: " << argv[0] << " [n kblock]\n";
+    return 1;
+  }
+
+  // 2x3 processor grid; all matrices n x n, cyclic(kb) in both dims.
+  const auto make_map = [&] {
+    std::vector<DimMapping> dims;
+    dims.emplace_back(n, AffineAlignment::identity(), BlockCyclic(2, kb));
+    dims.emplace_back(n, AffineAlignment::identity(), BlockCyclic(3, kb));
+    return MultiDimMapping{std::move(dims), ProcessorGrid({2, 3})};
+  };
+  const SpmdExecutor exec(6);
+  MultiDimArray<double> a(make_map()), b(make_map()), c(make_map());
+
+  std::cout << "SUMMA C = A*B, " << n << "x" << n << " matrices, cyclic(" << kb
+            << ")x(" << kb << ") over a 2x3 grid\n";
+
+  std::mt19937_64 rng(42);
+  std::vector<double> ai(static_cast<std::size_t>(n * n)), bi(ai.size());
+  for (auto& v : ai) v = static_cast<double>(rng() % 10);
+  for (auto& v : bi) v = static_cast<double>(rng() % 10);
+  a.scatter(ai);
+  b.scatter(bi);
+
+  // Panel sweep over the inner dimension. For each inner index t, rank r
+  // needs A(i, t) for its owned rows i and B(t, j) for its owned columns j.
+  // The "broadcast" is simulated by reading through the global addressing
+  // (a message-passing build would broadcast the panels along grid rows /
+  // columns); the *local* enumeration — which (i, j) cells rank r updates —
+  // is driven by the access-sequence iterators via for_each_owned_region.
+  const Region whole{{0, n - 1, 1}, {0, n - 1, 1}};
+  std::vector<double> apanel(static_cast<std::size_t>(n));
+  std::vector<double> bpanel(static_cast<std::size_t>(n));
+  for (i64 t = 0; t < n; ++t) {
+    for (i64 i = 0; i < n; ++i) {
+      apanel[static_cast<std::size_t>(i)] = a.get({i, t});
+      bpanel[static_cast<std::size_t>(i)] = b.get({t, i});
+    }
+    exec.run([&](i64 rank) {
+      auto local = c.local(rank);
+      for_each_owned_region(c, whole, rank, [&](const std::vector<i64>& idx, i64 addr) {
+        local[static_cast<std::size_t>(addr)] +=
+            apanel[static_cast<std::size_t>(idx[0])] * bpanel[static_cast<std::size_t>(idx[1])];
+      });
+    });
+  }
+
+  // Verify against serial GEMM.
+  const auto ci = c.gather();
+  double max_err = 0.0;
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (i64 t = 0; t < n; ++t)
+        want += ai[static_cast<std::size_t>(i * n + t)] * bi[static_cast<std::size_t>(t * n + j)];
+      max_err = std::max(max_err, std::abs(want - ci[static_cast<std::size_t>(i * n + j)]));
+    }
+  std::cout << "max |serial - SUMMA| = " << max_err << "\n"
+            << (max_err == 0.0 ? "verified" : "MISMATCH") << "\n";
+  return max_err == 0.0 ? 0 : 1;
+}

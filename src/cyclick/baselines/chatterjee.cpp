@@ -1,0 +1,82 @@
+#include "cyclick/baselines/chatterjee.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "cyclick/support/residue_scan.hpp"
+
+namespace cyclick {
+
+void radix_sort_i64(std::vector<i64>& keys) {
+  if (keys.size() < 2) return;
+  i64 max_key = 0;
+  for (const i64 v : keys) {
+    CYCLICK_REQUIRE(v >= 0, "radix sort requires nonnegative keys");
+    if (v > max_key) max_key = v;
+  }
+  std::vector<i64> scratch(keys.size());
+  for (int shift = 0; shift < 64 && (max_key >> shift) != 0; shift += 8) {
+    std::array<std::size_t, 256> count{};
+    for (const i64 v : keys) ++count[static_cast<std::size_t>((v >> shift) & 0xff)];
+    std::size_t pos = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const std::size_t c = count[b];
+      count[b] = pos;
+      pos += c;
+    }
+    for (const i64 v : keys)
+      scratch[count[static_cast<std::size_t>((v >> shift) & 0xff)]++] = v;
+    keys.swap(scratch);
+  }
+}
+
+AccessPattern chatterjee_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride,
+                                        i64 proc, SortKind sort) {
+  CYCLICK_REQUIRE(stride > 0, "the sorting baseline requires a positive stride");
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  AccessPattern pat;
+  pat.proc = proc;
+
+  const i64 k = dist.block_size();
+  const i64 pk = dist.row_length();
+  const ResidueScan scan(stride, pk);
+
+  // Solve the k Diophantine equations (identical machinery to the lattice
+  // algorithm's start-location scan — shared code, as in the paper's
+  // experimental setup) and *store* every smallest nonnegative solution —
+  // the space overhead the paper notes the lattice method avoids.
+  const i64 window_lo = k * proc - lower;
+  std::vector<i64> sols;
+  scan.for_each_solvable(window_lo, window_lo + k,
+                         [&](i64, i64 j) { sols.push_back(j); });
+  if (sols.empty()) return pat;
+
+  // Sort the initial cycle to obtain the accesses in increasing index order.
+  const bool use_radix =
+      sort == SortKind::kRadix || (sort == SortKind::kAuto && k >= 64);
+  if (use_radix) {
+    radix_sort_i64(sols);
+  } else {
+    std::sort(sols.begin(), sols.end());
+  }
+
+  pat.length = static_cast<i64>(sols.size());
+  pat.start_global = lower + sols.front() * stride;
+  pat.start_local = dist.local_index(pat.start_global);
+
+  // Linear scan through the sorted sequence (plus the wrap-around to the
+  // first access of the next cycle, j0 + pk/d) yields the gap table.
+  pat.gaps.resize(sols.size());
+  i64 prev_local = pat.start_local;
+  for (std::size_t i = 1; i < sols.size(); ++i) {
+    const i64 loc = dist.local_index(lower + sols[i] * stride);
+    pat.gaps[i - 1] = loc - prev_local;
+    prev_local = loc;
+  }
+  const i64 wrap_local = dist.local_index(lower + (sols.front() + scan.period) * stride);
+  pat.gaps[sols.size() - 1] = wrap_local - prev_local;
+  return pat;
+}
+
+}  // namespace cyclick

@@ -1,0 +1,39 @@
+// The sorting-based baseline of Chatterjee, Gilbert, Long, Schreiber, Teng,
+// "Generating local addresses and communication sets for data-parallel
+// programs" (PPoPP 1993) — the method the paper compares against.
+//
+// It shares the Diophantine start-location machinery with the lattice
+// algorithm (the PPoPP'95 experiments deliberately coded the common
+// segments identically; we share the actual functions), but builds the gap
+// table by solving all k equations, *sorting* the smallest nonnegative
+// solutions j to obtain the processor's accesses in increasing order, and
+// differencing the sorted sequence: O(k log k + min(log s, log p)).
+//
+// Matching the paper's experimental setup, the sort is std::sort for small
+// k and an LSD radix sort for k >= 64 ("the implementation of the latter
+// method uses the linear-time radix sort when k >= 64").
+#pragma once
+
+#include "cyclick/core/access_pattern.hpp"
+#include "cyclick/hpf/distribution.hpp"
+
+namespace cyclick {
+
+/// Sort used for the initial cycle of accesses.
+enum class SortKind {
+  kAuto,        ///< paper's policy: comparison sort below k = 64, radix at and above
+  kComparison,  ///< always std::sort
+  kRadix,       ///< always LSD radix sort
+};
+
+/// Sorting-based access-pattern construction (Chatterjee et al.). Produces
+/// bit-identical AccessPattern results to compute_access_pattern; only the
+/// construction cost differs.
+AccessPattern chatterjee_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride,
+                                        i64 proc, SortKind sort = SortKind::kAuto);
+
+/// LSD radix sort (base 256) for nonnegative 64-bit keys; exposed for the
+/// sorting-policy ablation benchmark.
+void radix_sort_i64(std::vector<i64>& keys);
+
+}  // namespace cyclick

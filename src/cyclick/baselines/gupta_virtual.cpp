@@ -1,0 +1,36 @@
+#include "cyclick/baselines/gupta_virtual.hpp"
+
+#include "cyclick/support/residue_scan.hpp"
+
+namespace cyclick {
+
+std::vector<VirtualClass> virtual_cyclic_classes(const BlockCyclic& dist,
+                                                 const RegularSection& sec, i64 proc) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  std::vector<VirtualClass> classes;
+  if (sec.empty()) return classes;
+  const RegularSection asc = sec.ascending();
+  const i64 k = dist.block_size();
+  const i64 pk = dist.row_length();
+  const ResidueScan scan(asc.stride, pk);
+  const i64 t_max = asc.size() - 1;
+
+  // Within one offset class, consecutive section elements differ by
+  // lcm(s, pk) = (pk/d)*s globally and by (s/d)*k in local memory.
+  const i64 global_stride = scan.period * asc.stride;
+  const i64 local_stride = (asc.stride / scan.d) * k;
+
+  const i64 window_lo = k * proc - asc.lower;
+  scan.for_each_solvable(window_lo, window_lo + k, [&](i64 i, i64 j0) {
+    if (j0 > t_max) return;  // class never reached within bounds
+    const i64 first = asc.lower + j0 * asc.stride;
+    classes.push_back({/*block_offset=*/i - window_lo,
+                       /*first_global=*/first,
+                       /*first_local=*/dist.local_index(first),
+                       /*count=*/(t_max - j0) / scan.period + 1,
+                       global_stride, local_stride});
+  });
+  return classes;
+}
+
+}  // namespace cyclick

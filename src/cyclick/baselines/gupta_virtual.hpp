@@ -1,0 +1,61 @@
+// The "virtual processor" enumeration of Gupta, Kaushik, Huang, Sadayappan
+// (paper §7, related work): view a cyclic(k) distribution as k interleaved
+// cyclic(1) distributions, one per offset within the block. In the
+// *virtual-cyclic* scheme a processor visits its elements offset class by
+// offset class; within one class the section elements form an arithmetic
+// progression in both index and local-memory space, so traversal needs no
+// tables at all — but, as the paper points out, "only array elements that
+// have the same offset are accessed in increasing order, while the order of
+// accesses for elements with different offsets is determined by the values
+// of the offsets, and not by the array indices."
+//
+// That makes the scheme valid for order-insensitive operations (fills,
+// reductions) and invalid as a general replacement for the lattice
+// algorithm — precisely the gap the paper's contribution fills.
+#pragma once
+
+#include <vector>
+
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/hpf/section.hpp"
+
+namespace cyclick {
+
+/// One offset class of a processor's share: an arithmetic progression of
+/// accesses with constant global and local strides.
+struct VirtualClass {
+  i64 block_offset;   ///< offset within the processor's block, in [0, k)
+  i64 first_global;   ///< first section element in this class (within bounds)
+  i64 first_local;    ///< its packed local address
+  i64 count;          ///< number of in-bounds elements in this class
+  i64 global_stride;  ///< global index distance between consecutive elements
+  i64 local_stride;   ///< local-memory distance (constant: (s/d)*k per step... see below)
+};
+
+/// Decompose processor `proc`'s share of the bounded ascending section into
+/// its offset classes (the virtual-cyclic scheme). O(k + log) setup; the
+/// classes jointly cover exactly the oracle's element set, but concatenated
+/// class order differs from increasing-index order in general.
+std::vector<VirtualClass> virtual_cyclic_classes(const BlockCyclic& dist,
+                                                 const RegularSection& sec, i64 proc);
+
+/// Order-insensitive traversal over the classes: body(global, local) for
+/// every owned element, class by class. Returns the access count.
+template <typename Body>
+i64 for_each_virtual_cyclic(const BlockCyclic& dist, const RegularSection& sec, i64 proc,
+                            Body&& body) {
+  i64 count = 0;
+  for (const VirtualClass& cls : virtual_cyclic_classes(dist, sec, proc)) {
+    i64 g = cls.first_global;
+    i64 la = cls.first_local;
+    for (i64 i = 0; i < cls.count; ++i) {
+      body(g, la);
+      g += cls.global_stride;
+      la += cls.local_stride;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace cyclick

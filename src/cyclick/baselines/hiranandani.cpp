@@ -1,0 +1,71 @@
+#include "cyclick/baselines/hiranandani.hpp"
+
+#include "cyclick/core/lattice_addresser.hpp"
+#include "cyclick/support/math.hpp"
+
+namespace cyclick {
+
+bool hiranandani_applicable(const BlockCyclic& dist, i64 stride) {
+  return stride > 0 && floor_mod(stride, dist.row_length()) < dist.block_size();
+}
+
+AccessPattern hiranandani_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride,
+                                         i64 proc) {
+  CYCLICK_REQUIRE(hiranandani_applicable(dist, stride),
+                  "Hiranandani et al. requires s mod pk < k");
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  AccessPattern pat;
+  pat.proc = proc;
+
+  const i64 k = dist.block_size();
+  const i64 pk = dist.row_length();
+  const i64 s_off = floor_mod(stride, pk);  // per-step offset advance, < k
+
+  const auto si = find_start(dist, lower, stride, proc);
+  if (!si) return pat;
+  pat.start_global = si->start_global;
+  pat.start_local = dist.local_index(si->start_global);
+  pat.length = si->length;
+
+  if (s_off == 0) {
+    // pk | s: every element shares one offset; constant gap of s/pk rows.
+    pat.gaps.assign(static_cast<std::size_t>(pat.length), k * (stride / pk));
+    return pat;
+  }
+
+  // Forward walk. Because each step advances the offset by s_off < k, the
+  // walk can never jump over the processor's k-wide window: after leaving
+  // it, the first position at or beyond the window's next periodic image is
+  // inside the window. Each access is therefore found in O(1) arithmetic.
+  const i64 block_lo = k * proc;
+  const i64 block_hi = block_lo + k;
+  pat.gaps.resize(static_cast<std::size_t>(pat.length));
+  i64 v = pat.start_global;
+  i64 o = floor_mod(v, pk);
+  i64 local = pat.start_local;
+  for (i64 idx = 0; idx < pat.length; ++idx) {
+    i64 t;       // progression steps to the next on-proc element
+    i64 next_o;  // its offset
+    if (o + s_off < block_hi) {
+      t = 1;
+      next_o = o + s_off;
+    } else {
+      // Steps needed to reach the window's next periodic image (it may
+      // already be reached when the wrap overshoots, e.g. p == 1).
+      i64 extra = ceil_div(block_lo + pk - (o + s_off), s_off);
+      if (extra < 0) extra = 0;
+      t = 1 + extra;
+      next_o = o + t * s_off - pk;
+      CYCLICK_ASSERT(next_o >= block_lo && next_o < block_hi);
+    }
+    const i64 next_v = v + t * stride;
+    const i64 next_local = dist.local_index(next_v);
+    pat.gaps[static_cast<std::size_t>(idx)] = next_local - local;
+    v = next_v;
+    o = next_o;
+    local = next_local;
+  }
+  return pat;
+}
+
+}  // namespace cyclick

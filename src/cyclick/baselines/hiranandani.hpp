@@ -1,0 +1,23 @@
+// The special-case linear-time baseline of Hiranandani, Kennedy,
+// Mellor-Crummey, Sethi, "Compilation techniques for block-cyclic
+// distributions" (ICS 1994): an O(k) gap-table construction that applies
+// only when  s mod pk < k  (the section's per-step offset advance is
+// smaller than a block, so a processor's accesses can be enumerated by a
+// simple forward walk that never needs sorting).
+#pragma once
+
+#include "cyclick/core/access_pattern.hpp"
+#include "cyclick/hpf/distribution.hpp"
+
+namespace cyclick {
+
+/// True when the ICS'94 method applies: s mod pk < k.
+[[nodiscard]] bool hiranandani_applicable(const BlockCyclic& dist, i64 stride);
+
+/// O(k) access-pattern construction for the special case s mod pk < k.
+/// Produces results identical to compute_access_pattern. Throws
+/// precondition_error when the case condition does not hold.
+AccessPattern hiranandani_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride,
+                                         i64 proc);
+
+}  // namespace cyclick

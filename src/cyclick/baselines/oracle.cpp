@@ -1,0 +1,49 @@
+#include "cyclick/baselines/oracle.hpp"
+
+namespace cyclick {
+
+std::vector<Access> oracle_local_sequence(const BlockCyclic& dist, const RegularSection& sec,
+                                          i64 proc) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  std::vector<Access> seq;
+  const i64 n = sec.size();
+  for (i64 t = 0; t < n; ++t) {
+    const i64 g = sec.element(t);
+    if (dist.owner(g) == proc) seq.push_back({g, dist.local_index(g)});
+  }
+  return seq;
+}
+
+AccessPattern oracle_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc) {
+  CYCLICK_REQUIRE(stride != 0, "stride must be nonzero");
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  AccessPattern pat;
+  pat.proc = proc;
+
+  // One period of the offset pattern is pk/d progression steps; scan two
+  // periods so that at least one full cycle follows the first on-proc hit.
+  const i64 pk = dist.row_length();
+  const i64 d = gcd_i64(stride, pk);
+  const i64 period = pk / d;
+
+  std::vector<Access> hits;
+  i64 first_j = -1;
+  for (i64 j = 0; j <= 2 * period; ++j) {
+    const i64 g = lower + j * stride;
+    if (dist.owner(g) != proc) continue;
+    if (first_j < 0) first_j = j;
+    if (j > first_j + period) break;
+    hits.push_back({g, dist.local_index(g)});
+  }
+  if (first_j < 0) return pat;
+
+  pat.start_global = hits.front().global;
+  pat.start_local = hits.front().local;
+  pat.length = static_cast<i64>(hits.size()) - 1;  // hits spans exactly one period + anchor
+  pat.gaps.resize(static_cast<std::size_t>(pat.length));
+  for (std::size_t i = 0; i + 1 < hits.size(); ++i)
+    pat.gaps[i] = hits[i + 1].local - hits[i].local;
+  return pat;
+}
+
+}  // namespace cyclick

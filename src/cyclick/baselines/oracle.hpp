@@ -1,0 +1,33 @@
+// Exhaustive reference implementations ("oracles") used as ground truth in
+// tests and for self-verification in the benchmark harnesses. These scan
+// every section element and are deliberately simple: O(section size), no
+// number theory beyond the distribution algebra itself.
+#pragma once
+
+#include <vector>
+
+#include "cyclick/core/access_pattern.hpp"
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/hpf/section.hpp"
+
+namespace cyclick {
+
+/// One access of a bounded traversal: global array index + packed local
+/// address on the owning processor.
+struct Access {
+  i64 global;
+  i64 local;
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// Every access processor `proc` performs for the bounded section, in
+/// traversal order (ascending for stride > 0, descending for stride < 0).
+std::vector<Access> oracle_local_sequence(const BlockCyclic& dist, const RegularSection& sec,
+                                          i64 proc);
+
+/// Ground-truth AccessPattern (start + cyclic AM table) for the unbounded
+/// progression lower, lower+stride, ... on `proc`, computed by brute-force
+/// enumeration of two full periods. Stride may be negative.
+AccessPattern oracle_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc);
+
+}  // namespace cyclick

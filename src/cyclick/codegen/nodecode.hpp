@@ -1,0 +1,136 @@
+// The four node-code shapes of Figure 8: given the AM gap table, traverse a
+// processor's local memory and apply a body to every owned section element.
+//
+//   (a) kModCycle        — advance the table index with i = (i+1) % length
+//                          (Chatterjee et al.'s conceptual template; the mod
+//                          makes it by far the slowest, Table 2)
+//   (b) kConditionalReset— replace the mod by a compare-and-reset
+//   (c) kCycleFor        — a for-loop over one table cycle inside an
+//                          infinite loop, exiting on the bounds check
+//   (d) kOffsetIndexed   — two-table form indexed by block offset
+//                          (delta + next_offset), the fastest in the paper
+//
+// All shapes are expressed over *indices* into the local buffer rather than
+// raw pointers so the final advance past `last` stays well-defined; the
+// generated machine code is the same strength-reduced add-compare loop.
+// Shapes operate on ascending patterns (positive gaps); descending sections
+// are normalized by the runtime before reaching node code.
+#pragma once
+
+#include <span>
+
+#include "cyclick/core/access_pattern.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+enum class CodeShape { kModCycle, kConditionalReset, kCycleFor, kOffsetIndexed };
+
+/// Figure 8(a): mod-advance of the cyclic gap index.
+/// `start`/`last` are local addresses; returns the number of accesses made.
+template <typename T, typename Body>
+i64 run_mod_cycle(std::span<T> local, i64 start, i64 last, std::span<const i64> gaps,
+                  Body&& body) {
+  if (gaps.empty() || start < 0 || start > last) return 0;
+  i64 addr = start;
+  std::size_t i = 0;
+  i64 count = 0;
+  while (addr <= last) {
+    body(local[static_cast<std::size_t>(addr)]);
+    ++count;
+    addr += gaps[i];
+    i = (i + 1) % gaps.size();
+  }
+  return count;
+}
+
+/// Figure 8(b): compare-and-reset instead of mod.
+template <typename T, typename Body>
+i64 run_conditional_reset(std::span<T> local, i64 start, i64 last, std::span<const i64> gaps,
+                          Body&& body) {
+  if (gaps.empty() || start < 0 || start > last) return 0;
+  i64 addr = start;
+  std::size_t i = 0;
+  i64 count = 0;
+  while (addr <= last) {
+    body(local[static_cast<std::size_t>(addr)]);
+    ++count;
+    addr += gaps[i++];
+    if (i == gaps.size()) i = 0;
+  }
+  return count;
+}
+
+/// Figure 8(c): for-loop over one cycle inside an infinite loop; the bounds
+/// check doubles as the loop exit (the paper's goto done).
+template <typename T, typename Body>
+i64 run_cycle_for(std::span<T> local, i64 start, i64 last, std::span<const i64> gaps,
+                  Body&& body) {
+  if (gaps.empty() || start < 0 || start > last) return 0;
+  i64 addr = start;
+  i64 count = 0;
+  while (true) {
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      body(local[static_cast<std::size_t>(addr)]);
+      ++count;
+      addr += gaps[i];
+      if (addr > last) return count;
+    }
+  }
+}
+
+/// Figure 8(d): offset-indexed two-table form. `tables.delta` gives the gap
+/// leaving each block offset and `tables.next_offset` the offset it leads
+/// to; no cycle counter is needed at all.
+template <typename T, typename Body>
+i64 run_offset_indexed(std::span<T> local, i64 start, i64 last, const OffsetTables& tables,
+                       Body&& body) {
+  if (tables.empty() || start < 0 || start > last) return 0;
+  i64 addr = start;
+  i64 off = tables.start_offset;
+  i64 count = 0;
+  while (addr <= last) {
+    body(local[static_cast<std::size_t>(addr)]);
+    ++count;
+    addr += tables.delta[static_cast<std::size_t>(off)];
+    off = tables.next_offset[static_cast<std::size_t>(off)];
+  }
+  return count;
+}
+
+/// Uniform dispatch over the four shapes. `pattern` supplies the gap table
+/// (shapes a-c) and `tables` the offset-indexed form (shape d); `last` is
+/// the local address of the processor's last in-bounds access (from
+/// find_last), or any value < pattern.start_local for an empty range.
+template <typename T, typename Body>
+i64 run_node_code(CodeShape shape, std::span<T> local, const AccessPattern& pattern,
+                  const OffsetTables& tables, i64 last, Body&& body) {
+  if (pattern.empty()) return 0;
+  switch (shape) {
+    case CodeShape::kModCycle:
+      return run_mod_cycle(local, pattern.start_local, last, std::span<const i64>(pattern.gaps),
+                           std::forward<Body>(body));
+    case CodeShape::kConditionalReset:
+      return run_conditional_reset(local, pattern.start_local, last,
+                                   std::span<const i64>(pattern.gaps), std::forward<Body>(body));
+    case CodeShape::kCycleFor:
+      return run_cycle_for(local, pattern.start_local, last, std::span<const i64>(pattern.gaps),
+                           std::forward<Body>(body));
+    case CodeShape::kOffsetIndexed:
+      return run_offset_indexed(local, pattern.start_local, last, tables,
+                                std::forward<Body>(body));
+  }
+  return 0;  // unreachable
+}
+
+[[nodiscard]] constexpr const char* code_shape_name(CodeShape shape) noexcept {
+  switch (shape) {
+    case CodeShape::kModCycle: return "8(a) mod-cycle";
+    case CodeShape::kConditionalReset: return "8(b) cond-reset";
+    case CodeShape::kCycleFor: return "8(c) cycle-for";
+    case CodeShape::kOffsetIndexed: return "8(d) offset-indexed";
+  }
+  return "?";
+}
+
+}  // namespace cyclick

@@ -1,0 +1,174 @@
+// AST for the mini-HPF DSL.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::dsl {
+
+/// One subscript triplet l:u[:s] of a section reference.
+struct Triplet {
+  i64 lower = 0;
+  i64 upper = 0;
+  i64 stride = 1;
+};
+
+/// A section reference A(l:u[:s] {, l:u[:s]}) — one triplet per dimension.
+struct SectionRef {
+  std::string array;
+  std::vector<Triplet> subs;
+  int line = 0;
+
+  /// Convenience for the (common) one-dimensional case.
+  [[nodiscard]] const Triplet& dim0() const { return subs.at(0); }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node: scalar literal, scalar variable, section reference,
+/// reduction intrinsic (sum/min/max over a section), array shift
+/// (cshift/eoshift, 1-D arrays), unary minus, or a binary arithmetic
+/// operation applied elementwise.
+struct Expr {
+  enum class Kind {
+    kScalar,
+    kScalarVar,
+    kSection,
+    kReduce,
+    kShift,
+    kRamp,  ///< forall index used as a value: element t is ramp_lower + t*ramp_stride
+    kUnaryMinus,
+    kBinary,
+  };
+  Kind kind = Kind::kScalar;
+  double scalar = 0.0;        // kScalar / kShift (eoshift boundary value)
+  std::string name;           // kScalarVar / kShift (the shifted array)
+  SectionRef section;         // kSection / kReduce (the reduced section)
+  std::string reduce_op;      // kReduce: "sum" | "min" | "max"
+  i64 shift = 0;              // kShift: shift amount
+  bool circular = true;       // kShift: cshift vs eoshift
+  i64 ramp_lower = 0;         // kRamp
+  i64 ramp_stride = 1;        // kRamp
+  char op = 0;                // kBinary: + - * /
+  ExprPtr lhs;                // kBinary / kUnaryMinus (operand in lhs)
+  ExprPtr rhs;                // kBinary
+  int line = 0;
+};
+
+/// processors P(4) | processors G(2, 3)
+struct ProcsDecl {
+  std::string name;
+  std::vector<i64> extents;
+  int line = 0;
+};
+
+/// template T(320) | template T(64, 48)
+struct TemplateDecl {
+  std::string name;
+  std::vector<i64> extents;
+  int line = 0;
+};
+
+/// One per-dimension distribution clause.
+struct DistClause {
+  enum class Kind { kCyclicK, kCyclic, kBlock } kind = Kind::kCyclicK;
+  i64 block = 1;  // for kCyclicK
+};
+
+/// distribute T onto P cyclic(8) | distribute T onto G cyclic(8) block
+struct DistributeDecl {
+  using Kind = DistClause::Kind;  // historical alias used by RedistributeStmt
+  std::string tmpl;
+  std::string procs;
+  std::vector<DistClause> clauses;  // one per template dimension
+  int line = 0;
+};
+
+/// One per-dimension affine alignment a*<var>+b; the d-th dimension's
+/// index variable is the d-th of i, j, k, ...
+struct AlignTerm {
+  i64 a = 1;
+  i64 b = 0;
+};
+
+/// array A(320) align with T(i) | array M(64, 48) align with T(i, 2*j+1)
+struct ArrayDecl {
+  std::string name;
+  std::vector<i64> extents;
+  std::string tmpl;
+  std::vector<AlignTerm> align;  // one per dimension
+  int line = 0;
+};
+
+struct AssignStmt {
+  SectionRef target;
+  ExprPtr value;
+  int line = 0;
+};
+
+/// x = <scalar expression>  (may contain reductions over sections).
+struct ScalarAssignStmt {
+  std::string name;
+  ExprPtr value;
+  int line = 0;
+};
+
+/// print A(l:u:s) | print A(l:u, l:u) | print x
+struct PrintStmt {
+  bool is_scalar = false;
+  SectionRef section;  // when !is_scalar
+  std::string name;    // when is_scalar
+  int line = 0;
+};
+
+/// explain A(l:u:s) — dump every processor's access pattern (1-D arrays).
+struct ExplainStmt {
+  SectionRef section;
+  int line = 0;
+};
+
+/// redistribute A onto P cyclic(4) — HPF-2 style dynamic remapping
+/// (1-D arrays).
+struct RedistributeStmt {
+  std::string array;
+  std::string procs;
+  DistClause::Kind kind = DistClause::Kind::kCyclicK;
+  i64 block = 1;
+  int line = 0;
+};
+
+/// where (maskL <relop> maskR) A(l:u:s) = expr — masked assignment
+/// (HPF WHERE); only the elements whose mask comparison holds are stored.
+struct WhereStmt {
+  ExprPtr mask_lhs;
+  ExprPtr mask_rhs;
+  std::string relop;  // "<" ">" "<=" ">=" "==" "!="
+  SectionRef target;
+  ExprPtr value;
+  int line = 0;
+};
+
+struct Program;
+
+/// repeat N <newline> { statements } end — fixed-count iteration block.
+struct RepeatStmt {
+  i64 count = 0;
+  std::unique_ptr<Program> body;
+  int line = 0;
+};
+
+using Statement =
+    std::variant<ProcsDecl, TemplateDecl, DistributeDecl, ArrayDecl, AssignStmt,
+                 ScalarAssignStmt, PrintStmt, ExplainStmt, RedistributeStmt, WhereStmt,
+                 RepeatStmt>;
+
+struct Program {
+  std::vector<Statement> statements;
+};
+
+}  // namespace cyclick::dsl

@@ -1,0 +1,119 @@
+// Executor for mini-HPF DSL programs: binds declarations to cyclick runtime
+// objects and lowers array-assignment statements onto the section/region
+// operation engines (communicate into destination-shaped temporaries, then
+// compute locally) — the shape of node code an HPF compiler would emit.
+//
+// One-dimensional arrays use the full DistributedArray feature set (packed
+// aligned storage, shifts, redistribute, explain); multidimensional arrays
+// use MultiDimArray region operations (fills, copies, elementwise
+// expressions, reductions, print).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cyclick/compiler/ast.hpp"
+#include "cyclick/compiler/lexer.hpp"  // dsl_error
+#include "cyclick/runtime/distributed_array.hpp"
+#include "cyclick/runtime/multidim_array.hpp"
+#include "cyclick/runtime/spmd.hpp"
+
+namespace cyclick::dsl {
+
+class Machine {
+ public:
+  explicit Machine(SpmdExecutor::Mode mode = SpmdExecutor::Mode::kSequential)
+      : mode_(mode) {}
+
+  /// Parse and execute a program; print output accumulates in output().
+  void run_source(std::string_view source);
+
+  /// Execute an already-parsed program.
+  void run(const Program& program);
+
+  /// Text produced by print/explain statements so far.
+  [[nodiscard]] const std::string& output() const noexcept { return output_; }
+
+  /// Record a lowering trace: one line per runtime operation each statement
+  /// lowers to (fills, copies, local combines, shifts, reductions). The
+  /// compiler's "-v" view of what it emits.
+  void enable_trace() noexcept { tracing_ = true; }
+  [[nodiscard]] const std::string& trace_log() const noexcept { return trace_; }
+
+  /// Access a declared 1-D array (throws dsl_error if unknown or N-D).
+  [[nodiscard]] const DistributedArray<double>& array(const std::string& name) const;
+
+  /// Access a declared multidimensional array (throws if unknown or 1-D).
+  [[nodiscard]] const MultiDimArray<double>& nd_array(const std::string& name) const;
+
+  /// The assembled global image (row-major for N-D arrays).
+  [[nodiscard]] std::vector<double> global_image(const std::string& name) const;
+
+  /// Value of a scalar variable (throws dsl_error if unknown).
+  [[nodiscard]] double scalar(const std::string& name) const;
+
+ private:
+  struct TemplateInfo {
+    std::vector<i64> extents;
+    std::vector<BlockCyclic> dists;  // set by a distribute statement (one per dim)
+    int line = 0;
+    [[nodiscard]] bool distributed() const noexcept { return !dists.empty(); }
+  };
+
+  struct ArrayInfo {
+    std::unique_ptr<DistributedArray<double>> d1;  // 1-D arrays
+    std::unique_ptr<MultiDimArray<double>> dn;     // N-D arrays
+    std::string tmpl;
+    [[nodiscard]] bool is_1d() const noexcept { return d1 != nullptr; }
+  };
+
+  void exec(const ProcsDecl& d);
+  void exec(const TemplateDecl& d);
+  void exec(const DistributeDecl& d);
+  void exec(const ArrayDecl& d);
+  void exec(const AssignStmt& s);
+  void exec(const ScalarAssignStmt& s);
+  void exec(const PrintStmt& s);
+  void exec(const ExplainStmt& s);
+  void exec(const RedistributeStmt& s);
+  void exec(const WhereStmt& s);
+  void exec(const RepeatStmt& s);
+
+  ArrayInfo& lookup(const std::string& name, int line);
+  const ArrayInfo& lookup(const std::string& name, int line) const;
+  static RegularSection make_section(const SectionRef& ref, const DistributedArray<double>& arr);
+  static Region make_region(const SectionRef& ref, const MultiDimArray<double>& arr);
+
+  /// Evaluation result: scalar, or a destination-shaped temporary holding
+  /// per-element values at the destination section/region local slots.
+  struct Value {
+    double scalar = 0.0;
+    std::unique_ptr<DistributedArray<double>> temp;   // 1-D statements
+    std::unique_ptr<MultiDimArray<double>> temp_nd;   // N-D statements
+    [[nodiscard]] bool is_scalar() const noexcept { return !temp && !temp_nd; }
+  };
+
+  Value eval1(const Expr& e, const DistributedArray<double>& dst, const RegularSection& dsec,
+              const SpmdExecutor& exec_ctx);
+  Value evaln(const Expr& e, const MultiDimArray<double>& dst, const Region& dregion,
+              const SpmdExecutor& exec_ctx);
+
+  /// Evaluate an expression that must come out scalar (no free sections).
+  double eval_scalar(const Expr& e, int line);
+
+  static double apply_op(char op, double x, double y, int line);
+  void trace(const std::string& line);
+
+  bool tracing_ = false;
+  std::string trace_;
+  SpmdExecutor::Mode mode_;
+  std::map<std::string, std::vector<i64>> procs_;
+  std::map<std::string, TemplateInfo> templates_;
+  std::map<std::string, ArrayInfo> arrays_;
+  std::map<std::string, double> scalars_;
+  std::string output_;
+};
+
+}  // namespace cyclick::dsl

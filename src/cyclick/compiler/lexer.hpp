@@ -1,0 +1,67 @@
+// Lexer for the mini-HPF DSL (see compiler/README section in the top-level
+// README). The language is line-oriented Fortran-ish pseudocode:
+//
+//   processors P(4)
+//   template T(320)
+//   distribute T onto P cyclic(8)
+//   array A(320) align with T(i)
+//   A(4:300:9) = 100
+//   A(0:318:3) = A(1:319:3) + 2 * A(0:318:3)
+//   print A(0:40:9)
+//
+// '#' starts a comment running to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kColon,
+  kComma,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLess,      // <
+  kGreater,   // >
+  kLessEq,    // <=
+  kGreaterEq, // >=
+  kEqEq,      // ==
+  kNotEq,     // !=
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< identifier spelling or number spelling
+  i64 value = 0;     ///< numeric value for kNumber
+  int line = 0;      ///< 1-based source line, for diagnostics
+};
+
+/// Error raised on malformed DSL source (lexing, parsing, or semantic).
+class dsl_error : public std::runtime_error {
+ public:
+  dsl_error(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize a whole program. Newlines are significant (statement
+/// separators) and surface as kNewline tokens; the list ends with kEnd.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace cyclick

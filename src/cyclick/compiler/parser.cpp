@@ -1,0 +1,505 @@
+#include "cyclick/compiler/parser.hpp"
+
+namespace cyclick::dsl {
+namespace {
+
+// Index variable expected in the d-th alignment subscript: i, j, k, m, n.
+const char* kDimVars[] = {"i", "j", "k", "m", "n"};
+constexpr std::size_t kMaxDims = sizeof(kDimVars) / sizeof(kDimVars[0]);
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parse_program() {
+    Program prog;
+    skip_newlines();
+    while (peek().kind != TokKind::kEnd) {
+      prog.statements.push_back(parse_statement());
+      expect_separator();
+      skip_newlines();
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead < toks_.size() ? pos_ + ahead : toks_.size() - 1;
+    return toks_[i];
+  }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool check(TokKind kind) const { return peek().kind == kind; }
+  bool match(TokKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokKind kind, const char* what) {
+    if (!check(kind)) throw dsl_error(std::string("expected ") + what, peek().line);
+    return advance();
+  }
+  void expect_separator() {
+    if (!check(TokKind::kEnd)) expect(TokKind::kNewline, "end of statement");
+  }
+  void skip_newlines() {
+    while (match(TokKind::kNewline)) {
+    }
+  }
+  bool is_keyword(const char* kw) const {
+    return check(TokKind::kIdent) && peek().text == kw;
+  }
+  i64 expect_number(const char* what) { return expect(TokKind::kNumber, what).value; }
+  std::string expect_ident(const char* what) {
+    return expect(TokKind::kIdent, what).text;
+  }
+  i64 parse_signed_number(const char* what) {
+    i64 sign = 1;
+    if (match(TokKind::kMinus)) sign = -1;
+    return sign * expect_number(what);
+  }
+
+  /// "( n {, n} )" — positive extents of processors/templates/arrays.
+  std::vector<i64> parse_extents(const char* what) {
+    expect(TokKind::kLParen, "'('");
+    std::vector<i64> extents;
+    do {
+      extents.push_back(expect_number(what));
+    } while (match(TokKind::kComma));
+    expect(TokKind::kRParen, "')'");
+    if (extents.size() > kMaxDims)
+      throw dsl_error("too many dimensions (max " + std::to_string(kMaxDims) + ")",
+                      peek().line);
+    return extents;
+  }
+
+  Statement parse_statement() {
+    const int line = peek().line;
+    if (is_keyword("processors")) return parse_processors(line);
+    if (is_keyword("template")) return parse_template(line);
+    if (is_keyword("distribute")) return parse_distribute(line);
+    if (is_keyword("array")) return parse_array(line);
+    if (is_keyword("print")) return parse_print(line);
+    if (is_keyword("explain")) return parse_explain(line);
+    if (is_keyword("redistribute")) return parse_redistribute(line);
+    if (is_keyword("forall")) return parse_forall(line);
+    if (is_keyword("where")) return parse_where(line);
+    if (is_keyword("repeat")) return parse_repeat(line);
+    if (check(TokKind::kIdent)) {
+      // IDENT '(' ... -> section assignment; IDENT '=' ... -> scalar.
+      if (peek(1).kind == TokKind::kAssign) return parse_scalar_assignment(line);
+      return parse_assignment(line);
+    }
+    throw dsl_error("expected a statement", line);
+  }
+
+  Statement parse_processors(int line) {
+    advance();  // 'processors'
+    ProcsDecl d;
+    d.line = line;
+    d.name = expect_ident("processor arrangement name");
+    d.extents = parse_extents("processor count");
+    return d;
+  }
+
+  Statement parse_template(int line) {
+    advance();  // 'template'
+    TemplateDecl d;
+    d.line = line;
+    d.name = expect_ident("template name");
+    d.extents = parse_extents("template size");
+    return d;
+  }
+
+  DistClause parse_dist_clause() {
+    DistClause c;
+    if (is_keyword("cyclic")) {
+      advance();
+      if (match(TokKind::kLParen)) {
+        c.kind = DistClause::Kind::kCyclicK;
+        c.block = expect_number("block size");
+        expect(TokKind::kRParen, "')'");
+      } else {
+        c.kind = DistClause::Kind::kCyclic;
+      }
+    } else if (is_keyword("block")) {
+      advance();
+      c.kind = DistClause::Kind::kBlock;
+    } else {
+      throw dsl_error("expected 'cyclic', 'cyclic(k)', or 'block'", peek().line);
+    }
+    return c;
+  }
+
+  Statement parse_distribute(int line) {
+    advance();  // 'distribute'
+    DistributeDecl d;
+    d.line = line;
+    d.tmpl = expect_ident("template name");
+    if (!is_keyword("onto")) throw dsl_error("expected 'onto'", peek().line);
+    advance();
+    d.procs = expect_ident("processor arrangement name");
+    // One clause per template dimension, whitespace-separated.
+    d.clauses.push_back(parse_dist_clause());
+    while (is_keyword("cyclic") || is_keyword("block")) d.clauses.push_back(parse_dist_clause());
+    return d;
+  }
+
+  Statement parse_array(int line) {
+    advance();  // 'array'
+    ArrayDecl d;
+    d.line = line;
+    d.name = expect_ident("array name");
+    d.extents = parse_extents("array size");
+    if (!is_keyword("align")) throw dsl_error("expected 'align with <template>(...)'", peek().line);
+    advance();
+    if (!is_keyword("with")) throw dsl_error("expected 'with'", peek().line);
+    advance();
+    d.tmpl = expect_ident("template name");
+    expect(TokKind::kLParen, "'('");
+    for (std::size_t dim = 0; dim < d.extents.size(); ++dim) {
+      if (dim > 0) expect(TokKind::kComma, "','");
+      AlignTerm term;
+      parse_affine(term.a, term.b, kDimVars[dim]);
+      d.align.push_back(term);
+    }
+    expect(TokKind::kRParen, "')'");
+    return d;
+  }
+
+  // Affine subscript in a single index variable `var`, e.g. "i", "2*i",
+  // "2*i+1", "i-3", "-i+99", "3+i".
+  void parse_affine(i64& a, i64& b, const char* var) {
+    a = 0;
+    b = 0;
+    bool first = true;
+    while (true) {
+      i64 sign = 1;
+      if (match(TokKind::kMinus)) {
+        sign = -1;
+      } else if (match(TokKind::kPlus)) {
+        sign = 1;
+      } else if (!first) {
+        break;  // no more terms
+      }
+      first = false;
+      if (check(TokKind::kNumber)) {
+        const i64 v = advance().value;
+        if (match(TokKind::kStar)) {
+          const std::string got = expect_ident("index variable");
+          if (got != var)
+            throw dsl_error(std::string("alignment index variable must be '") + var + "'",
+                            peek().line);
+          a += sign * v;
+        } else {
+          b += sign * v;
+        }
+      } else if (check(TokKind::kIdent)) {
+        const std::string got = advance().text;
+        if (got != var)
+          throw dsl_error(std::string("alignment index variable must be '") + var + "'",
+                          peek().line);
+        a += sign;
+      } else {
+        throw dsl_error("expected affine term", peek().line);
+      }
+    }
+  }
+
+  Statement parse_print(int line) {
+    advance();  // 'print'
+    PrintStmt s;
+    s.line = line;
+    if (check(TokKind::kIdent) && peek(1).kind != TokKind::kLParen) {
+      s.is_scalar = true;
+      s.name = expect_ident("scalar name");
+    } else {
+      s.section = parse_section_ref();
+    }
+    return s;
+  }
+
+  Statement parse_explain(int line) {
+    advance();  // 'explain'
+    ExplainStmt s;
+    s.line = line;
+    s.section = parse_section_ref();
+    return s;
+  }
+
+  Statement parse_redistribute(int line) {
+    advance();  // 'redistribute'
+    RedistributeStmt s;
+    s.line = line;
+    s.array = expect_ident("array name");
+    if (!is_keyword("onto")) throw dsl_error("expected 'onto'", peek().line);
+    advance();
+    s.procs = expect_ident("processor arrangement name");
+    const DistClause c = parse_dist_clause();
+    s.kind = c.kind;
+    s.block = c.block;
+    return s;
+  }
+
+  // repeat N <newline> { statements } end
+  Statement parse_repeat(int line) {
+    advance();  // 'repeat'
+    RepeatStmt s;
+    s.line = line;
+    s.count = expect_number("repeat count");
+    if (s.count < 0) throw dsl_error("repeat count must be nonnegative", line);
+    expect_separator();
+    skip_newlines();
+    s.body = std::make_unique<Program>();
+    while (!is_keyword("end")) {
+      if (check(TokKind::kEnd)) throw dsl_error("unterminated repeat block", line);
+      s.body->statements.push_back(parse_statement());
+      expect_separator();
+      skip_newlines();
+    }
+    advance();  // 'end'
+    return s;
+  }
+
+  Statement parse_assignment(int line) {
+    AssignStmt s;
+    s.line = line;
+    s.target = parse_section_ref();
+    expect(TokKind::kAssign, "'='");
+    s.value = parse_expr();
+    return s;
+  }
+
+  // forall (i = l:u[:s]) A(a*i+b) = expr
+  //
+  // Normalized at parse time into an ordinary section assignment (the
+  // classic HPF FORALL lowering): the affine target subscript becomes the
+  // section (a*l+b : a*u+b : a*s); affine array references inside the body
+  // become matching sections; a bare use of the index variable becomes a
+  // ramp expression whose t-th element is the index value l + t*s.
+  Statement parse_forall(int line) {
+    advance();  // 'forall'
+    expect(TokKind::kLParen, "'('");
+    forall_var_ = expect_ident("forall index variable");
+    expect(TokKind::kAssign, "'='");
+    forall_range_ = parse_triplet();
+    if (forall_range_.stride == 0) throw dsl_error("forall stride must be nonzero", line);
+    expect(TokKind::kRParen, "')'");
+
+    AssignStmt s;
+    s.line = line;
+    s.target.line = line;
+    s.target.array = expect_ident("array name");
+    expect(TokKind::kLParen, "'('");
+    i64 a = 0, b = 0;
+    parse_affine(a, b, forall_var_.c_str());
+    expect(TokKind::kRParen, "')'");
+    if (a == 0)
+      throw dsl_error("forall target subscript must depend on the index variable", line);
+    s.target.subs.push_back(affine_triplet(a, b));
+    expect(TokKind::kAssign, "'='");
+    s.value = parse_expr();
+    forall_var_.clear();
+    return s;
+  }
+
+  /// The section a*i+b traces as i runs over the forall range.
+  Triplet affine_triplet(i64 a, i64 b) const {
+    return Triplet{a * forall_range_.lower + b, a * forall_range_.upper + b,
+                   a * forall_range_.stride};
+  }
+
+  // where (exprL <relop> exprR) A(l:u:s) = expr
+  Statement parse_where(int line) {
+    advance();  // 'where'
+    expect(TokKind::kLParen, "'('");
+    WhereStmt s;
+    s.line = line;
+    s.mask_lhs = parse_expr();
+    switch (peek().kind) {
+      case TokKind::kLess: s.relop = "<"; break;
+      case TokKind::kGreater: s.relop = ">"; break;
+      case TokKind::kLessEq: s.relop = "<="; break;
+      case TokKind::kGreaterEq: s.relop = ">="; break;
+      case TokKind::kEqEq: s.relop = "=="; break;
+      case TokKind::kNotEq: s.relop = "!="; break;
+      default: throw dsl_error("expected a comparison operator", peek().line);
+    }
+    advance();
+    s.mask_rhs = parse_expr();
+    expect(TokKind::kRParen, "')'");
+    s.target = parse_section_ref();
+    expect(TokKind::kAssign, "'='");
+    s.value = parse_expr();
+    return s;
+  }
+
+  Statement parse_scalar_assignment(int line) {
+    ScalarAssignStmt s;
+    s.line = line;
+    s.name = expect_ident("scalar name");
+    expect(TokKind::kAssign, "'='");
+    s.value = parse_expr();
+    return s;
+  }
+
+  Triplet parse_triplet() {
+    Triplet t;
+    t.lower = parse_signed_number("section lower bound");
+    expect(TokKind::kColon, "':'");
+    t.upper = parse_signed_number("section upper bound");
+    if (match(TokKind::kColon)) {
+      t.stride = parse_signed_number("section stride");
+    } else {
+      t.stride = 1;
+    }
+    return t;
+  }
+
+  SectionRef parse_section_ref() {
+    SectionRef ref;
+    ref.line = peek().line;
+    ref.array = expect_ident("array name");
+    expect(TokKind::kLParen, "'('");
+    do {
+      ref.subs.push_back(parse_triplet());
+    } while (match(TokKind::kComma));
+    expect(TokKind::kRParen, "')'");
+    if (ref.subs.size() > kMaxDims)
+      throw dsl_error("too many dimensions (max " + std::to_string(kMaxDims) + ")",
+                      ref.line);
+    return ref;
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_term();
+    while (check(TokKind::kPlus) || check(TokKind::kMinus)) {
+      const char op = advance().text[0];
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->line = lhs->line;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_term();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    while (check(TokKind::kStar) || check(TokKind::kSlash)) {
+      const char op = advance().text[0];
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->line = lhs->line;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_factor();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_factor() {
+    const int line = peek().line;
+    if (match(TokKind::kMinus)) {
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnaryMinus;
+      node->line = line;
+      node->lhs = parse_factor();
+      return node;
+    }
+    if (match(TokKind::kLParen)) {
+      ExprPtr inner = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      return inner;
+    }
+    if (check(TokKind::kNumber)) {
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kScalar;
+      node->scalar = static_cast<double>(advance().value);
+      node->line = line;
+      return node;
+    }
+    if (check(TokKind::kIdent)) {
+      ExprPtr node = std::make_unique<Expr>();
+      node->line = line;
+      const std::string& word = peek().text;
+      if (!forall_var_.empty()) {
+        // Inside a forall body: a bare index variable is a ramp; a
+        // parenthesized reference is an affine-subscripted element.
+        if (word == forall_var_ && peek(1).kind != TokKind::kLParen) {
+          advance();
+          node->kind = Expr::Kind::kRamp;
+          node->ramp_lower = forall_range_.lower;
+          node->ramp_stride = forall_range_.stride;
+          return node;
+        }
+        if (peek(1).kind == TokKind::kLParen) {
+          node->kind = Expr::Kind::kSection;
+          node->section.line = line;
+          node->section.array = advance().text;
+          expect(TokKind::kLParen, "'('");
+          i64 a = 0, b = 0;
+          parse_affine(a, b, forall_var_.c_str());
+          expect(TokKind::kRParen, "')'");
+          if (a == 0)
+            throw dsl_error(
+                "forall references must depend on the index variable (constant "
+                "subscripts are not supported)",
+                line);
+          node->section.subs.push_back(affine_triplet(a, b));
+          return node;
+        }
+      }
+      if ((word == "cshift" || word == "eoshift") && peek(1).kind == TokKind::kLParen) {
+        // cshift(A, 3) | eoshift(A, -2, 0)
+        node->kind = Expr::Kind::kShift;
+        node->circular = (word == "cshift");
+        advance();
+        expect(TokKind::kLParen, "'('");
+        node->name = expect_ident("array name");
+        expect(TokKind::kComma, "','");
+        node->shift = parse_signed_number("shift amount");
+        if (!node->circular) {
+          expect(TokKind::kComma, "','");
+          node->scalar = static_cast<double>(parse_signed_number("boundary value"));
+        }
+        expect(TokKind::kRParen, "')'");
+        return node;
+      }
+      if ((word == "sum" || word == "min" || word == "max") &&
+          peek(1).kind == TokKind::kLParen) {
+        // Reduction intrinsic: sum(A(l:u:s)) or sum(M(l:u, l:u)).
+        node->kind = Expr::Kind::kReduce;
+        node->reduce_op = word;
+        advance();
+        expect(TokKind::kLParen, "'('");
+        node->section = parse_section_ref();
+        expect(TokKind::kRParen, "')'");
+        return node;
+      }
+      if (peek(1).kind == TokKind::kLParen) {
+        node->kind = Expr::Kind::kSection;
+        node->section = parse_section_ref();
+        return node;
+      }
+      node->kind = Expr::Kind::kScalarVar;
+      node->name = expect_ident("scalar name");
+      return node;
+    }
+    throw dsl_error("expected expression", line);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::string forall_var_;  // nonempty while parsing a forall body
+  Triplet forall_range_;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(lex(source)).parse_program(); }
+
+}  // namespace cyclick::dsl

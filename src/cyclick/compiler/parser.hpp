@@ -1,0 +1,15 @@
+// Recursive-descent parser for the mini-HPF DSL.
+#pragma once
+
+#include <string_view>
+
+#include "cyclick/compiler/ast.hpp"
+#include "cyclick/compiler/lexer.hpp"
+
+namespace cyclick::dsl {
+
+/// Parse a whole program; throws dsl_error with a line number on syntax
+/// errors.
+Program parse(std::string_view source);
+
+}  // namespace cyclick::dsl

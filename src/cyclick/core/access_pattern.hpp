@@ -1,0 +1,62 @@
+// Result types for the memory-access-sequence problem.
+//
+// For processor m, a distribution cyclic(k) over p processors, and a regular
+// section A(l:u:s), the *access pattern* is: the first section element that
+// lives on m (start), and the cyclic table AM of local-memory gaps between
+// consecutive on-processor section elements (paper, Section 2). The table's
+// period is `length <= k`; the upper bound u only truncates the walk and
+// never changes the table.
+#pragma once
+
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// The memory access sequence for one processor: start location plus the
+/// cyclic gap table AM (the paper's Figure-5 output).
+struct AccessPattern {
+  i64 proc = 0;          ///< processor number m
+  i64 start_global = -1; ///< global array index of the first on-m section element; -1 if none
+  i64 start_local = -1;  ///< its packed local-memory address; -1 if none
+  i64 length = 0;        ///< period of the gap sequence (0 => m owns no section element)
+  std::vector<i64> gaps; ///< AM table, `length` entries; gaps[i] = local gap from the
+                         ///< i-th to the (i+1)-th access (cyclically)
+
+  [[nodiscard]] bool empty() const noexcept { return length == 0; }
+
+  /// Sum of one full cycle of gaps: the local-memory distance covered per
+  /// period. Invariant: equals (s/gcd(s,pk)) * k for nonempty patterns.
+  [[nodiscard]] i64 cycle_advance() const noexcept {
+    i64 sum = 0;
+    for (const i64 g : gaps) sum += g;
+    return sum;
+  }
+
+  friend bool operator==(const AccessPattern&, const AccessPattern&) = default;
+};
+
+/// Offset-indexed tables for the Figure 8(d) node-code shape: `delta` and
+/// `next_offset` are indexed by the element's offset within the processor's
+/// k-wide block (paper, Section 6.2: "deltaM table in Figure 8(d) must be
+/// indexed by local offsets"). Entries at offsets that carry no section
+/// element are never read; they are left as 0 / -1.
+struct OffsetTables {
+  i64 start_offset = -1;        ///< block offset of the start element, in [0, k);
+                                ///< -1 for phase-free tables (compute_full_offset_tables)
+  std::vector<i64> delta;       ///< k entries: local gap leaving this offset
+  std::vector<i64> next_offset; ///< k entries: block offset of the next access
+
+  [[nodiscard]] bool empty() const noexcept { return delta.empty(); }
+};
+
+/// Instrumentation for the complexity claims of Section 5.1: number of
+/// lattice points examined while building the gap table (proved <= 2k+1)
+/// and number of Diophantine equations solved (<= 2k).
+struct WorkStats {
+  i64 points_visited = 0;
+  i64 equations_solved = 0;
+};
+
+}  // namespace cyclick

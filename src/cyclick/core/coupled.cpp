@@ -1,0 +1,42 @@
+#include "cyclick/core/coupled.hpp"
+
+namespace cyclick {
+
+std::vector<CoupledAccess> coupled_access_list(const BlockCyclic& dist, const LoopNest2& nest,
+                                               const CoupledSubscript& sub, i64 proc) {
+  std::vector<CoupledAccess> out;
+  for_each_coupled_access(dist, nest, sub, proc,
+                          [&](const CoupledAccess& a) { out.push_back(a); });
+  return out;
+}
+
+CoupledRowPlan plan_coupled_rows(const BlockCyclic& dist, const LoopNest2& nest,
+                                 const CoupledSubscript& sub, i64 proc) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  const i64 stride = sub.c2 * nest.inner.stride;
+  CYCLICK_REQUIRE(stride > 0, "plan_coupled_rows requires an ascending row subscript");
+  CoupledRowPlan plan;
+  if (nest.outer.empty() || nest.inner.empty()) return plan;
+
+  const i64 rows = nest.outer.size();
+  plan.row_start.assign(static_cast<std::size_t>(rows), -1);
+  plan.row_start_local.assign(static_cast<std::size_t>(rows), -1);
+
+  // One phase-free table pair serves every row (and every processor):
+  // different rows may start in different residue classes of offsets, so
+  // the full-geometry tables are required rather than one row's cycle.
+  plan.tables = compute_full_offset_tables(dist, stride);
+
+  for (i64 t1 = 0; t1 < rows; ++t1) {
+    const i64 i1 = nest.outer.element(t1);
+    const i64 row_first = sub.value(i1, nest.inner.lower);
+    const i64 row_last = sub.value(i1, nest.inner.last());
+    const auto si = find_start(dist, row_first, stride, proc);
+    if (!si || si->start_global > row_last) continue;  // row misses this processor
+    plan.row_start[static_cast<std::size_t>(t1)] = si->start_global;
+    plan.row_start_local[static_cast<std::size_t>(t1)] = dist.local_index(si->start_global);
+  }
+  return plan;
+}
+
+}  // namespace cyclick

@@ -1,0 +1,134 @@
+// Subscripts with multiple index variables (the extension the paper
+// delegates to its companion work [12], Kennedy/Nedeljković/Sethi ICS'95:
+// "Extensions necessary to handle coupled subscripts and subscripts
+// containing multiple index variables are described in our related work").
+//
+// Setting: a loop nest
+//
+//     do i1 = l1, u1, s1
+//       do i2 = l2, u2, s2
+//         ... A(c1*i1 + c2*i2 + b) ...
+//
+// over an array distributed cyclic(k) on p processors. For a *fixed* outer
+// iteration i1, the inner loop touches the 1-D regular section with lower
+// bound c1*i1 + c2*l2 + b and stride c2*s2 — so the inner access pattern's
+// gap structure (its R/L basis and AM table) is the same for every outer
+// iteration; only the start location shifts by c1*s1 per iteration. A
+// processor's accesses are therefore enumerated in loop order with one
+// basis computation for the whole nest plus one O(k)-free start-location
+// solve per outer iteration (O(log) via the shared residue machinery after
+// the first row).
+#pragma once
+
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/hpf/section.hpp"
+
+namespace cyclick {
+
+/// The subscript  c1*i1 + c2*i2 + b  of a two-deep loop nest.
+struct CoupledSubscript {
+  i64 c1;
+  i64 c2;
+  i64 b;
+
+  CoupledSubscript(i64 coeff1, i64 coeff2, i64 offset)
+      : c1(coeff1), c2(coeff2), b(offset) {
+    CYCLICK_REQUIRE(coeff2 != 0, "inner coefficient must be nonzero");
+  }
+
+  [[nodiscard]] i64 value(i64 i1, i64 i2) const noexcept { return c1 * i1 + c2 * i2 + b; }
+};
+
+/// A two-deep rectangular loop nest (outer, inner index ranges).
+struct LoopNest2 {
+  RegularSection outer;
+  RegularSection inner;
+};
+
+/// One access performed by the nest on a given processor.
+struct CoupledAccess {
+  i64 i1;      ///< outer loop index
+  i64 i2;      ///< inner loop index
+  i64 global;  ///< subscript value (array element index)
+  i64 local;   ///< packed local address on the processor
+  friend bool operator==(const CoupledAccess&, const CoupledAccess&) = default;
+};
+
+/// Visit, in loop-iteration order, every access of the nest whose array
+/// element lives on `proc`. body receives a CoupledAccess. Returns the
+/// number of accesses. Cost: one basis computation for the nest plus one
+/// start-location solve per outer iteration plus O(1) per access.
+template <typename Body>
+i64 for_each_coupled_access(const BlockCyclic& dist, const LoopNest2& nest,
+                            const CoupledSubscript& sub, i64 proc, Body&& body) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  if (nest.outer.empty() || nest.inner.empty()) return 0;
+
+  const i64 inner_stride = sub.c2 * nest.inner.stride;  // subscript advance per i2 step
+  i64 count = 0;
+  for (i64 t1 = 0; t1 < nest.outer.size(); ++t1) {
+    const i64 i1 = nest.outer.element(t1);
+    // Subscript values of this inner row, and their i2 preimages.
+    const i64 row_first = sub.value(i1, nest.inner.lower);
+    const i64 row_last = sub.value(i1, nest.inner.last());
+    if (inner_stride > 0) {
+      LocalAccessIterator it(dist, row_first, inner_stride, proc);
+      for (; !it.done() && it.global() <= row_last; it.advance()) {
+        const i64 i2 = nest.inner.lower +
+                       ((it.global() - row_first) / inner_stride) * nest.inner.stride;
+        body(CoupledAccess{i1, i2, it.global(), it.local()});
+        ++count;
+      }
+    } else {
+      // Descending subscript within the row: walk the ascending reflection
+      // and replay in reverse to preserve loop order.
+      const i64 mag = -inner_stride;
+      std::vector<std::pair<i64, i64>> buffer;  // (global, local)
+      LocalAccessIterator it(dist, row_last, mag, proc);
+      for (; !it.done() && it.global() <= row_first; it.advance())
+        buffer.emplace_back(it.global(), it.local());
+      for (auto rit = buffer.rbegin(); rit != buffer.rend(); ++rit) {
+        const i64 i2 = nest.inner.lower +
+                       ((rit->first - row_first) / inner_stride) * nest.inner.stride;
+        body(CoupledAccess{i1, i2, rit->first, rit->second});
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+/// Materialized access list for the nest on one processor, in loop order
+/// (convenience wrapper over for_each_coupled_access).
+std::vector<CoupledAccess> coupled_access_list(const BlockCyclic& dist, const LoopNest2& nest,
+                                               const CoupledSubscript& sub, i64 proc);
+
+/// Per-nest precomputation the ICS'95 companion describes: the inner-row
+/// gap structure is identical for every outer iteration (it depends only
+/// on |c2*s2| and the distribution); only the start location shifts by
+/// c1*s1 per iteration. The offset-indexed tables (Figure 8(d)) are the
+/// phase-free representation of that shared structure — `delta` and
+/// `next_offset` are functions of the block offset alone — so one table
+/// pair serves every row; per-row state is just (start, start_local,
+/// start block offset). Run-time systems hoist the tables out of the
+/// outer loop.
+struct CoupledRowPlan {
+  OffsetTables tables;              ///< shared delta/next tables (start_offset is per-row)
+  std::vector<i64> row_start;       ///< per outer iteration: first on-proc subscript, -1 if none
+  std::vector<i64> row_start_local; ///< matching local addresses (-1 if none)
+
+  /// Number of outer iterations that touch this processor at all.
+  [[nodiscard]] i64 active_rows() const noexcept {
+    i64 n = 0;
+    for (const i64 s : row_start) n += (s >= 0);
+    return n;
+  }
+};
+/// Requires an ascending subscript within the row (c2 * inner stride > 0);
+/// descending rows are handled by for_each_coupled_access directly.
+CoupledRowPlan plan_coupled_rows(const BlockCyclic& dist, const LoopNest2& nest,
+                                 const CoupledSubscript& sub, i64 proc);
+
+}  // namespace cyclick

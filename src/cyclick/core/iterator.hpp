@@ -1,0 +1,113 @@
+// Table-free enumeration of a processor's accesses using only the basis
+// vectors R and L (paper, Section 6.2: "the algorithm can be modified to
+// return only vectors R and L, without storing any tables. Based on these
+// values, every processor can generate its local addresses as needed" —
+// the time/space tradeoff pointed out by Knies, O'Keefe, and MacDonald).
+//
+// Each advance applies Theorem 3: step by R if that stays inside the
+// processor's offset block, otherwise by -L, correcting to R - L when -L
+// undershoots the block. O(1) state, O(1) amortized per element.
+#pragma once
+
+#include <optional>
+
+#include "cyclick/core/lattice_addresser.hpp"
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/lattice/lattice.hpp"
+
+namespace cyclick {
+
+/// Streams the on-processor elements of the unbounded ascending progression
+/// l, l+s, l+2s, ... (s > 0) for one processor, yielding global indices and
+/// packed local addresses in increasing order without materializing the AM
+/// table. The caller decides when to stop (e.g. global() > u).
+class LocalAccessIterator {
+ public:
+  /// Positions the iterator at the processor's first access. If the
+  /// processor owns no element of the progression, done() is true at once.
+  LocalAccessIterator(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc)
+      : block_lo_(dist.block_size() * proc),
+        block_hi_(dist.block_size() * (proc + 1)) {
+    CYCLICK_REQUIRE(stride > 0, "iterator requires a positive stride");
+    const i64 k = dist.block_size();
+    const auto si = find_start(dist, lower, stride, proc);
+    if (!si) return;
+    done_ = false;
+    global_ = si->start_global;
+    local_ = dist.local_index(global_);
+    offset_ = floor_mod(global_, dist.row_length());
+
+    if (const auto basis = select_rl_basis(dist.procs(), k, stride)) {
+      br_ = basis->r.v.b;
+      bl_ = basis->l.v.b;
+      value_r_ = basis->r.index * stride;
+      value_l_ = -basis->l.index * stride;  // l.index < 0, so this is positive
+      gap_r_ = basis->gap_r(k);
+      gap_l_ = basis->gap_minus_l(k);
+    } else {
+      // Degenerate lattice (gcd(s, pk) >= k): at most one offset per block
+      // carries elements; successive accesses are a fixed stride of
+      // lcm(s, pk) in value and (s/d)*k in local memory.
+      const i64 d = gcd_i64(stride, dist.row_length());
+      fixed_step_ = true;
+      value_r_ = (dist.row_length() / d) * stride;
+      gap_r_ = k * (stride / d);
+      br_ = 0;
+    }
+  }
+
+  /// True when the processor owns no element of the progression at all.
+  /// (The progression is unbounded, so a started iterator never finishes.)
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Global array index of the current access.
+  [[nodiscard]] i64 global() const noexcept { return global_; }
+
+  /// Packed local-memory address of the current access.
+  [[nodiscard]] i64 local() const noexcept { return local_; }
+
+  /// Local-memory gap the next advance() will take (an AM table entry).
+  [[nodiscard]] i64 peek_gap() const noexcept {
+    if (fixed_step_) return gap_r_;
+    if (offset_ + br_ < block_hi_) return gap_r_;
+    const i64 o = offset_ - bl_;
+    return o < block_lo_ ? gap_l_ + gap_r_ : gap_l_;
+  }
+
+  /// Move to the processor's next access (Theorem 3).
+  void advance() noexcept {
+    if (fixed_step_) {
+      global_ += value_r_;
+      local_ += gap_r_;
+      return;
+    }
+    if (offset_ + br_ < block_hi_) {  // Equation 1: step by R
+      step(value_r_, gap_r_, br_);
+      return;
+    }
+    step(value_l_, gap_l_, -bl_);     // Equation 2: step by -L
+    if (offset_ < block_lo_) {
+      step(value_r_, gap_r_, br_);    // Equation 3: correct by +R
+    }
+  }
+
+ private:
+  void step(i64 dvalue, i64 dlocal, i64 doffset) noexcept {
+    global_ += dvalue;
+    local_ += dlocal;
+    offset_ += doffset;
+  }
+
+  bool done_ = true;
+  bool fixed_step_ = false;
+  i64 block_lo_;
+  i64 block_hi_;
+  i64 global_ = 0;
+  i64 local_ = 0;
+  i64 offset_ = 0;
+  i64 br_ = 0, bl_ = 0;
+  i64 value_r_ = 0, value_l_ = 0;
+  i64 gap_r_ = 0, gap_l_ = 0;
+};
+
+}  // namespace cyclick

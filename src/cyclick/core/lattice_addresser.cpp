@@ -1,0 +1,218 @@
+#include "cyclick/core/lattice_addresser.hpp"
+
+#include <algorithm>
+
+#include "cyclick/support/residue_scan.hpp"
+
+namespace cyclick {
+
+std::optional<StartInfo> find_start(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc,
+                                    WorkStats* stats) {
+  CYCLICK_REQUIRE(stride > 0, "find_start requires a positive stride");
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  const ResidueScan scan(stride, dist.row_length());
+  const i64 k = dist.block_size();
+
+  // Lines 4-11 of Figure 5: solve s*j ≡ i (mod pk) for every target residue
+  // i = o - l with o in [km, k(m+1)); solutions exist iff d | i. The scan
+  // iterates only the solvable residues (d apart) with incrementally
+  // maintained solutions.
+  const i64 window_lo = k * proc - lower;
+  i64 best_j = INT64_MAX;
+  i64 length = 0;
+  scan.for_each_solvable(window_lo, window_lo + k, [&](i64, i64 j) {
+    if (j < best_j) best_j = j;
+    ++length;
+  });
+  if (stats) stats->equations_solved += length;
+  if (length == 0) return std::nullopt;
+  return StartInfo{lower + best_j * stride, length};
+}
+
+std::optional<i64> find_last(const BlockCyclic& dist, const RegularSection& section, i64 proc) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  if (section.empty()) return std::nullopt;
+  const RegularSection asc = section.ascending();
+  const ResidueScan scan(asc.stride, dist.row_length());
+  const i64 k = dist.block_size();
+  const i64 t_max = asc.size() - 1;  // largest admissible progression step
+
+  const i64 window_lo = k * proc - asc.lower;
+  i64 best_j = -1;
+  scan.for_each_solvable(window_lo, window_lo + k, [&](i64, i64 j0) {
+    if (j0 > t_max) return;  // this offset is never reached within bounds
+    const i64 j_last = j0 + ((t_max - j0) / scan.period) * scan.period;
+    if (j_last > best_j) best_j = j_last;
+  });
+  if (best_j < 0) return std::nullopt;
+  return asc.lower + best_j * asc.stride;
+}
+
+AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc,
+                                     WorkStats* stats) {
+  CYCLICK_REQUIRE(stride > 0, "compute_access_pattern requires a positive stride;"
+                              " use compute_access_pattern_signed for s < 0");
+  AccessPattern pat;
+  pat.proc = proc;
+
+  const auto si = find_start(dist, lower, stride, proc, stats);
+  if (!si) return pat;  // lines 13-14: no section element ever lands on proc
+
+  const i64 k = dist.block_size();
+  const i64 pk = dist.row_length();
+  const i64 d = gcd_i64(stride, pk);
+  pat.start_global = si->start_global;
+  pat.start_local = dist.local_index(si->start_global);
+  pat.length = si->length;
+  if (stats) ++stats->points_visited;  // the start point itself
+
+  if (pat.length == 1) {
+    // Lines 15-17: a single offset repeats every lcm(s, pk)/s steps; the
+    // local gap is (s/d) rows of k cells.
+    pat.gaps.assign(1, k * (stride / d));
+    return pat;
+  }
+
+  // Lines 19-30: R and L from the initial cycle of processor 0 (length >= 2
+  // implies at least two multiples of d inside a k-window, hence d < k and
+  // the basis exists).
+  const auto basis = select_rl_basis(dist.procs(), k, stride);
+  CYCLICK_ASSERT(basis.has_value());
+  if (stats) stats->equations_solved += (k - 1) / basis->d;
+
+  const i64 br = basis->r.v.b, ar = basis->r.v.a;
+  const i64 bl = basis->l.v.b, al = basis->l.v.a;
+  const i64 gap_r = ar * k + br;
+  const i64 gap_l = -(al * k + bl);
+
+  // Lines 31-49: walk the initial cycle applying Theorem 3.
+  pat.gaps.resize(static_cast<std::size_t>(pat.length));
+  i64 offset = floor_mod(pat.start_global, pk);
+  const i64 block_hi = k * (proc + 1);
+  const i64 block_lo = k * proc;
+  i64 i = 0;
+  while (i < pat.length) {
+    while (i < pat.length && offset + br < block_hi) {
+      pat.gaps[static_cast<std::size_t>(i)] = gap_r;  // Equation 1: step by R
+      offset += br;
+      ++i;
+      if (stats) ++stats->points_visited;
+    }
+    if (i == pat.length) break;
+    pat.gaps[static_cast<std::size_t>(i)] = gap_l;  // Equation 2: step by -L
+    offset -= bl;
+    if (stats) ++stats->points_visited;
+    if (offset < block_lo) {
+      // Equation 3: the -L point fell below the block; step by R - L.
+      pat.gaps[static_cast<std::size_t>(i)] += gap_r;
+      offset += br;
+      if (stats) ++stats->points_visited;
+    }
+    ++i;
+  }
+  return pat;
+}
+
+AccessPattern compute_access_pattern_signed(const BlockCyclic& dist, i64 lower, i64 stride,
+                                            i64 proc) {
+  CYCLICK_REQUIRE(stride != 0, "stride must be nonzero");
+  if (stride > 0) return compute_access_pattern(dist, lower, stride, proc);
+
+  // Descending traversal: the element set below `lower` with step |s| is
+  // visited in decreasing order. Its first on-processor element e0 is the
+  // largest on-proc value in one full period below the lower bound; the
+  // descending gap table is the ascending table anchored at e0, reversed
+  // and negated (the gap into a cyclic sequence's anchor is its last entry).
+  const i64 mag = -stride;
+  const i64 pk = dist.row_length();
+  const i64 d = gcd_i64(mag, pk);
+  const i64 period_values = (pk / d) * mag;  // lcm(|s|, pk)
+  const RegularSection one_period{lower - period_values + mag, lower, mag};
+  const auto e0 = find_last(dist, one_period, proc);
+
+  AccessPattern pat;
+  pat.proc = proc;
+  if (!e0) return pat;  // no element of the progression ever lands on proc
+
+  const AccessPattern asc = compute_access_pattern(dist, *e0, mag, proc);
+  CYCLICK_ASSERT(asc.start_global == *e0);
+  pat.start_global = *e0;
+  pat.start_local = asc.start_local;
+  pat.length = asc.length;
+  pat.gaps.resize(asc.gaps.size());
+  std::transform(asc.gaps.rbegin(), asc.gaps.rend(), pat.gaps.begin(),
+                 [](i64 g) { return -g; });
+  return pat;
+}
+
+OffsetTables compute_offset_tables(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc) {
+  CYCLICK_REQUIRE(stride > 0, "offset tables require a positive stride");
+  OffsetTables tables;
+  const AccessPattern pat = compute_access_pattern(dist, lower, stride, proc);
+  if (pat.empty()) return tables;
+
+  const i64 k = dist.block_size();
+  tables.start_offset = dist.block_offset(pat.start_global);
+  tables.delta.assign(static_cast<std::size_t>(k), 0);
+  tables.next_offset.assign(static_cast<std::size_t>(k), -1);
+
+  // Re-walk the cycle recording, for each visited block offset, the gap
+  // leaving it and the offset it leads to (Section 6.2's modification of
+  // lines 36-38 / 42-46). The walk's offsets repeat with period `length`,
+  // so one cycle fills every reachable table slot.
+  i64 q = tables.start_offset;
+  for (i64 i = 0; i < pat.length; ++i) {
+    const i64 gap = pat.gaps[static_cast<std::size_t>(i)];
+    // A gap of a*k + b moves b offsets within the block pattern.
+    const i64 next_q = floor_mod(q + gap, k);
+    tables.delta[static_cast<std::size_t>(q)] = gap;
+    tables.next_offset[static_cast<std::size_t>(q)] = next_q;
+    q = next_q;
+  }
+  CYCLICK_ASSERT(q == tables.start_offset);  // the cycle closes
+  return tables;
+}
+
+OffsetTables compute_full_offset_tables(const BlockCyclic& dist, i64 stride) {
+  CYCLICK_REQUIRE(stride > 0, "offset tables require a positive stride");
+  const i64 k = dist.block_size();
+  OffsetTables tables;
+  tables.start_offset = -1;  // phase is supplied by the caller
+  tables.delta.assign(static_cast<std::size_t>(k), 0);
+  tables.next_offset.assign(static_cast<std::size_t>(k), -1);
+
+  const auto basis = select_rl_basis(dist.procs(), k, stride);
+  if (!basis) {
+    // Degenerate lattice (gcd(s, pk) >= k): each populated offset repeats in
+    // place every lcm(s, pk) elements.
+    const i64 d = gcd_i64(stride, dist.row_length());
+    for (i64 q = 0; q < k; ++q) {
+      tables.delta[static_cast<std::size_t>(q)] = k * (stride / d);
+      tables.next_offset[static_cast<std::size_t>(q)] = q;
+    }
+    return tables;
+  }
+
+  const i64 br = basis->r.v.b;
+  const i64 bl = basis->l.v.b;
+  const i64 gap_r = basis->gap_r(k);
+  const i64 gap_l = basis->gap_minus_l(k);
+  for (i64 q = 0; q < k; ++q) {
+    if (q + br < k) {  // Equation 1
+      tables.delta[static_cast<std::size_t>(q)] = gap_r;
+      tables.next_offset[static_cast<std::size_t>(q)] = q + br;
+    } else {
+      i64 next = q - bl;  // Equation 2
+      i64 gap = gap_l;
+      if (next < 0) {  // Equation 3
+        next += br;
+        gap += gap_r;
+      }
+      tables.delta[static_cast<std::size_t>(q)] = gap;
+      tables.next_offset[static_cast<std::size_t>(q)] = next;
+    }
+  }
+  return tables;
+}
+
+}  // namespace cyclick

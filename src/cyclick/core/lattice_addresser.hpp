@@ -1,0 +1,61 @@
+// The paper's contribution: the linear-time lattice algorithm (Figure 5)
+// for computing a processor's memory access sequence under cyclic(k),
+// in O(k + min(log s, log p)) time.
+#pragma once
+
+#include <optional>
+
+#include "cyclick/core/access_pattern.hpp"
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/hpf/section.hpp"
+#include "cyclick/lattice/lattice.hpp"
+
+namespace cyclick {
+
+/// Find the first element of the section (l : +inf : s), s > 0, that lives
+/// on processor m: the smallest nonnegative j with km <= (l + s*j) mod pk <
+/// k(m+1) (paper, Section 2; lines 4-11 of Figure 5). Returns the global
+/// array index l + s*j, or nullopt when no section element ever lands on m.
+/// Also reports the cycle length (number of solvable Diophantine equations,
+/// == the AM table period).
+struct StartInfo {
+  i64 start_global;
+  i64 length;
+};
+std::optional<StartInfo> find_start(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc,
+                                    WorkStats* stats = nullptr);
+
+/// Largest section element of A(l:u:s), s > 0, u >= l, living on processor
+/// m (used for `lastmem` in the node code; paper notes u plays no role in
+/// the table itself). O(k + log min(s, pk)).
+std::optional<i64> find_last(const BlockCyclic& dist, const RegularSection& section, i64 proc);
+
+/// The Figure-5 algorithm: start location + AM gap table for processor
+/// `proc`. Requires stride > 0; for negative strides use
+/// compute_access_pattern_signed. O(k + min(log s, log p)) time, O(k) space.
+AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc,
+                                     WorkStats* stats = nullptr);
+
+/// Negative-stride-aware variant ("the case when s is negative can be
+/// treated analogously", Section 2): for s < 0 the traversal visits the same
+/// element set in descending order, so the gap table is the ascending
+/// table reversed and negated, re-phased to the descending start element.
+/// For s > 0 this is exactly compute_access_pattern.
+AccessPattern compute_access_pattern_signed(const BlockCyclic& dist, i64 lower, i64 stride,
+                                            i64 proc);
+
+/// Offset-indexed variant of the gap table for the Figure 8(d) node code:
+/// same asymptotic cost, produces delta/next_offset tables indexed by the
+/// offset of the access within the processor's block (Section 6.2).
+OffsetTables compute_offset_tables(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc);
+
+/// Offset tables populated for *every* block offset in [0, k), straight
+/// from Theorem 3's geometry (Equation 1 when offset + br stays inside the
+/// block, else Equation 2 corrected by Equation 3): delta/next at offset q
+/// do not depend on the processor number or the section's lower bound, so
+/// one table pair serves every processor and every phase — the hoisting
+/// opportunity used for coupled-subscript loop nests. start_offset is left
+/// at -1 (the caller supplies the phase). O(k + min(log s, log p)).
+OffsetTables compute_full_offset_tables(const BlockCyclic& dist, i64 stride);
+
+}  // namespace cyclick

@@ -1,0 +1,55 @@
+// Affine alignments of arrays to distributed templates (paper, Section 2).
+//
+// HPF aligns array element A(i) with template cell a*i + b. Identity
+// alignment is (a, b) = (1, 0). The access-sequence problem for an aligned
+// array reduces to two applications of the identity-alignment algorithm
+// (Chatterjee et al.): one for the *layout* lattice (template cells
+// occupied by any array element, stride a) and one for the *section*
+// lattice (cells occupied by section elements, stride a*s). The reduction
+// itself lives in core/aligned.hpp; this header is the descriptor.
+#pragma once
+
+#include "cyclick/hpf/section.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Affine alignment  template_cell(i) = a*i + b.
+struct AffineAlignment {
+  i64 a;  ///< coefficient, nonzero
+  i64 b;  ///< offset
+
+  AffineAlignment(i64 coeff, i64 off) : a(coeff), b(off) {
+    CYCLICK_REQUIRE(coeff != 0, "alignment coefficient must be nonzero");
+  }
+
+  static AffineAlignment identity() { return {1, 0}; }
+
+  [[nodiscard]] bool is_identity() const noexcept { return a == 1 && b == 0; }
+
+  /// Template cell of array element i.
+  [[nodiscard]] i64 cell(i64 i) const noexcept { return a * i + b; }
+
+  /// Array index occupying template cell t, if any.
+  [[nodiscard]] std::optional<i64> index_of_cell(i64 t) const noexcept {
+    const i64 d = t - b;
+    if (d % a != 0) return std::nullopt;
+    return d / a;
+  }
+
+  /// Image of an array section in template space: (a*l+b : a*u+b : a*s).
+  [[nodiscard]] RegularSection image(const RegularSection& s) const {
+    return s.affine_image(a, b);
+  }
+
+  /// Template cells occupied by the whole n-element array [0, n), as an
+  /// ascending template section.
+  [[nodiscard]] RegularSection layout(i64 n) const {
+    CYCLICK_REQUIRE(n >= 1, "array must have at least one element");
+    return RegularSection{b, a * (n - 1) + b, a}.ascending();
+  }
+
+  friend bool operator==(const AffineAlignment&, const AffineAlignment&) = default;
+};
+
+}  // namespace cyclick

@@ -1,0 +1,117 @@
+// HPF data-mapping substrate: the cyclic(k) block-cyclic distribution.
+//
+// A template of cells 0,1,2,... distributed cyclic(k) onto p processors is
+// viewed (paper, Section 2 and Figure 1) as a matrix whose rows each hold
+// p*k consecutive cells; processor m owns the offsets [k*m, k*(m+1)) of
+// every row and stores them contiguously, k cells of local memory per row:
+//
+//   global i  ->  row  r = i div (p*k)
+//                 off  x = i mod (p*k)          (offset within the row)
+//                 owner    m = x div k
+//                 local    r*k + (x - k*m)      (packed local address)
+//
+// `cyclic` is cyclic(1) and `block` is cyclic(ceil(n/p)); both are exposed
+// as factories.
+#pragma once
+
+#include "cyclick/support/math.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Decomposition of a global index under a block-cyclic distribution.
+struct GlobalCoords {
+  i64 row;     ///< global block-row, i div (p*k)
+  i64 offset;  ///< offset within the row, i mod (p*k), in [0, p*k)
+  i64 owner;   ///< owning processor, offset div k
+  i64 local;   ///< packed local address on `owner`
+};
+
+/// A one-dimensional cyclic(k) distribution over p processors.
+///
+/// Immutable value type; all queries are O(1). Global indices may be any
+/// signed 64-bit value (negative template cells arise under affine
+/// alignments with negative offsets), handled with floor semantics.
+class BlockCyclic {
+ public:
+  /// cyclic(k) over p processors. Requires p >= 1, k >= 1.
+  BlockCyclic(i64 procs, i64 block)
+      : p_(procs), k_(block) {
+    CYCLICK_REQUIRE(procs >= 1, "processor count must be >= 1");
+    CYCLICK_REQUIRE(block >= 1, "block size must be >= 1");
+    CYCLICK_REQUIRE(procs <= (INT64_MAX / block), "p*k overflows");
+  }
+
+  /// cyclic distribution == cyclic(1).
+  static BlockCyclic cyclic(i64 procs) { return {procs, 1}; }
+
+  /// HPF block distribution of an n-element template == cyclic(ceil(n/p)).
+  static BlockCyclic block(i64 n, i64 procs) {
+    CYCLICK_REQUIRE(n >= 1, "template size must be >= 1");
+    CYCLICK_REQUIRE(procs >= 1, "processor count must be >= 1");
+    return {procs, ceil_div(n, procs)};
+  }
+
+  [[nodiscard]] i64 procs() const noexcept { return p_; }
+  [[nodiscard]] i64 block_size() const noexcept { return k_; }
+  /// Row length p*k — the fundamental modulus of the access problem.
+  [[nodiscard]] i64 row_length() const noexcept { return p_ * k_; }
+
+  [[nodiscard]] i64 row(i64 global) const noexcept { return floor_div(global, row_length()); }
+  [[nodiscard]] i64 offset(i64 global) const noexcept { return floor_mod(global, row_length()); }
+  [[nodiscard]] i64 owner(i64 global) const noexcept { return offset(global) / k_; }
+  /// Offset of the element within its owner's k-wide block.
+  [[nodiscard]] i64 block_offset(i64 global) const noexcept { return offset(global) % k_; }
+
+  /// Packed local address of `global` on its owning processor.
+  [[nodiscard]] i64 local_index(i64 global) const noexcept {
+    return row(global) * k_ + block_offset(global);
+  }
+
+  /// Full decomposition in one call.
+  [[nodiscard]] GlobalCoords coords(i64 global) const noexcept {
+    const i64 r = row(global);
+    const i64 x = global - r * row_length();
+    const i64 m = x / k_;
+    return {r, x, m, r * k_ + (x - k_ * m)};
+  }
+
+  /// Inverse of local_index: global index of local cell `local` on `proc`.
+  [[nodiscard]] i64 global_index(i64 proc, i64 local) const {
+    CYCLICK_REQUIRE(proc >= 0 && proc < p_, "processor id out of range");
+    CYCLICK_REQUIRE(local >= 0, "local index must be nonnegative");
+    const i64 r = local / k_;
+    const i64 o = local % k_;
+    return r * row_length() + proc * k_ + o;
+  }
+
+  /// True when `global` lives on processor `proc`.
+  [[nodiscard]] bool is_local(i64 global, i64 proc) const noexcept {
+    return owner(global) == proc;
+  }
+
+  /// Number of cells of an n-cell template [0, n) owned by `proc`
+  /// (the ScaLAPACK "numroc" quantity).
+  [[nodiscard]] i64 local_size(i64 proc, i64 n) const {
+    CYCLICK_REQUIRE(proc >= 0 && proc < p_, "processor id out of range");
+    CYCLICK_REQUIRE(n >= 0, "template size must be nonnegative");
+    const i64 full_rows = n / row_length();
+    const i64 rem = n % row_length();
+    i64 tail = rem - proc * k_;
+    if (tail < 0) tail = 0;
+    if (tail > k_) tail = k_;
+    return full_rows * k_ + tail;
+  }
+
+  /// Local storage needed on every processor for an n-cell template: the
+  /// maximum local_size over processors (processor 0 is always maximal).
+  [[nodiscard]] i64 local_capacity(i64 n) const { return local_size(0, n); }
+
+  friend bool operator==(const BlockCyclic&, const BlockCyclic&) = default;
+
+ private:
+  i64 p_;
+  i64 k_;
+};
+
+}  // namespace cyclick

@@ -1,0 +1,66 @@
+#include "cyclick/hpf/layout_render.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace cyclick {
+namespace {
+
+// Width of the decimal rendering of the largest index shown.
+int digits_for(i64 max_value) {
+  int w = 1;
+  for (i64 v = max_value; v >= 10; v /= 10) ++w;
+  return w;
+}
+
+std::string render(const BlockCyclic& dist, i64 rows,
+                   const std::function<char(i64)>& decoration) {
+  CYCLICK_REQUIRE(rows >= 1, "must render at least one row");
+  const i64 pk = dist.row_length();
+  const i64 k = dist.block_size();
+  const int width = digits_for(rows * pk - 1);
+  std::ostringstream out;
+  for (i64 r = 0; r < rows; ++r) {
+    for (i64 x = 0; x < pk; ++x) {
+      const i64 g = r * pk + x;
+      const char deco = decoration(g);
+      std::string cell = std::to_string(g);
+      while (static_cast<int>(cell.size()) < width) cell.insert(cell.begin(), ' ');
+      switch (deco) {
+        case '[': out << '[' << cell << ']'; break;
+        case '(': out << '(' << cell << ')'; break;
+        default: out << ' ' << cell << ' '; break;
+      }
+      if (x % k == k - 1 && x != pk - 1) out << '|';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_layout(const BlockCyclic& dist, i64 rows,
+                          const std::function<bool(i64)>& mark) {
+  return render(dist, rows, [&](i64 g) -> char { return mark(g) ? '[' : ' '; });
+}
+
+std::string render_section_layout(const BlockCyclic& dist, const RegularSection& sec,
+                                  i64 rows) {
+  return render(dist, rows, [&](i64 g) -> char {
+    if (!sec.contains(g)) return ' ';
+    return g == sec.lower ? '(' : '[';
+  });
+}
+
+std::string render_processor_walk(const BlockCyclic& dist, const RegularSection& sec,
+                                  i64 proc, i64 rows) {
+  CYCLICK_REQUIRE(proc >= 0 && proc < dist.procs(), "processor id out of range");
+  return render(dist, rows, [&](i64 g) -> char {
+    if (g == sec.lower) return '(';
+    if (sec.contains(g) && dist.owner(g) == proc) return '[';
+    return ' ';
+  });
+}
+
+}  // namespace cyclick

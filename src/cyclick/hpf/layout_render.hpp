@@ -1,0 +1,35 @@
+// ASCII rendering of cyclic(k) layouts in the style of the paper's
+// Figures 1, 2 and 6: the template as a matrix of rows of p*k cells,
+// processor blocks separated by '|', and selected elements bracketed.
+//
+//   [0]  1   2   3 |  4   5   6   7     <- row 0, p=2, k=4, section marks
+//    8  [9] 10  11 | 12  13  14  15
+//
+// Used by the amtool CLI and by documentation tests; the rendering is a
+// faithful, machine-checkable reproduction of the paper's figures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/hpf/section.hpp"
+
+namespace cyclick {
+
+/// Render `rows` rows of the layout, bracketing every global index for
+/// which `mark` returns true.
+std::string render_layout(const BlockCyclic& dist, i64 rows,
+                          const std::function<bool(i64)>& mark);
+
+/// Figure 1/2 style: bracket the elements of a regular section.
+std::string render_section_layout(const BlockCyclic& dist, const RegularSection& sec,
+                                  i64 rows);
+
+/// Figure 6 style: bracket only the section elements owned by `proc`
+/// (the points the algorithm visits for that processor), and circle the
+/// section's lower bound with parentheses.
+std::string render_processor_walk(const BlockCyclic& dist, const RegularSection& sec,
+                                  i64 proc, i64 rows);
+
+}  // namespace cyclick

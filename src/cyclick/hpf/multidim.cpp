@@ -1,0 +1,84 @@
+#include "cyclick/hpf/multidim.hpp"
+
+namespace cyclick {
+
+ProcessorGrid::ProcessorGrid(std::vector<i64> extents)
+    : extents_(std::move(extents)), total_(1) {
+  CYCLICK_REQUIRE(!extents_.empty(), "processor grid needs at least one dimension");
+  for (const i64 e : extents_) {
+    CYCLICK_REQUIRE(e >= 1, "grid extent must be >= 1");
+    CYCLICK_REQUIRE(total_ <= INT64_MAX / e, "grid size overflows");
+    total_ *= e;
+  }
+}
+
+i64 ProcessorGrid::rank_of(const std::vector<i64>& coords) const {
+  CYCLICK_REQUIRE(coords.size() == extents_.size(), "grid coordinate arity mismatch");
+  i64 rank = 0;
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    CYCLICK_REQUIRE(coords[d] >= 0 && coords[d] < extents_[d], "grid coordinate out of range");
+    rank = rank * extents_[d] + coords[d];
+  }
+  return rank;
+}
+
+std::vector<i64> ProcessorGrid::coords_of(i64 rank) const {
+  CYCLICK_REQUIRE(rank >= 0 && rank < total_, "rank out of range");
+  std::vector<i64> coords(extents_.size());
+  for (std::size_t d = extents_.size(); d-- > 0;) {
+    coords[d] = rank % extents_[d];
+    rank /= extents_[d];
+  }
+  return coords;
+}
+
+MultiDimMapping::MultiDimMapping(std::vector<DimMapping> dims, ProcessorGrid grid)
+    : dims_(std::move(dims)), grid_(std::move(grid)), capacity_(1) {
+  CYCLICK_REQUIRE(dims_.size() == grid_.dims(),
+                  "array dimensionality must match processor grid");
+  local_extent_.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const DimMapping& dm = dims_[d];
+    CYCLICK_REQUIRE(dm.dist.procs() == grid_.extent(d),
+                    "dimension distribution must match grid extent");
+    const i64 first_cell = dm.align.cell(0);
+    const i64 last_cell = dm.align.cell(dm.extent - 1);
+    const i64 min_cell = first_cell < last_cell ? first_cell : last_cell;
+    const i64 max_cell = first_cell < last_cell ? last_cell : first_cell;
+    CYCLICK_REQUIRE(min_cell >= 0, "alignment maps array outside template");
+    const i64 cap = dm.dist.local_capacity(max_cell + 1);
+    local_extent_.push_back(cap);
+    CYCLICK_REQUIRE(cap == 0 || capacity_ <= INT64_MAX / (cap == 0 ? 1 : cap),
+                    "local capacity overflows");
+    capacity_ *= cap;
+  }
+}
+
+i64 MultiDimMapping::owner_rank(const std::vector<i64>& index) const {
+  CYCLICK_REQUIRE(index.size() == dims_.size(), "subscript arity mismatch");
+  std::vector<i64> coords(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    CYCLICK_REQUIRE(index[d] >= 0 && index[d] < dims_[d].extent, "subscript out of range");
+    coords[d] = dims_[d].owner(index[d]);
+  }
+  return grid_.rank_of(coords);
+}
+
+i64 MultiDimMapping::local_address(const std::vector<i64>& index) const {
+  CYCLICK_REQUIRE(index.size() == dims_.size(), "subscript arity mismatch");
+  i64 addr = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    CYCLICK_REQUIRE(index[d] >= 0 && index[d] < dims_[d].extent, "subscript out of range");
+    const i64 cell = dims_[d].align.cell(index[d]);
+    addr = addr * local_extent_[d] + dims_[d].dist.local_index(cell);
+  }
+  return addr;
+}
+
+i64 MultiDimMapping::total_elements() const noexcept {
+  i64 total = 1;
+  for (const DimMapping& dm : dims_) total *= dm.extent;
+  return total;
+}
+
+}  // namespace cyclick

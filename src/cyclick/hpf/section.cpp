@@ -1,0 +1,36 @@
+#include "cyclick/hpf/section.hpp"
+
+#include <sstream>
+
+namespace cyclick {
+
+RegularSection RegularSection::intersect(const RegularSection& other) const {
+  static const RegularSection kEmpty{0, -1, 1};
+  if (empty() || other.empty()) return kEmpty;
+  const RegularSection a = ascending();
+  const RegularSection b = other.ascending();
+
+  // Solve v ≡ a.lower (mod a.stride), v ≡ b.lower (mod b.stride).
+  const i64 g = gcd_i64(a.stride, b.stride);
+  if (floor_mod(b.lower - a.lower, g) != 0) return kEmpty;
+  const i64 step = lcm_i64(a.stride, b.stride);
+
+  // v = a.lower + a.stride * t with a.lower + a.stride*t ≡ b.lower (mod b.stride).
+  const auto t0 = solve_congruence_min_nonneg(a.stride, b.lower - a.lower, b.stride);
+  CYCLICK_ASSERT(t0.has_value());
+  i64 v = a.lower + a.stride * *t0;  // smallest common value >= a.lower
+
+  const i64 lo = a.lower > b.lower ? a.lower : b.lower;
+  const i64 hi = a.upper < b.upper ? a.upper : b.upper;
+  if (v < lo) v += ceil_div(lo - v, step) * step;
+  if (v > hi) return kEmpty;
+  return {v, hi, step};
+}
+
+std::string RegularSection::to_string() const {
+  std::ostringstream ss;
+  ss << '(' << lower << ':' << upper << ':' << stride << ')';
+  return ss.str();
+}
+
+}  // namespace cyclick

@@ -1,0 +1,83 @@
+// Fortran-90 regular sections `l : u : s` (subscript triplets).
+//
+// The access-sequence problem is posed for a section of a distributed array:
+// the elements l, l+s, l+2s, ... , bounded by u. Strides may be negative
+// (descending sections); stride zero is invalid. The paper computes the gap
+// table from (l, s) only — u merely truncates the sequence — and treats
+// s < 0 "analogously"; `ascending()` provides that reduction.
+#pragma once
+
+#include <string>
+
+#include "cyclick/support/math.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// A regular section of a one-dimensional index space.
+struct RegularSection {
+  i64 lower;   ///< first element l
+  i64 upper;   ///< inclusive bound u (>= l for s > 0, <= l for s < 0)
+  i64 stride;  ///< step s, nonzero
+
+  RegularSection(i64 l, i64 u, i64 s) : lower(l), upper(u), stride(s) {
+    CYCLICK_REQUIRE(s != 0, "section stride must be nonzero");
+  }
+
+  /// Number of elements: max(0, floor((u - l)/s) + 1).
+  [[nodiscard]] i64 size() const noexcept {
+    const i64 n = floor_div(upper - lower, stride) + 1;
+    return n > 0 ? n : 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// t-th element, t in [0, size()).
+  [[nodiscard]] i64 element(i64 t) const {
+    CYCLICK_REQUIRE(t >= 0 && t < size(), "section element index out of range");
+    return lower + t * stride;
+  }
+
+  /// Last element actually reached (lower + (size()-1)*stride). Requires
+  /// a nonempty section.
+  [[nodiscard]] i64 last() const {
+    CYCLICK_REQUIRE(!empty(), "last() of empty section");
+    return lower + (size() - 1) * stride;
+  }
+
+  /// True when `v` is one of the section's elements.
+  [[nodiscard]] bool contains(i64 v) const noexcept {
+    const i64 d = v - lower;
+    if (d % stride != 0) return false;
+    const i64 t = d / stride;
+    return t >= 0 && t < size();
+  }
+
+  /// The same element *set* enumerated in ascending order. For s > 0 this is
+  /// the section itself (with u tightened to the last reached element); for
+  /// s < 0 it runs from last() up to lower with stride -s.
+  [[nodiscard]] RegularSection ascending() const {
+    CYCLICK_REQUIRE(!empty(), "ascending() of empty section");
+    if (stride > 0) return {lower, last(), stride};
+    return {last(), lower, -stride};
+  }
+
+  /// Apply the affine map i -> a*i + b elementwise. For a < 0 the resulting
+  /// stride flips sign; the element order is preserved (element t maps to
+  /// element t).
+  [[nodiscard]] RegularSection affine_image(i64 a, i64 b) const {
+    CYCLICK_REQUIRE(a != 0, "affine alignment must have nonzero coefficient");
+    return {a * lower + b, a * upper + b, a * stride};
+  }
+
+  /// Intersection of the element sets of two ascending sections, as an
+  /// ascending section (empty -> a section with size() == 0). Solves
+  /// l1 + s1*t1 = l2 + s2*t2 (CRT); used by the communication-set builder.
+  [[nodiscard]] RegularSection intersect(const RegularSection& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const RegularSection&, const RegularSection&) = default;
+};
+
+}  // namespace cyclick

@@ -1,0 +1,82 @@
+#include "cyclick/lattice/lattice.hpp"
+
+#include "cyclick/support/residue_scan.hpp"
+
+namespace cyclick {
+
+SectionLattice::SectionLattice(i64 row_length, i64 stride) : pk_(row_length), s_(stride) {
+  CYCLICK_REQUIRE(row_length >= 1, "row length must be >= 1");
+  CYCLICK_REQUIRE(stride >= 1, "lattice stride must be >= 1 (reduce negative strides first)");
+}
+
+bool SectionLattice::contains(LatticePoint pt) const noexcept {
+  const i128 value = static_cast<i128>(pk_) * pt.a + pt.b;
+  return value % s_ == 0;
+}
+
+std::optional<i64> SectionLattice::index_of(LatticePoint pt) const noexcept {
+  const i128 value = static_cast<i128>(pk_) * pt.a + pt.b;
+  if (value % s_ != 0) return std::nullopt;
+  return static_cast<i64>(value / s_);
+}
+
+SectionPoint SectionLattice::point_of_index(i64 i) const noexcept {
+  const i64 value = i * s_;
+  return {{floor_mod(value, pk_), floor_div(value, pk_)}, i};
+}
+
+bool SectionLattice::is_basis(const SectionPoint& p1, const SectionPoint& p2) const {
+  CYCLICK_REQUIRE(contains(p1.v) && contains(p2.v), "basis candidates must be lattice points");
+  CYCLICK_REQUIRE(index_of(p1.v) == p1.index && index_of(p2.v) == p2.index,
+                  "section indices must match the points");
+  const i128 det = static_cast<i128>(p1.v.a) * p2.index - static_cast<i128>(p2.v.a) * p1.index;
+  return det == 1 || det == -1;
+}
+
+std::pair<SectionPoint, SectionPoint> SectionLattice::canonical_basis() const {
+  // First vector: the point of section index 1. The segment from the origin
+  // to it contains no interior lattice point because gcd(a1, i1 = 1) = 1.
+  const SectionPoint p1 = point_of_index(1);
+  // Complete the basis: find (i2, a2) with a1*i2 - a2*i1 = 1 via extended
+  // Euclid on (a1, i1), then b2 = i2*s - pk*a2 (Section 3).
+  const EgcdResult eg = extended_euclid(p1.v.a, p1.index);
+  CYCLICK_ASSERT(eg.g == 1);
+  const i64 i2 = eg.x;
+  const i64 a2 = -eg.y;
+  const i64 b2 = i2 * s_ - pk_ * a2;
+  return {p1, SectionPoint{{b2, a2}, i2}};
+}
+
+std::optional<RlBasis> select_rl_basis(i64 p, i64 k, i64 s) {
+  CYCLICK_REQUIRE(p >= 1 && k >= 1, "distribution parameters must be positive");
+  CYCLICK_REQUIRE(s >= 1, "stride must be positive (reduce negative strides first)");
+  const i64 pk = p * k;
+  const ResidueScan scan(s, pk);
+  const i64 d = scan.d;
+
+  // Offsets in (0, k) carrying section elements are exactly the multiples of
+  // d in that range (lines 19-26 of Figure 5, with the "i mod d" conditional
+  // removed by stepping i by d — the paper's noted loop simplification).
+  if (d >= k) return std::nullopt;
+
+  i64 min_j = INT64_MAX;
+  i64 max_j = INT64_MIN;
+  scan.for_each_solvable(1, k, [&](i64, i64 j) {
+    // j > 0 here: j = 0 solves only residue 0, which is outside (0, k).
+    if (j < min_j) min_j = j;
+    if (j > max_j) max_j = j;
+  });
+  const i64 min_loc = min_j * s;  // smallest positive section value with offset in (0, k)
+  const i64 max_loc = max_j * s;  // largest value in the initial cycle
+
+  RlBasis basis{
+      /*r=*/{{min_loc % pk, min_loc / pk}, min_loc / s},
+      /*l=*/{{max_loc % pk, max_loc / pk - s / d}, max_loc / s - pk / d},
+      /*d=*/d};
+  CYCLICK_ASSERT(basis.r.v.b > 0 && basis.r.v.b < k);
+  CYCLICK_ASSERT(basis.l.v.b > 0 && basis.l.v.b < k);
+  CYCLICK_ASSERT(basis.r.index > 0 && basis.l.index < 0);
+  return basis;
+}
+
+}  // namespace cyclick

@@ -1,0 +1,113 @@
+// The integer-lattice view of regular-section accesses (paper, Sections 3-4).
+//
+// Fix a distribution cyclic(k) over p processors (row length pk) and a
+// section stride s > 0. Each regular-section element i (taking lower bound
+// l = 0, which Theorem 1 shows is without loss of generality) corresponds to
+// the point (b, a) in Z^2 with
+//
+//     pk * a + b = i * s,
+//
+// b the offset coordinate and a the row coordinate. The set
+// A = { (b, a) : pk*a + b = i*s, i in Z } is an integer lattice (Theorem 1).
+// Two lattice points with section indices i1, i2 and row coordinates a1, a2
+// form a basis iff |a1*i2 - a2*i1| = 1.
+//
+// The paper's central construction (Section 4) selects the basis
+//   R = (br, ar): smallest *positive* section index ir with 0 < br < k,
+//   L = (bl, al): largest *negative* section index il with 0 < bl < k,
+// and proves (Theorem 3) that consecutive accesses on any processor differ
+// by exactly R, -L, or R - L.
+#pragma once
+
+#include <optional>
+
+#include "cyclick/support/math.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// A point of the section lattice: offset coordinate b, row coordinate a.
+struct LatticePoint {
+  i64 b;  ///< offset (x) coordinate
+  i64 a;  ///< row (y) coordinate
+
+  friend constexpr LatticePoint operator+(LatticePoint u, LatticePoint v) noexcept {
+    return {u.b + v.b, u.a + v.a};
+  }
+  friend constexpr LatticePoint operator-(LatticePoint u, LatticePoint v) noexcept {
+    return {u.b - v.b, u.a - v.a};
+  }
+  friend constexpr bool operator==(LatticePoint, LatticePoint) noexcept = default;
+
+  /// Local-memory gap contributed by moving along this vector on a machine
+  /// with block size k: a rows of k local cells each, plus b offsets.
+  [[nodiscard]] constexpr i64 memory_gap(i64 k) const noexcept { return a * k + b; }
+};
+
+/// A lattice point together with its regular-section index i
+/// (pk*a + b = i*s).
+struct SectionPoint {
+  LatticePoint v;
+  i64 index;  ///< the section index i
+};
+
+/// The section lattice A for row length pk and stride s (both > 0).
+class SectionLattice {
+ public:
+  SectionLattice(i64 row_length, i64 stride);
+
+  [[nodiscard]] i64 row_length() const noexcept { return pk_; }
+  [[nodiscard]] i64 stride() const noexcept { return s_; }
+
+  /// True when (b, a) is a lattice point, i.e. s divides pk*a + b.
+  [[nodiscard]] bool contains(LatticePoint pt) const noexcept;
+
+  /// Section index of a lattice point; nullopt when not a lattice point.
+  [[nodiscard]] std::optional<i64> index_of(LatticePoint pt) const noexcept;
+
+  /// The point corresponding to section index i: value i*s decomposed as
+  /// (i*s mod pk, i*s div pk) — the canonical representative used by the
+  /// paper's figures. (Lattice points in general may have b outside
+  /// [0, pk); this helper returns the normalized one.)
+  [[nodiscard]] SectionPoint point_of_index(i64 i) const noexcept;
+
+  /// Basis test (Section 3): points p1, p2 with indices i1, i2 form a basis
+  /// iff |a1*i2 - a2*i1| = 1. Both points must lie in the lattice.
+  [[nodiscard]] bool is_basis(const SectionPoint& p1, const SectionPoint& p2) const;
+
+  /// The constructive basis of Section 3: p1 = (s mod pk, s div pk) with
+  /// i1 = 1 (no interior lattice point on the segment from the origin since
+  /// gcd(a1, 1) = 1), completed via the extended Euclid construction.
+  [[nodiscard]] std::pair<SectionPoint, SectionPoint> canonical_basis() const;
+
+ private:
+  i64 pk_;
+  i64 s_;
+};
+
+/// The R/L basis of Section 4, for block size k (k <= pk, pk = p*k).
+/// Exists whenever at least two distinct offsets in (0, k) carry section
+/// elements (the general case; degenerate cases are reported via nullopt
+/// and handled by the algorithm's special-case paths).
+struct RlBasis {
+  SectionPoint r;  ///< R = (br, ar), smallest positive index with 0 < br < k
+  SectionPoint l;  ///< L = (bl, al), largest negative index with 0 < bl < k
+  i64 d;           ///< gcd(s, pk)
+
+  /// Memory gaps induced by Theorem 3's three possible steps.
+  [[nodiscard]] i64 gap_r(i64 k) const noexcept { return r.v.memory_gap(k); }
+  [[nodiscard]] i64 gap_minus_l(i64 k) const noexcept { return -l.v.memory_gap(k); }
+  [[nodiscard]] i64 gap_r_minus_l(i64 k) const noexcept {
+    return (r.v - l.v).memory_gap(k);
+  }
+};
+
+/// Compute the R and L basis vectors for cyclic(k) over p processors and
+/// stride s > 0 (independent of lower bound and processor number; paper
+/// Section 4 and lines 19-30 of Figure 5). Returns nullopt in the
+/// degenerate cases where fewer than one interior offset in (0, k) carries
+/// section elements (then every processor sees at most one access per cycle
+/// and no basis is needed). O(k) time.
+std::optional<RlBasis> select_rl_basis(i64 p, i64 k, i64 s);
+
+}  // namespace cyclick

@@ -1,0 +1,280 @@
+// Distributed dense kernels over block-scattered matrices: GEMV, SUMMA
+// GEMM, transpose, and norms. Communication is explicit — grid-row /
+// grid-column broadcasts and all-reduces over the Transport — so these
+// routines have the exact structure of their ScaLAPACK/PUMMA ancestors,
+// while per-rank index enumeration runs on the access-sequence machinery.
+//
+// All kernels are SPMD over the matrix's grid and, because they use
+// blocking collectives, require the one-thread-per-rank executor.
+#pragma once
+
+#include <cmath>
+
+#include "cyclick/linalg/dist_matrix.hpp"
+#include "cyclick/runtime/collectives.hpp"
+#include "cyclick/runtime/spmd.hpp"
+
+namespace cyclick {
+namespace detail {
+
+/// Broadcast within one grid row: the rank at (my_row, root_col) sends to
+/// every other rank in the same grid row.
+template <typename T>
+void row_bcast(Transport& tr, const ProcessorGrid& grid, i64 rank, i64 root_col,
+               std::vector<T>& values) {
+  const auto coords = grid.coords_of(rank);
+  const i64 my_row = coords[0];
+  const i64 my_col = coords[1];
+  const i64 cols = grid.extent(1);
+  const i64 root = grid.rank_of({my_row, root_col});
+  if (my_col == root_col) {
+    for (i64 c = 0; c < cols; ++c)
+      if (c != root_col) send_values<T>(tr, root, grid.rank_of({my_row, c}), values);
+    return;
+  }
+  values = recv_values<T>(tr, rank, root);
+}
+
+/// Broadcast within one grid column (root at (root_row, my_col)).
+template <typename T>
+void col_bcast(Transport& tr, const ProcessorGrid& grid, i64 rank, i64 root_row,
+               std::vector<T>& values) {
+  const auto coords = grid.coords_of(rank);
+  const i64 my_row = coords[0];
+  const i64 my_col = coords[1];
+  const i64 rows = grid.extent(0);
+  const i64 root = grid.rank_of({root_row, my_col});
+  if (my_row == root_row) {
+    for (i64 r = 0; r < rows; ++r)
+      if (r != root_row) send_values<T>(tr, root, grid.rank_of({r, my_col}), values);
+    return;
+  }
+  values = recv_values<T>(tr, rank, root);
+}
+
+}  // namespace detail
+
+/// y = A * x with x and y replicated on every rank. Each rank multiplies
+/// its local block against its share of x, then an all-reduce assembles y.
+template <typename T>
+std::vector<T> gemv(const DistMatrix<T>& a, std::span<const T> x, const SpmdExecutor& exec,
+                    Transport& tr) {
+  CYCLICK_REQUIRE(static_cast<i64>(x.size()) == a.cols(), "gemv dimension mismatch");
+  CYCLICK_REQUIRE(exec.ranks() == a.ranks(), "executor/matrix rank mismatch");
+  CYCLICK_REQUIRE(exec.mode() == SpmdExecutor::Mode::kThreads,
+                  "collective kernels need the threaded executor");
+  std::vector<std::vector<T>> results(static_cast<std::size_t>(a.ranks()));
+  const Region whole{{0, a.rows() - 1, 1}, {0, a.cols() - 1, 1}};
+  exec.run([&](i64 rank) {
+    std::vector<T> y(static_cast<std::size_t>(a.rows()), T{});
+    auto local = a.data().local(rank);
+    for_each_owned_region(a.data(), whole, rank, [&](const std::vector<i64>& idx, i64 addr) {
+      y[static_cast<std::size_t>(idx[0])] +=
+          local[static_cast<std::size_t>(addr)] * x[static_cast<std::size_t>(idx[1])];
+    });
+    allreduce(tr, rank, y, [](T u, T v) { return u + v; });
+    results[static_cast<std::size_t>(rank)] = std::move(y);
+  });
+  // All ranks hold the same y; return rank 0's copy.
+  return results.front();
+}
+
+/// C = A * B via SUMMA: for every inner index t, the grid column owning
+/// A(:, t) broadcasts its column piece along grid rows, the grid row owning
+/// B(t, :) broadcasts its row piece along grid columns, and every rank
+/// rank-1-updates its local C block. Matrices must share the grid, with C's
+/// rows distributed like A's rows and C's columns like B's columns (the
+/// inner dimension's distributions are independent: A's columns map to grid
+/// columns, B's rows to grid rows).
+template <typename T>
+void summa(const DistMatrix<T>& a, const DistMatrix<T>& b, DistMatrix<T>& c,
+           const SpmdExecutor& exec, Transport& tr) {
+  CYCLICK_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols(),
+                  "summa dimension mismatch");
+  CYCLICK_REQUIRE(a.ranks() == b.ranks() && a.ranks() == c.ranks(),
+                  "summa matrices must share a grid");
+  CYCLICK_REQUIRE(exec.ranks() == a.ranks(), "executor/matrix rank mismatch");
+  CYCLICK_REQUIRE(exec.mode() == SpmdExecutor::Mode::kThreads,
+                  "collective kernels need the threaded executor");
+  CYCLICK_REQUIRE(a.row_dist() == c.row_dist() && b.col_dist() == c.col_dist(),
+                  "summa requires conformal distributions");
+
+  const i64 inner = a.cols();
+  exec.run([&](i64 rank) {
+    const auto coords = c.grid().coords_of(rank);
+    const i64 my_grow = coords[0];
+    const i64 my_gcol = coords[1];
+    const std::vector<i64> my_rows = c.owned_rows(my_grow);
+    const std::vector<i64> my_cols = c.owned_cols(my_gcol);
+    auto clocal = c.data().local(rank);
+    const auto alocal = a.data().local(rank);
+    const auto blocal = b.data().local(rank);
+
+    for (i64 t = 0; t < inner; ++t) {
+      // A's column t lives on grid column col_dist(a).owner(t); its owner in
+      // my grid row holds exactly the values for my row set.
+      const i64 a_gcol = a.col_dist().owner(t);
+      std::vector<T> acol(my_rows.size());
+      if (my_gcol == a_gcol) {
+        for (std::size_t r = 0; r < my_rows.size(); ++r)
+          acol[r] = alocal[static_cast<std::size_t>(
+              a.data().mapping().local_address({my_rows[r], t}))];
+      }
+      detail::row_bcast(tr, c.grid(), rank, a_gcol, acol);
+
+      // B's row t lives on grid row row_dist(b).owner(t).
+      const i64 b_grow = b.row_dist().owner(t);
+      std::vector<T> brow(my_cols.size());
+      if (my_grow == b_grow) {
+        for (std::size_t q = 0; q < my_cols.size(); ++q)
+          brow[q] = blocal[static_cast<std::size_t>(
+              b.data().mapping().local_address({t, my_cols[q]}))];
+      }
+      detail::col_bcast(tr, c.grid(), rank, b_grow, brow);
+
+      // Local rank-1 update over the owned (i, j) block.
+      for (std::size_t r = 0; r < my_rows.size(); ++r)
+        for (std::size_t q = 0; q < my_cols.size(); ++q)
+          clocal[static_cast<std::size_t>(
+              c.data().mapping().local_address({my_rows[r], my_cols[q]}))] +=
+              acol[r] * brow[q];
+    }
+  });
+}
+
+/// B = A^T. Message-shaped: each receiver enumerates its (i, j) share of B
+/// and pulls A(j, i) from the owner via a bucketed exchange.
+template <typename T>
+void transpose(const DistMatrix<T>& a, DistMatrix<T>& b, const SpmdExecutor& exec) {
+  CYCLICK_REQUIRE(a.rows() == b.cols() && a.cols() == b.rows(), "transpose shape mismatch");
+  CYCLICK_REQUIRE(exec.ranks() == a.ranks() && a.ranks() == b.ranks(),
+                  "executor/matrix rank mismatch");
+  const i64 p = exec.ranks();
+  struct Item {
+    i64 src_local;
+    i64 dst_local;
+  };
+  std::vector<std::vector<Item>> requests(static_cast<std::size_t>(p * p));
+  const Region whole{{0, b.rows() - 1, 1}, {0, b.cols() - 1, 1}};
+  exec.run([&](i64 rank) {
+    for_each_owned_region(b.data(), whole, rank, [&](const std::vector<i64>& idx, i64 addr) {
+      const std::vector<i64> src_idx{idx[1], idx[0]};
+      const i64 q = a.data().mapping().owner_rank(src_idx);
+      requests[static_cast<std::size_t>(rank * p + q)].push_back(
+          {a.data().mapping().local_address(src_idx), addr});
+    });
+  });
+  std::vector<std::vector<T>> payload(static_cast<std::size_t>(p * p));
+  exec.run([&](i64 q) {
+    auto local = a.data().local(q);
+    for (i64 m = 0; m < p; ++m) {
+      const auto& items = requests[static_cast<std::size_t>(m * p + q)];
+      auto& buf = payload[static_cast<std::size_t>(m * p + q)];
+      buf.reserve(items.size());
+      for (const Item& it : items) buf.push_back(local[static_cast<std::size_t>(it.src_local)]);
+    }
+  });
+  exec.run([&](i64 m) {
+    auto local = b.data().local(m);
+    for (i64 q = 0; q < p; ++q) {
+      const auto& items = requests[static_cast<std::size_t>(m * p + q)];
+      const auto& buf = payload[static_cast<std::size_t>(m * p + q)];
+      for (std::size_t i = 0; i < items.size(); ++i)
+        local[static_cast<std::size_t>(items[i].dst_local)] = buf[i];
+    }
+  });
+}
+
+/// In-place right-looking LU factorization without pivoting (suitable for
+/// diagonally dominant systems): after the call, the strictly lower part
+/// of A holds L (unit diagonal implied) and the upper part holds U. The
+/// classic block-scattered elimination: at step t the pivot is broadcast,
+/// the grid column owning t forms the multipliers, grid-row/column
+/// broadcasts carry the multiplier column and pivot row, and every rank
+/// rank-1-updates its trailing block. Requires the threaded executor.
+template <typename T>
+void lu_factor(DistMatrix<T>& a, const SpmdExecutor& exec, Transport& tr) {
+  CYCLICK_REQUIRE(a.rows() == a.cols(), "lu_factor requires a square matrix");
+  CYCLICK_REQUIRE(exec.ranks() == a.ranks(), "executor/matrix rank mismatch");
+  CYCLICK_REQUIRE(exec.mode() == SpmdExecutor::Mode::kThreads,
+                  "collective kernels need the threaded executor");
+  const i64 n = a.rows();
+  exec.run([&](i64 rank) {
+    const auto coords = a.grid().coords_of(rank);
+    const i64 my_grow = coords[0];
+    const i64 my_gcol = coords[1];
+    const std::vector<i64> my_rows = a.owned_rows(my_grow);
+    const std::vector<i64> my_cols = a.owned_cols(my_gcol);
+    auto local = a.data().local(rank);
+    const auto addr = [&](i64 i, i64 j) {
+      return static_cast<std::size_t>(a.data().mapping().local_address({i, j}));
+    };
+
+    for (i64 t = 0; t < n - 1; ++t) {
+      const i64 p_grow = a.row_dist().owner(t);
+      const i64 p_gcol = a.col_dist().owner(t);
+
+      // Pivot value to every rank (owner broadcasts machine-wide).
+      std::vector<T> pivot(1);
+      if (my_grow == p_grow && my_gcol == p_gcol) pivot[0] = local[addr(t, t)];
+      bcast(tr, rank, a.grid().rank_of({p_grow, p_gcol}), pivot);
+      CYCLICK_REQUIRE(pivot[0] != T{}, "zero pivot (lu_factor does not pivot)");
+
+      // Multiplier column: owners scale A(i, t) for their rows i > t, then
+      // the column travels along grid rows.
+      std::vector<T> mult;
+      std::vector<i64> rows_gt;
+      for (const i64 i : my_rows)
+        if (i > t) rows_gt.push_back(i);
+      mult.resize(rows_gt.size());
+      if (my_gcol == p_gcol) {
+        for (std::size_t r = 0; r < rows_gt.size(); ++r) {
+          const std::size_t at = addr(rows_gt[r], t);
+          local[at] /= pivot[0];
+          mult[r] = local[at];
+        }
+      }
+      detail::row_bcast(tr, a.grid(), rank, p_gcol, mult);
+
+      // Pivot row: owners read A(t, j) for their columns j > t, then the
+      // row travels along grid columns.
+      std::vector<T> urow;
+      std::vector<i64> cols_gt;
+      for (const i64 j : my_cols)
+        if (j > t) cols_gt.push_back(j);
+      urow.resize(cols_gt.size());
+      if (my_grow == p_grow) {
+        for (std::size_t q = 0; q < cols_gt.size(); ++q)
+          urow[q] = local[addr(t, cols_gt[q])];
+      }
+      detail::col_bcast(tr, a.grid(), rank, p_grow, urow);
+
+      // Trailing update of the owned block.
+      for (std::size_t r = 0; r < rows_gt.size(); ++r)
+        for (std::size_t q = 0; q < cols_gt.size(); ++q)
+          local[addr(rows_gt[r], cols_gt[q])] -= mult[r] * urow[q];
+    }
+  });
+}
+
+/// Frobenius norm of the whole matrix (exact reduction over ranks).
+template <typename T>
+T frobenius_norm(const DistMatrix<T>& a, const SpmdExecutor& exec) {
+  CYCLICK_REQUIRE(exec.ranks() == a.ranks(), "executor/matrix rank mismatch");
+  const Region whole{{0, a.rows() - 1, 1}, {0, a.cols() - 1, 1}};
+  std::vector<T> partial(static_cast<std::size_t>(exec.ranks()), T{});
+  exec.run([&](i64 rank) {
+    auto local = a.data().local(rank);
+    T acc{};
+    for_each_owned_region(a.data(), whole, rank, [&](const std::vector<i64>&, i64 addr) {
+      const T v = local[static_cast<std::size_t>(addr)];
+      acc += v * v;
+    });
+    partial[static_cast<std::size_t>(rank)] = acc;
+  });
+  T total{};
+  for (const T v : partial) total += v;
+  return static_cast<T>(std::sqrt(static_cast<double>(total)));
+}
+
+}  // namespace cyclick

@@ -1,0 +1,93 @@
+// Collective operations over the byte Transport: broadcast, gather,
+// all-reduce, all-to-all — the communication layer a real HPF runtime
+// builds its array statements and library routines on. All collectives are
+// called SPMD (every rank calls with its own rank id inside one executor
+// phase) and rely on the transport's blocking receives, so they REQUIRE
+// the one-thread-per-rank executor (SpmdExecutor::Mode::kThreads): under a
+// sequential schedule a rank would block on a receive whose matching send
+// has not run yet.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick {
+
+/// Broadcast `root`'s values to every rank. Call SPMD; on non-root ranks
+/// `values` is overwritten with the root's data (it must already have the
+/// right size). Fan-out is a simple root-sends-to-all (log-tree topologies
+/// are a transport-level optimization a real port would add).
+template <typename T>
+void bcast(Transport& tr, i64 rank, i64 root, std::vector<T>& values) {
+  const i64 p = tr.ranks();
+  CYCLICK_REQUIRE(root >= 0 && root < p, "broadcast root out of range");
+  if (rank == root) {
+    for (i64 r = 0; r < p; ++r)
+      if (r != root) send_values<T>(tr, root, r, values);
+    return;
+  }
+  values = recv_values<T>(tr, rank, root);
+}
+
+/// Gather every rank's buffer at `root` (concatenated in rank order).
+/// Returns the concatenation on the root, an empty vector elsewhere.
+template <typename T>
+std::vector<T> gather(Transport& tr, i64 rank, i64 root, std::span<const T> mine) {
+  const i64 p = tr.ranks();
+  CYCLICK_REQUIRE(root >= 0 && root < p, "gather root out of range");
+  if (rank != root) {
+    send_values<T>(tr, rank, root, mine);
+    return {};
+  }
+  std::vector<T> all;
+  for (i64 r = 0; r < p; ++r) {
+    if (r == root) {
+      all.insert(all.end(), mine.begin(), mine.end());
+    } else {
+      const std::vector<T> part = recv_values<T>(tr, root, r);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+  }
+  return all;
+}
+
+/// All-reduce: elementwise op-fold of every rank's buffer, result on all
+/// ranks. Reduction happens at rank 0, which broadcasts the result
+/// (deterministic association order: rank 0, 1, 2, ...).
+template <typename T, typename Op>
+void allreduce(Transport& tr, i64 rank, std::vector<T>& values, Op&& op) {
+  const i64 p = tr.ranks();
+  if (p == 1) return;
+  if (rank == 0) {
+    for (i64 r = 1; r < p; ++r) {
+      const std::vector<T> part = recv_values<T>(tr, 0, r);
+      CYCLICK_REQUIRE(part.size() == values.size(), "allreduce buffer size mismatch");
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] = op(values[i], part[i]);
+    }
+    for (i64 r = 1; r < p; ++r) send_values<T>(tr, 0, r, values);
+    return;
+  }
+  send_values<T>(tr, rank, 0, values);
+  values = recv_values<T>(tr, rank, 0);
+}
+
+/// All-to-all with per-pair payloads: `outgoing[r]` is what this rank sends
+/// to rank r; returns `incoming` with incoming[r] = what rank r sent here.
+/// Self-payload transfers locally.
+template <typename T>
+std::vector<std::vector<T>> alltoallv(Transport& tr, i64 rank,
+                                      const std::vector<std::vector<T>>& outgoing) {
+  const i64 p = tr.ranks();
+  CYCLICK_REQUIRE(static_cast<i64>(outgoing.size()) == p, "alltoallv arity mismatch");
+  for (i64 r = 0; r < p; ++r)
+    if (r != rank) send_values<T>(tr, rank, r, outgoing[static_cast<std::size_t>(r)]);
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(rank)] = outgoing[static_cast<std::size_t>(rank)];
+  for (i64 r = 0; r < p; ++r)
+    if (r != rank) incoming[static_cast<std::size_t>(r)] = recv_values<T>(tr, rank, r);
+  return incoming;
+}
+
+}  // namespace cyclick

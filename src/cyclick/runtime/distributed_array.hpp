@@ -1,0 +1,116 @@
+// A one-dimensional array distributed cyclic(k) across the simulated
+// machine's ranks, with optional affine alignment to the distributed
+// template. Each rank owns a contiguous local buffer holding its elements
+// packed in increasing global order — exactly the memory model the access
+// sequence algorithms address.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cyclick/core/aligned.hpp"
+#include "cyclick/hpf/alignment.hpp"
+#include "cyclick/hpf/distribution.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+template <typename T>
+class DistributedArray {
+ public:
+  /// An n-element array aligned by `align` onto a template distributed by
+  /// `dist`. Identity alignment uses the distribution's natural packed
+  /// layout; non-identity alignments use per-rank packed layouts built by
+  /// the two-application machinery.
+  DistributedArray(BlockCyclic dist, i64 n, AffineAlignment align = AffineAlignment::identity())
+      : dist_(dist), align_(align), n_(n) {
+    CYCLICK_REQUIRE(n >= 1, "array must have at least one element");
+    locals_.resize(static_cast<std::size_t>(dist_.procs()));
+    if (align_.is_identity()) {
+      const i64 cap = dist_.local_capacity(n);
+      for (auto& buf : locals_) buf.assign(static_cast<std::size_t>(cap), T{});
+    } else {
+      layouts_.reserve(static_cast<std::size_t>(dist_.procs()));
+      for (i64 m = 0; m < dist_.procs(); ++m) {
+        layouts_.emplace_back(dist_, align_, n_, m);
+        locals_[static_cast<std::size_t>(m)].assign(
+            static_cast<std::size_t>(layouts_.back().size()), T{});
+      }
+    }
+  }
+
+  [[nodiscard]] i64 size() const noexcept { return n_; }
+  [[nodiscard]] const BlockCyclic& dist() const noexcept { return dist_; }
+  [[nodiscard]] const AffineAlignment& alignment() const noexcept { return align_; }
+
+  /// Rank owning array element i.
+  [[nodiscard]] i64 owner_of(i64 i) const {
+    check_index(i);
+    return dist_.owner(align_.cell(i));
+  }
+
+  /// Packed local address of array element i on its owning rank.
+  [[nodiscard]] i64 local_address(i64 i) const {
+    check_index(i);
+    const i64 cell = align_.cell(i);
+    if (align_.is_identity()) return dist_.local_index(cell);
+    return layouts_[static_cast<std::size_t>(dist_.owner(cell))].rank(cell);
+  }
+
+  /// Read element i (crosses rank boundaries freely — simulation only).
+  [[nodiscard]] T get(i64 i) const {
+    return locals_[static_cast<std::size_t>(owner_of(i))]
+                  [static_cast<std::size_t>(local_address(i))];
+  }
+
+  /// Write element i (crosses rank boundaries freely — simulation only).
+  void set(i64 i, const T& value) {
+    locals_[static_cast<std::size_t>(owner_of(i))]
+           [static_cast<std::size_t>(local_address(i))] = value;
+  }
+
+  /// Rank-local storage. SPMD node code must only touch its own rank's span.
+  [[nodiscard]] std::span<T> local(i64 rank) {
+    CYCLICK_REQUIRE(rank >= 0 && rank < dist_.procs(), "rank out of range");
+    return locals_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::span<const T> local(i64 rank) const {
+    CYCLICK_REQUIRE(rank >= 0 && rank < dist_.procs(), "rank out of range");
+    return locals_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Assemble the global image (for verification against sequential
+  /// reference semantics).
+  [[nodiscard]] std::vector<T> gather() const {
+    std::vector<T> image(static_cast<std::size_t>(n_));
+    for (i64 i = 0; i < n_; ++i) image[static_cast<std::size_t>(i)] = get(i);
+    return image;
+  }
+
+  /// Distribute a global image into the local buffers.
+  void scatter(std::span<const T> image) {
+    CYCLICK_REQUIRE(static_cast<i64>(image.size()) == n_, "image size mismatch");
+    for (i64 i = 0; i < n_; ++i) set(i, image[static_cast<std::size_t>(i)]);
+  }
+
+  /// The packed layout of `rank` (non-identity alignments only).
+  [[nodiscard]] const PackedLayout& packed_layout(i64 rank) const {
+    CYCLICK_REQUIRE(!align_.is_identity(), "identity arrays have no packed layout object");
+    CYCLICK_REQUIRE(rank >= 0 && rank < dist_.procs(), "rank out of range");
+    return layouts_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  void check_index(i64 i) const {
+    CYCLICK_REQUIRE(i >= 0 && i < n_, "array index out of range");
+  }
+
+  BlockCyclic dist_;
+  AffineAlignment align_;
+  i64 n_;
+  std::vector<std::vector<T>> locals_;
+  std::vector<PackedLayout> layouts_;  // empty for identity alignment
+};
+
+}  // namespace cyclick

@@ -1,0 +1,41 @@
+#include "cyclick/runtime/spmd.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace cyclick {
+
+SpmdExecutor::SpmdExecutor(i64 ranks, Mode mode) : ranks_(ranks), mode_(mode) {
+  CYCLICK_REQUIRE(ranks >= 1, "executor needs at least one rank");
+}
+
+void SpmdExecutor::run(const std::function<void(i64)>& fn) const {
+  if (mode_ == Mode::kSequential || ranks_ == 1) {
+    for (i64 r = 0; r < ranks_; ++r) fn(r);
+    return;
+  }
+
+  // One thread per rank, not a worker pool: SPMD rank functions may block
+  // on messages from other ranks (e.g. single-phase exchange protocols
+  // over a Transport), and multiplexing ranks onto fewer OS threads would
+  // deadlock such protocols. Simulated machines are small (tens to a few
+  // hundred ranks), so per-rank threads are cheap.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(ranks_));
+  for (i64 r = 0; r < ranks_; ++r) {
+    pool.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace cyclick

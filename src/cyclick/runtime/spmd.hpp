@@ -1,0 +1,39 @@
+// A small simulated SPMD machine: every "processor" (rank) of the paper's
+// distributed-memory model runs the same per-rank function against its own
+// local memory. Ranks execute either sequentially (deterministic, used by
+// the benchmarks, which time per-rank work and report the max like the
+// paper does) or with one OS thread per rank (so rank functions may block
+// on Transport messages from other ranks without deadlock). `run` is a
+// full phase: it returns only after every rank finished, giving copy/fill
+// engines a barrier between communication phases.
+#pragma once
+
+#include <functional>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+class SpmdExecutor {
+ public:
+  enum class Mode {
+    kSequential,  ///< ranks run one after another on the calling thread
+    kThreads,     ///< one OS thread per rank (supports blocking message protocols)
+  };
+
+  explicit SpmdExecutor(i64 ranks, Mode mode = Mode::kSequential);
+
+  [[nodiscard]] i64 ranks() const noexcept { return ranks_; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Execute fn(rank) for every rank in [0, ranks); returns after all
+  /// complete (barrier semantics). Exceptions from rank functions propagate
+  /// to the caller (the first one encountered in rank order).
+  void run(const std::function<void(i64)>& fn) const;
+
+ private:
+  i64 ranks_;
+  Mode mode_;
+};
+
+}  // namespace cyclick

@@ -1,0 +1,125 @@
+// Message transport for the simulated distributed-memory machine.
+//
+// The section-copy engines can route their pack/unpack phases through this
+// interface instead of reading remote memory directly, making the runtime's
+// data movement explicit and message-shaped (what an MPI port would swap
+// in). The in-process implementation keeps one FIFO channel per (from, to)
+// pair, with blocking receives under the threaded executor.
+//
+// Discipline: with the *sequential* executor, exchanges must be
+// phase-structured (all sends complete before any receive — the engines'
+// barrier phases guarantee this); a blocking receive with no matching send
+// would otherwise never complete. The threaded executor supports
+// single-phase protocols (send then receive inside one SPMD region).
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Abstract point-to-point byte transport with per-channel FIFO order.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual i64 ranks() const = 0;
+
+  /// Post a message on channel (from -> to). Never blocks.
+  virtual void send(i64 from, i64 to, std::vector<std::byte> payload) = 0;
+
+  /// Pop the next message on channel (from -> to); blocks until one arrives.
+  virtual std::vector<std::byte> recv(i64 to, i64 from) = 0;
+
+  /// True when a message is waiting on channel (from -> to).
+  [[nodiscard]] virtual bool ready(i64 to, i64 from) = 0;
+};
+
+/// In-process transport: a mutex-protected deque per channel.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(i64 ranks) : ranks_(ranks) {
+    CYCLICK_REQUIRE(ranks >= 1, "transport needs at least one rank");
+    channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks * ranks));
+  }
+
+  [[nodiscard]] i64 ranks() const override { return ranks_; }
+
+  void send(i64 from, i64 to, std::vector<std::byte> payload) override {
+    Channel& ch = channel(from, to);
+    {
+      const std::lock_guard<std::mutex> lock(ch.mu);
+      ch.queue.push_back(std::move(payload));
+    }
+    ch.cv.notify_all();
+  }
+
+  std::vector<std::byte> recv(i64 to, i64 from) override {
+    Channel& ch = channel(from, to);
+    std::unique_lock<std::mutex> lock(ch.mu);
+    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    std::vector<std::byte> payload = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    return payload;
+  }
+
+  [[nodiscard]] bool ready(i64 to, i64 from) override {
+    Channel& ch = channel(from, to);
+    const std::lock_guard<std::mutex> lock(ch.mu);
+    return !ch.queue.empty();
+  }
+
+  /// Total messages currently in flight (diagnostics).
+  [[nodiscard]] i64 in_flight() {
+    i64 n = 0;
+    for (auto& ch : channels_) {
+      const std::lock_guard<std::mutex> lock(ch.mu);
+      n += static_cast<i64>(ch.queue.size());
+    }
+    return n;
+  }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::byte>> queue;
+  };
+
+  Channel& channel(i64 from, i64 to) {
+    CYCLICK_REQUIRE(from >= 0 && from < ranks_ && to >= 0 && to < ranks_,
+                    "rank out of range");
+    return channels_[static_cast<std::size_t>(from * ranks_ + to)];
+  }
+
+  i64 ranks_;
+  std::vector<Channel> channels_;
+};
+
+/// Typed convenience: send a span of trivially copyable values.
+template <typename T>
+void send_values(Transport& transport, i64 from, i64 to, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  std::vector<std::byte> payload(values.size_bytes());
+  if (!values.empty()) std::memcpy(payload.data(), values.data(), values.size_bytes());
+  transport.send(from, to, std::move(payload));
+}
+
+/// Typed convenience: receive a vector of trivially copyable values.
+template <typename T>
+std::vector<T> recv_values(Transport& transport, i64 to, i64 from) {
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  const std::vector<std::byte> payload = transport.recv(to, from);
+  CYCLICK_REQUIRE(payload.size() % sizeof(T) == 0, "payload size not a multiple of T");
+  std::vector<T> values(payload.size() / sizeof(T));
+  if (!values.empty()) std::memcpy(values.data(), payload.data(), payload.size());
+  return values;
+}
+
+}  // namespace cyclick

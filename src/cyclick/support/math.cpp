@@ -1,0 +1,27 @@
+#include "cyclick/support/math.hpp"
+
+namespace cyclick {
+
+i64 lcm_i64(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  const i64 g = gcd_i64(a, b);
+  const i128 l = static_cast<i128>(a / g) * static_cast<i128>(b);
+  const i128 pos = l < 0 ? -l : l;
+  CYCLICK_REQUIRE(pos <= static_cast<i128>(INT64_MAX), "lcm overflows 64 bits");
+  return static_cast<i64>(pos);
+}
+
+std::optional<i64> solve_congruence_min_nonneg(i64 a, i64 c, i64 n) {
+  CYCLICK_REQUIRE(n > 0, "congruence modulus must be positive");
+  const EgcdResult eg = extended_euclid(floor_mod(a, n), n);
+  return solve_congruence_min_nonneg(a, c, n, eg);
+}
+
+std::optional<i64> mod_inverse(i64 a, i64 n) {
+  CYCLICK_REQUIRE(n > 0, "modulus must be positive");
+  const EgcdResult eg = extended_euclid(floor_mod(a, n), n);
+  if (eg.g != 1) return std::nullopt;
+  return floor_mod(eg.x, n);
+}
+
+}  // namespace cyclick

@@ -1,0 +1,118 @@
+// Integer number theory used by every address-generation algorithm in the
+// library: floor division/modulo (Fortran-style for negative operands),
+// the extended Euclid algorithm, and solvers for the linear Diophantine
+// equations `s*j - pk*q = c` that locate regular-section elements on a
+// processor (paper, Section 2).
+#pragma once
+
+#include <numeric>
+#include <optional>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Floor division: largest q with q*b <= a. Requires b != 0.
+/// (C++ `/` truncates toward zero; the paper's `div` is floor division.)
+constexpr i64 floor_div(i64 a, i64 b) noexcept {
+  i64 q = a / b;
+  i64 r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Floor modulo: a - floor_div(a, b) * b. Result has the sign of b.
+constexpr i64 floor_mod(i64 a, i64 b) noexcept {
+  i64 r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+
+/// Ceiling division for possibly-negative numerators. Requires b != 0.
+constexpr i64 ceil_div(i64 a, i64 b) noexcept { return -floor_div(-a, b); }
+
+/// Result of the extended Euclid algorithm: g = gcd(a, b) = a*x + b*y.
+/// For a, b >= 0 (the library only calls it that way), g >= 0 and the
+/// Bezout coefficients satisfy |x| <= b/(2g), |y| <= a/(2g) when a,b > 0.
+struct EgcdResult {
+  i64 g;  ///< gcd(a, b), nonnegative for nonnegative inputs
+  i64 x;  ///< coefficient of a
+  i64 y;  ///< coefficient of b
+};
+
+/// Extended Euclid (iterative). O(log min(a, b)) — this is the
+/// `min(log s, log p)` term in the algorithm's complexity (paper §5.1).
+constexpr EgcdResult extended_euclid(i64 a, i64 b) noexcept {
+  i64 old_r = a, r = b;
+  i64 old_x = 1, x = 0;
+  i64 old_y = 0, y = 1;
+  while (r != 0) {
+    const i64 q = old_r / r;
+    i64 t = old_r - q * r;
+    old_r = r;
+    r = t;
+    t = old_x - q * x;
+    old_x = x;
+    x = t;
+    t = old_y - q * y;
+    old_y = y;
+    y = t;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return {old_r, old_x, old_y};
+}
+
+constexpr i64 gcd_i64(i64 a, i64 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// lcm with 128-bit intermediate; saturates preconditions rather than
+/// overflowing silently.
+i64 lcm_i64(i64 a, i64 b);
+
+/// Multiply-then-floor-mod without 64-bit overflow: (a*b) floor_mod n.
+/// Requires n > 0.
+constexpr i64 mulmod(i64 a, i64 b, i64 n) noexcept {
+  i128 prod = static_cast<i128>(a) * static_cast<i128>(b);
+  i128 r = prod % n;
+  if (r < 0) r += n;
+  return static_cast<i64>(r);
+}
+
+/// Smallest nonnegative j with  a*j ≡ c (mod n).  Returns nullopt when the
+/// congruence has no solution (gcd(a, n) does not divide c). Requires n > 0.
+///
+/// This is the "smallest nonnegative j such that km <= (l + s*j) mod pk <
+/// k(m+1)" building block shared by our algorithm and the Chatterjee et al.
+/// baseline (both papers solve per-offset Diophantine equations this way).
+std::optional<i64> solve_congruence_min_nonneg(i64 a, i64 c, i64 n);
+
+/// Same congruence, but given a precomputed egcd of (a, n): the hot loops in
+/// the address-generation algorithms solve k congruences against the same
+/// modulus, and recomputing the egcd per offset would change the complexity
+/// class. `eg` must equal extended_euclid(a, n) and n > 0.
+constexpr std::optional<i64> solve_congruence_min_nonneg(i64 /*a*/, i64 c, i64 n,
+                                                         const EgcdResult& eg) noexcept {
+  if (eg.g == 0) return std::nullopt;
+  if (c % eg.g != 0) return std::nullopt;
+  const i64 n_over_g = n / eg.g;
+  // j0 = x * (c/g) mod (n/g), reduced to the least nonnegative residue.
+  return mulmod(eg.x, c / eg.g, n_over_g);
+}
+
+/// Modular inverse of a modulo n (n > 0); nullopt when gcd(a, n) != 1.
+std::optional<i64> mod_inverse(i64 a, i64 n);
+
+/// True when x is a power of two (x >= 1).
+constexpr bool is_pow2(i64 x) noexcept { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace cyclick

@@ -1,0 +1,52 @@
+// The shared Diophantine scan used by both the lattice algorithm and the
+// Chatterjee et al. baseline (the paper coded these common segments
+// identically for a fair comparison; we share the actual code).
+//
+// For a window of target residues [lo, hi), the scan visits every solvable
+// equation  s*j ≡ i (mod pk)  — exactly the multiples of d = gcd(s, pk) —
+// and yields the smallest nonnegative solution j for each. The paper notes
+// (Section 5) that "successive solvable equations are d offsets apart" and
+// exploits this to remove the conditionals from the loops; solutions also
+// advance by a constant (x mod (pk/d)) between successive solvable
+// residues, so after one initial modular solve each step is an add and a
+// conditional subtract.
+#pragma once
+
+#include "cyclick/support/math.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Precomputed state for residue scans against a fixed (stride, pk) pair.
+struct ResidueScan {
+  i64 pk;       ///< row length
+  i64 d;        ///< gcd(stride, pk)
+  i64 period;   ///< pk / d — the j-period of any fixed residue
+  i64 x_step;   ///< x mod period: j advances by this per solvable residue
+  EgcdResult eg;
+
+  ResidueScan(i64 stride, i64 row_length)
+      : pk(row_length), eg(extended_euclid(floor_mod(stride, row_length), row_length)) {
+    d = eg.g;
+    period = pk / d;
+    x_step = floor_mod(eg.x, period);
+  }
+
+  /// Visit every solvable residue i in [lo, hi) in increasing order,
+  /// calling fn(i, j) with j the smallest nonnegative solution of
+  /// s*j ≡ i (mod pk). O(#multiples of d in the window) after one
+  /// initial O(1) modular solve.
+  template <typename Fn>
+  void for_each_solvable(i64 lo, i64 hi, Fn&& fn) const {
+    i64 i = lo + floor_mod(-lo, d);  // first multiple of d at or above lo
+    if (i >= hi) return;
+    i64 j = mulmod(x_step, i / d, period);  // exact division: d | i
+    for (; i < hi; i += d) {
+      fn(i, j);
+      j += x_step;
+      if (j >= period) j -= period;
+    }
+  }
+};
+
+}  // namespace cyclick

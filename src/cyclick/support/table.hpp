@@ -1,0 +1,40 @@
+// Minimal text/CSV table writer used by the benchmark harnesses to print
+// paper-shaped tables (Table 1, Table 2, Figure 7 series) to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// ASCII table (for humans) or as CSV (for plotting scripts).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns, a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+  /// Format helpers for numeric cells.
+  static std::string num(i64 v);
+  static std::string fixed(double v, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cyclick

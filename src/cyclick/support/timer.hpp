@@ -1,0 +1,68 @@
+// Timing utilities for the benchmark harnesses.
+//
+// The paper reports table-construction and node-code execution times in
+// microseconds, taking the maximum over all 32 processors (each processor
+// runs the full algorithm with its own processor number m). We reproduce
+// that measurement discipline: run the per-rank computation for every rank,
+// time each rank's run, and report the maximum; repeat the whole sweep and
+// keep the minimum-of-maxima to suppress scheduler noise.
+#pragma once
+
+#include <chrono>
+#include <utility>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+
+/// Monotonic stopwatch with microsecond readout.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in microseconds (fractional).
+  [[nodiscard]] double elapsed_us() const {
+    const auto d = clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(d).count();
+  }
+
+  [[nodiscard]] double elapsed_ns() const {
+    const auto d = clock::now() - start_;
+    return std::chrono::duration<double, std::nano>(d).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time `fn()` once, in microseconds.
+template <typename Fn>
+double time_once_us(Fn&& fn) {
+  Stopwatch sw;
+  std::forward<Fn>(fn)();
+  return sw.elapsed_us();
+}
+
+/// Best (minimum) of `repeats` timings of `fn`, in microseconds. The minimum
+/// is the standard estimator for a deterministic computation's cost: all
+/// noise (interrupts, frequency ramps) is additive.
+template <typename Fn>
+double time_best_us(int repeats, Fn&& fn) {
+  double best = time_once_us(fn);
+  for (int r = 1; r < repeats; ++r) {
+    const double t = time_once_us(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+/// Prevent the optimizer from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace cyclick

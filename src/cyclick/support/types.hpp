@@ -1,0 +1,60 @@
+// Fundamental integer types and contract macros used across cyclick.
+//
+// All index arithmetic in the library uses signed 64-bit integers: HPF array
+// indices, strides (which may be negative), and lattice coordinates are all
+// signed quantities, and the PPoPP'95 algorithm relies on floor semantics for
+// division of possibly-negative values. Intermediate products that can exceed
+// 64 bits (e.g. `j * s` when solving Diophantine equations for large strides)
+// are computed in 128-bit arithmetic; see math.hpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cyclick {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using i128 = __int128;
+
+/// Error thrown when a public-API precondition is violated (bad distribution
+/// parameters, zero stride, processor id out of range, ...).
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Error thrown when an internal invariant fails. Seeing this indicates a bug
+/// in cyclick itself, not in the caller.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* what) {
+  throw precondition_error(std::string("cyclick precondition failed: ") + cond +
+                           " (" + what + ")");
+}
+[[noreturn]] inline void throw_internal(const char* cond, const char* file, int line) {
+  throw internal_error(std::string("cyclick internal invariant failed: ") + cond +
+                       " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace cyclick
+
+/// Validate a user-facing precondition; throws cyclick::precondition_error.
+#define CYCLICK_REQUIRE(cond, what)                            \
+  do {                                                         \
+    if (!(cond)) ::cyclick::detail::throw_precondition(#cond, (what)); \
+  } while (false)
+
+/// Validate an internal invariant; throws cyclick::internal_error.
+/// Kept on in all build types: the checks guard O(1) scalar conditions on
+/// code paths that are already O(k), so the cost is negligible.
+#define CYCLICK_ASSERT(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) ::cyclick::detail::throw_internal(#cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,76 @@
+// Tests for affine alignments (paper, Section 2).
+#include <gtest/gtest.h>
+
+#include "cyclick/hpf/alignment.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(AffineAlignment, IdentityProperties) {
+  const AffineAlignment id = AffineAlignment::identity();
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.cell(42), 42);
+  EXPECT_EQ(id.index_of_cell(42), 42);
+}
+
+TEST(AffineAlignment, CellAndInverse) {
+  const AffineAlignment al{2, 1};
+  EXPECT_EQ(al.cell(0), 1);
+  EXPECT_EQ(al.cell(5), 11);
+  EXPECT_EQ(al.index_of_cell(11), 5);
+  EXPECT_FALSE(al.index_of_cell(10).has_value());  // even cells hold nothing
+}
+
+TEST(AffineAlignment, NegativeCoefficient) {
+  const AffineAlignment al{-3, 100};
+  EXPECT_EQ(al.cell(0), 100);
+  EXPECT_EQ(al.cell(10), 70);
+  EXPECT_EQ(al.index_of_cell(70), 10);
+  EXPECT_FALSE(al.index_of_cell(71).has_value());
+  EXPECT_FALSE(al.is_identity());
+}
+
+TEST(AffineAlignment, InverseRoundTripSweep) {
+  for (i64 a : {-4, -2, -1, 1, 2, 3, 7}) {
+    for (i64 b : {-9, 0, 5, 13}) {
+      const AffineAlignment al{a, b};
+      for (i64 i = -20; i <= 20; ++i) {
+        const auto back = al.index_of_cell(al.cell(i));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, i) << a << " " << b << " " << i;
+      }
+    }
+  }
+}
+
+TEST(AffineAlignment, ImageOfSection) {
+  const AffineAlignment al{2, 1};
+  const RegularSection s{0, 9, 3};                  // 0 3 6 9
+  const RegularSection img = al.image(s);           // 1 7 13 19
+  EXPECT_EQ(img.lower, 1);
+  EXPECT_EQ(img.stride, 6);
+  EXPECT_EQ(img.size(), 4);
+}
+
+TEST(AffineAlignment, LayoutCoversWholeArrayAscending) {
+  const AffineAlignment al{2, 1};
+  const RegularSection layout = al.layout(10);  // cells 1 3 5 ... 19
+  EXPECT_EQ(layout.lower, 1);
+  EXPECT_EQ(layout.upper, 19);
+  EXPECT_EQ(layout.stride, 2);
+  EXPECT_EQ(layout.size(), 10);
+
+  const AffineAlignment neg{-2, 100};
+  const RegularSection nl = neg.layout(10);  // cells 100 98 ... 82, ascending
+  EXPECT_EQ(nl.lower, 82);
+  EXPECT_EQ(nl.upper, 100);
+  EXPECT_EQ(nl.stride, 2);
+  EXPECT_EQ(nl.size(), 10);
+}
+
+TEST(AffineAlignment, ZeroCoefficientRejected) {
+  EXPECT_THROW(AffineAlignment(0, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,115 @@
+// Tests for the Transport-based collectives (threaded executor required).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cyclick/runtime/collectives.hpp"
+#include "cyclick/runtime/spmd.hpp"
+
+namespace cyclick {
+namespace {
+
+SpmdExecutor threaded(i64 p) { return SpmdExecutor(p, SpmdExecutor::Mode::kThreads); }
+
+TEST(Collectives, BroadcastFromEveryRoot) {
+  const i64 p = 6;
+  for (i64 root = 0; root < p; ++root) {
+    InProcessTransport tr(p);
+    std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+    threaded(p).run([&](i64 rank) {
+      std::vector<double> buf(4, 0.0);
+      if (rank == root) buf = {1.5, 2.5, 3.5, static_cast<double>(root)};
+      bcast(tr, rank, root, buf);
+      got[static_cast<std::size_t>(rank)] = buf;
+    });
+    for (i64 r = 0; r < p; ++r)
+      EXPECT_EQ(got[static_cast<std::size_t>(r)],
+                (std::vector<double>{1.5, 2.5, 3.5, static_cast<double>(root)}))
+          << "root=" << root << " rank=" << r;
+    EXPECT_EQ(tr.in_flight(), 0);
+  }
+}
+
+TEST(Collectives, GatherConcatenatesInRankOrder) {
+  const i64 p = 5;
+  InProcessTransport tr(p);
+  std::vector<int> result;
+  threaded(p).run([&](i64 rank) {
+    // Rank r contributes r+1 copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(rank + 1), static_cast<int>(rank));
+    auto all = gather<int>(tr, rank, /*root=*/2, mine);
+    if (rank == 2) result = std::move(all);
+  });
+  std::vector<int> want;
+  for (int r = 0; r < 5; ++r) want.insert(want.end(), static_cast<std::size_t>(r + 1), r);
+  EXPECT_EQ(result, want);
+}
+
+TEST(Collectives, AllreduceSum) {
+  const i64 p = 8;
+  InProcessTransport tr(p);
+  std::vector<std::vector<i64>> got(static_cast<std::size_t>(p));
+  threaded(p).run([&](i64 rank) {
+    std::vector<i64> buf{rank, 10 * rank, 1};
+    allreduce(tr, rank, buf, [](i64 a, i64 b) { return a + b; });
+    got[static_cast<std::size_t>(rank)] = buf;
+  });
+  const i64 ranksum = 28;  // 0+..+7
+  for (i64 r = 0; r < p; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], (std::vector<i64>{ranksum, 10 * ranksum, 8}))
+        << r;
+}
+
+TEST(Collectives, AllreduceMaxDeterministic) {
+  const i64 p = 4;
+  InProcessTransport tr(p);
+  std::vector<double> seen(static_cast<std::size_t>(p));
+  threaded(p).run([&](i64 rank) {
+    std::vector<double> buf{static_cast<double>((rank * 7) % 5)};
+    allreduce(tr, rank, buf, [](double a, double b) { return a > b ? a : b; });
+    seen[static_cast<std::size_t>(rank)] = buf[0];
+  });
+  for (const double v : seen) EXPECT_EQ(v, 4.0);  // max of {0,2,4,1}
+}
+
+TEST(Collectives, AlltoallvExchangesEveryPair) {
+  const i64 p = 5;
+  InProcessTransport tr(p);
+  std::vector<std::vector<std::vector<i64>>> results(static_cast<std::size_t>(p));
+  threaded(p).run([&](i64 rank) {
+    std::vector<std::vector<i64>> outgoing(static_cast<std::size_t>(p));
+    for (i64 r = 0; r < p; ++r)
+      outgoing[static_cast<std::size_t>(r)] = {100 * rank + r};  // tagged payload
+    results[static_cast<std::size_t>(rank)] = alltoallv(tr, rank, outgoing);
+  });
+  for (i64 me = 0; me < p; ++me)
+    for (i64 from = 0; from < p; ++from)
+      EXPECT_EQ(results[static_cast<std::size_t>(me)][static_cast<std::size_t>(from)],
+                (std::vector<i64>{100 * from + me}))
+          << "me=" << me << " from=" << from;
+  EXPECT_EQ(tr.in_flight(), 0);
+}
+
+TEST(Collectives, AlltoallvEmptyPayloads) {
+  const i64 p = 3;
+  InProcessTransport tr(p);
+  threaded(p).run([&](i64 rank) {
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+    const auto incoming = alltoallv(tr, rank, outgoing);
+    for (const auto& v : incoming) EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(Collectives, SingleRankIsNoop) {
+  InProcessTransport tr(1);
+  threaded(1).run([&](i64 rank) {
+    std::vector<int> buf{42};
+    bcast(tr, rank, 0, buf);
+    allreduce(tr, rank, buf, [](int a, int b) { return a + b; });
+    EXPECT_EQ(buf, (std::vector<int>{42}));
+    EXPECT_EQ(gather<int>(tr, rank, 0, buf), (std::vector<int>{42}));
+  });
+}
+
+}  // namespace
+}  // namespace cyclick

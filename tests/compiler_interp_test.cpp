@@ -1,0 +1,502 @@
+// End-to-end tests for the mini-HPF DSL interpreter: programs execute to
+// the same global state as sequential reference semantics.
+#include <gtest/gtest.h>
+
+#include "cyclick/compiler/interp.hpp"
+
+namespace cyclick::dsl {
+namespace {
+
+constexpr const char* kPrologue = R"(
+processors P(4)
+template T(320)
+distribute T onto P cyclic(8)
+array A(320) align with T(i)
+array B(320) align with T(i)
+)";
+
+TEST(Interp, PaperAssignment) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "A(4:300:9) = 100\n");
+  const auto image = machine.global_image("A");
+  const RegularSection sec{4, 300, 9};
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], sec.contains(g) ? 100.0 : 0.0) << g;
+}
+
+TEST(Interp, ExpressionArithmetic) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 3
+B(0:319) = 2 * A(0:319) + 4
+B(0:9) = B(0:9) / 2 - 1
+)");
+  const auto image = machine.global_image("B");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], g < 10 ? 4.0 : 10.0) << g;
+}
+
+TEST(Interp, StridedCopyBetweenArrays) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 7
+A(0:318:2) = 1
+B(0:159) = A(0:318:2) * 10
+)");
+  const auto image = machine.global_image("B");
+  for (i64 g = 0; g < 160; ++g) EXPECT_EQ(image[static_cast<std::size_t>(g)], 10.0) << g;
+  for (i64 g = 160; g < 320; ++g) EXPECT_EQ(image[static_cast<std::size_t>(g)], 0.0) << g;
+}
+
+TEST(Interp, ReversalWithNegativeStride) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 1
+A(0:9) = 5
+B(319:310:-1) = A(0:9)
+)");
+  const auto image = machine.global_image("B");
+  for (i64 g = 310; g < 320; ++g) EXPECT_EQ(image[static_cast<std::size_t>(g)], 5.0) << g;
+}
+
+TEST(Interp, SelfAssignmentWithShiftedSections) {
+  // A(1:319) = A(0:318) — a shift; temporaries make it safe.
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "A(0:319) = 0\nA(0:0) = 9\n");
+  for (int round = 0; round < 3; ++round)
+    machine.run_source("A(1:319) = A(0:318)\n");
+  const auto image = machine.global_image("A");
+  // After 3 shifts the 9 has propagated: positions 0..3 are all 9 (position
+  // 0 never overwritten, each shift copies old values rightward once).
+  EXPECT_EQ(image[0], 9.0);
+  EXPECT_EQ(image[1], 9.0);
+  EXPECT_EQ(image[2], 9.0);
+  EXPECT_EQ(image[3], 9.0);
+  EXPECT_EQ(image[4], 0.0);
+}
+
+TEST(Interp, AlignedArraysAndDifferentDistributions) {
+  Machine machine;
+  machine.run_source(R"(
+processors P(3)
+template T(400)
+template U(100)
+distribute T onto P cyclic(5)
+distribute U onto P block
+array A(100) align with T(3*i+2)
+array C(100) align with U(i)
+A(0:99) = 4
+C(0:99) = A(0:99) * A(0:99)
+)");
+  const auto image = machine.global_image("C");
+  for (i64 g = 0; g < 100; ++g) EXPECT_EQ(image[static_cast<std::size_t>(g)], 16.0) << g;
+}
+
+TEST(Interp, PrintOutput) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "A(0:319) = 2\nprint A(0:8:4)\n");
+  EXPECT_EQ(machine.output(), "A(0:8:4) = 2 2 2\n");
+}
+
+TEST(Interp, ThreadedModeMatchesSequential) {
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 1
+B(4:300:9) = A(8:304:9) + 2
+B(0:99) = B(0:99) * 3 - A(100:199)
+)";
+  Machine seq(SpmdExecutor::Mode::kSequential);
+  seq.run_source(program);
+  Machine thr(SpmdExecutor::Mode::kThreads);
+  thr.run_source(program);
+  EXPECT_EQ(seq.global_image("A"), thr.global_image("A"));
+  EXPECT_EQ(seq.global_image("B"), thr.global_image("B"));
+}
+
+TEST(Interp, SemanticErrors) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run_source("distribute T onto P cyclic(8)"), dsl_error);
+  EXPECT_THROW((void)machine.run_source("processors P(4)\narray A(10) align with T(i)"), dsl_error);
+  EXPECT_THROW((void)machine.run_source(R"(
+processors P(4)
+template T(10)
+array A(10) align with T(i)
+)"),
+               dsl_error);  // template not distributed
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "A(0:999) = 1\n"), dsl_error);
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "A(0:9) = B(0:19)\n"), dsl_error);
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "A(0:9) = 1 / 0\n"), dsl_error);
+  EXPECT_THROW((void)machine.run_source(R"(
+processors P(2)
+template T(10)
+distribute T onto P cyclic(2)
+array A(20) align with T(i)
+)"),
+               dsl_error);  // alignment escapes template
+}
+
+TEST(Interp, ScalarVariablesAndReductions) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 2
+total = sum(A(0:319))
+lo = min(A(0:319))
+hi = max(A(0:319))
+A(0:0) = 9
+hi2 = max(A(0:319))
+B(0:319) = A(0:319) * total + hi2
+print total
+)");
+  EXPECT_EQ(machine.scalar("total"), 640.0);
+  EXPECT_EQ(machine.scalar("lo"), 2.0);
+  EXPECT_EQ(machine.scalar("hi"), 2.0);
+  EXPECT_EQ(machine.scalar("hi2"), 9.0);
+  EXPECT_EQ(machine.global_image("B")[1], 2.0 * 640.0 + 9.0);
+  EXPECT_EQ(machine.global_image("B")[0], 9.0 * 640.0 + 9.0);
+  EXPECT_EQ(machine.output(), "total = 640\n");
+}
+
+TEST(Interp, ScalarArithmeticBetweenVariables) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+x = 10
+y = x * 3 - 4
+z = -y / 2
+A(0:319) = z
+)");
+  EXPECT_EQ(machine.scalar("y"), 26.0);
+  EXPECT_EQ(machine.scalar("z"), -13.0);
+  EXPECT_EQ(machine.global_image("A")[100], -13.0);
+}
+
+TEST(Interp, ReductionOverStridedSection) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 1
+A(4:300:9) = 100
+hot = sum(A(4:300:9))
+all = sum(A(0:319))
+)");
+  EXPECT_EQ(machine.scalar("hot"), 3300.0);       // 33 elements of 100
+  EXPECT_EQ(machine.scalar("all"), 3300.0 + 287);  // rest are 1
+}
+
+TEST(Interp, ExplainDumpsPaperExample) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "explain A(4:300:9)\n");
+  const std::string& out = machine.output();
+  EXPECT_NE(out.find("explain A(4:300:9) on 4 processors [cyclic(8)]"), std::string::npos)
+      << out;
+  // Processor 1's pattern from Figure 6.
+  EXPECT_NE(out.find("proc 1: start A(13) local 5, period 8, AM = [3, 12, 15, 12, 3, 12, 3, 12]"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Interp, SectionInScalarContextRejected) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "x = A(0:9)\n"), dsl_error);
+}
+
+TEST(Interp, UnknownScalarRejected) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "A(0:9) = nope\n"),
+               dsl_error);
+  EXPECT_THROW((void)machine.run_source("print nope\n"), dsl_error);
+}
+
+TEST(Interp, RedistributePreservesDataAndChangesMapping) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 1
+A(4:300:9) = 100
+redistribute A onto P cyclic(3)
+)");
+  const auto& arr = machine.array("A");
+  EXPECT_EQ(arr.dist().block_size(), 3);
+  const RegularSection sec{4, 300, 9};
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], sec.contains(g) ? 100.0 : 1.0) << g;
+  // And it still computes correctly afterwards.
+  machine.run_source("x = sum(A(4:300:9))\n");
+  EXPECT_EQ(machine.scalar("x"), 3300.0);
+}
+
+TEST(Interp, RedistributeBlockAndCyclic) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 7
+redistribute A onto P block
+)");
+  EXPECT_EQ(machine.array("A").dist().block_size(), 80);  // ceil(320/4)
+  machine.run_source("redistribute A onto P cyclic\n");
+  EXPECT_EQ(machine.array("A").dist().block_size(), 1);
+  for (const double v : machine.global_image("A")) EXPECT_EQ(v, 7.0);
+}
+
+TEST(Interp, RedistributeErrors) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) +
+                                        "redistribute Z onto P cyclic(2)\n"),
+               dsl_error);
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) +
+                                        "redistribute A onto Q cyclic(2)\n"),
+               dsl_error);
+}
+
+TEST(Interp, CshiftIntrinsic) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 0
+A(0:0) = 1
+B(0:319) = cshift(A, 1)
+)");
+  const auto image = machine.global_image("B");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], g == 319 ? 1.0 : 0.0) << g;
+}
+
+TEST(Interp, EoshiftIntrinsic) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 2
+B(0:319) = eoshift(A, 300, -7)
+)");
+  const auto image = machine.global_image("B");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], g < 20 ? 2.0 : -7.0) << g;
+}
+
+TEST(Interp, ShiftCombinesWithArithmetic) {
+  // A smoothing step written with shifts: B = (cshift(A,1) + cshift(A,-1)) / 2.
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 0
+A(10:10) = 100
+B(0:319) = (cshift(A, 1) + cshift(A, -1)) / 2
+)");
+  const auto image = machine.global_image("B");
+  EXPECT_EQ(image[9], 50.0);
+  EXPECT_EQ(image[11], 50.0);
+  EXPECT_EQ(image[10], 0.0);
+}
+
+TEST(Interp, ShiftSizeMismatchRejected) {
+  Machine machine;
+  EXPECT_THROW(
+      (void)machine.run_source(std::string(kPrologue) + "B(0:9) = cshift(A, 1)\n"),
+      dsl_error);
+  EXPECT_THROW(
+      (void)machine.run_source(std::string(kPrologue) + "x = cshift(A, 1)\n"),
+      dsl_error);
+}
+
+TEST(Interp, ForallIdentitySubscript) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "forall (i = 0:319) A(i) = i\n");
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], static_cast<double>(g)) << g;
+}
+
+TEST(Interp, ForallAffineSubscripts) {
+  // forall (i = 0:99) A(2*i+1) = B(3*i) + i  — coupled affine references.
+  Machine machine;
+  machine.run_source(R"(
+processors P(4)
+template T(400)
+distribute T onto P cyclic(8)
+array A(400) align with T(i)
+array B(400) align with T(i)
+forall (i = 0:399) B(i) = 2 * i
+forall (i = 0:99) A(2*i+1) = B(3*i) + i
+)");
+  const auto image = machine.global_image("A");
+  for (i64 i = 0; i < 100; ++i)
+    EXPECT_EQ(image[static_cast<std::size_t>(2 * i + 1)],
+              static_cast<double>(2 * (3 * i) + i))
+        << i;
+  EXPECT_EQ(image[0], 0.0);  // untouched even element
+}
+
+TEST(Interp, ForallReversedRange) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 0
+forall (i = 319:0:-1) A(i) = 319 - i
+)");
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], static_cast<double>(319 - g)) << g;
+}
+
+TEST(Interp, ForallStridedRange) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = -1
+forall (i = 4:300:9) A(i) = i * i
+)");
+  const auto image = machine.global_image("A");
+  const RegularSection sec{4, 300, 9};
+  for (i64 g = 0; g < 320; ++g) {
+    const double want = sec.contains(g) ? static_cast<double>(g * g) : -1.0;
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], want) << g;
+  }
+}
+
+TEST(Interp, ForallErrors) {
+  Machine machine;
+  // Constant subscripts in the body are not supported.
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) +
+                                        "forall (i = 0:9) A(i) = B(5)\n"),
+               dsl_error);
+  // Target must depend on the index.
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) +
+                                        "forall (i = 0:9) A(3) = i\n"),
+               dsl_error);
+  // Out-of-bounds normalized section.
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) +
+                                        "forall (i = 0:319) A(2*i) = i\n"),
+               dsl_error);
+}
+
+TEST(Interp, WhereMaskedFill) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+forall (i = 0:319) A(i) = i
+where (A(0:319) >= 200) A(0:319) = 0
+)");
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], g >= 200 ? 0.0 : static_cast<double>(g))
+        << g;
+}
+
+TEST(Interp, WhereWithSectionOperandsAndValue) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+forall (i = 0:319) A(i) = i
+B(0:319) = 1000
+where (A(0:319) != B(0:319) - 1000 + A(0:319)) A(0:319) = B(0:319) * 2
+)");
+  // Mask is A != A -> never true; A unchanged.
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], static_cast<double>(g)) << g;
+}
+
+TEST(Interp, WhereOnStridedTarget) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+forall (i = 0:319) A(i) = i
+where (A(4:300:9) < 150) A(4:300:9) = A(4:300:9) + 1000
+)");
+  const auto image = machine.global_image("A");
+  const RegularSection sec{4, 300, 9};
+  for (i64 g = 0; g < 320; ++g) {
+    double want = static_cast<double>(g);
+    if (sec.contains(g) && g < 150) want += 1000.0;
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], want) << g;
+  }
+}
+
+TEST(Interp, WhereRelopsAll) {
+  const struct {
+    const char* relop;
+    i64 match_count;  // of values 0..9 compared against 5
+  } cases[] = {{"<", 5}, {"<=", 6}, {">", 4}, {">=", 5}, {"==", 1}, {"!=", 9}};
+  for (const auto& c : cases) {
+    Machine machine;
+    machine.run_source(std::string(kPrologue) + "forall (i = 0:9) A(i) = i\n" +
+                       "where (A(0:9) " + c.relop + " 5) A(0:9) = -1\n" +
+                       "hits = sum(A(0:9))\n");
+    // Sum = (sum 0..9) - (sum of matched values) + (-1 * match_count).
+    const auto image = machine.global_image("A");
+    i64 matched = 0;
+    for (i64 g = 0; g < 10; ++g)
+      if (image[static_cast<std::size_t>(g)] == -1.0) ++matched;
+    EXPECT_EQ(matched, c.match_count) << c.relop;
+  }
+}
+
+TEST(Interp, RepeatBlockIterates) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 0
+A(0:0) = 1
+repeat 5
+  A(1:319) = A(0:318)
+end
+)");
+  const auto image = machine.global_image("A");
+  for (i64 g = 0; g < 320; ++g)
+    EXPECT_EQ(image[static_cast<std::size_t>(g)], g <= 5 ? 1.0 : 0.0) << g;
+}
+
+TEST(Interp, RepeatZeroRunsNothing) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 3
+repeat 0
+  A(0:319) = 99
+end
+)");
+  EXPECT_EQ(machine.global_image("A")[0], 3.0);
+}
+
+TEST(Interp, NestedRepeat) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + R"(
+x = 0
+repeat 3
+  repeat 4
+    x = x + 1
+  end
+  x = x + 100
+end
+)");
+  EXPECT_EQ(machine.scalar("x"), 312.0);
+}
+
+TEST(Interp, RepeatErrors) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run_source("repeat 3\nA(0:1) = 1\n"), dsl_error);  // no end
+}
+
+TEST(Interp, LoweringTraceRecordsRuntimeOps) {
+  Machine machine;
+  machine.enable_trace();
+  machine.run_source(std::string(kPrologue) + R"(
+A(0:319) = 1
+B(1:318) = (A(0:317) + A(2:319)) / 2
+redistribute B onto P cyclic(5)
+)");
+  const std::string& tr = machine.trace_log();
+  EXPECT_NE(tr.find("assign A(0:319:1)"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("fill scalar"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("copy A(0:317:1) -> temp@(1:318:1)"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("combine local '+'"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("store local from temp"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("redistribute B -> cyclic(5)"), std::string::npos) << tr;
+  EXPECT_NE(tr.find("messages="), std::string::npos) << tr;
+}
+
+TEST(Interp, TraceOffByDefault) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "A(0:319) = 1\n");
+  EXPECT_TRUE(machine.trace_log().empty());
+}
+
+TEST(Interp, ScalarFoldingWorks) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) + "A(0:319) = (2 + 3) * 4 - 6 / 3\n");
+  EXPECT_EQ(machine.global_image("A")[0], 18.0);
+}
+
+TEST(Interp, UnknownArrayLookupThrows) {
+  const Machine machine;
+  EXPECT_THROW((void)machine.array("nope"), dsl_error);
+}
+
+}  // namespace
+}  // namespace cyclick::dsl

@@ -1,0 +1,235 @@
+// Tests for the mini-HPF DSL parser.
+#include <gtest/gtest.h>
+
+#include "cyclick/compiler/parser.hpp"
+
+namespace cyclick::dsl {
+namespace {
+
+TEST(Parser, DeclarationStatements) {
+  const Program prog = parse(R"(
+processors P(4)
+template T(320)
+distribute T onto P cyclic(8)
+array A(320) align with T(i)
+)");
+  ASSERT_EQ(prog.statements.size(), 4u);
+  const auto& p = std::get<ProcsDecl>(prog.statements[0]);
+  EXPECT_EQ(p.name, "P");
+  EXPECT_EQ(p.extents, (std::vector<i64>{4}));
+  const auto& t = std::get<TemplateDecl>(prog.statements[1]);
+  EXPECT_EQ(t.name, "T");
+  EXPECT_EQ(t.extents, (std::vector<i64>{320}));
+  const auto& d = std::get<DistributeDecl>(prog.statements[2]);
+  EXPECT_EQ(d.tmpl, "T");
+  EXPECT_EQ(d.procs, "P");
+  EXPECT_EQ(d.clauses.at(0).kind, DistClause::Kind::kCyclicK);
+  EXPECT_EQ(d.clauses.at(0).block, 8);
+  const auto& a = std::get<ArrayDecl>(prog.statements[3]);
+  EXPECT_EQ(a.name, "A");
+  EXPECT_EQ(a.extents, (std::vector<i64>{320}));
+  EXPECT_EQ(a.tmpl, "T");
+  EXPECT_EQ(a.align.at(0).a, 1);
+  EXPECT_EQ(a.align.at(0).b, 0);
+}
+
+TEST(Parser, DistributeVariants) {
+  const Program prog = parse("distribute T onto P cyclic\ndistribute U onto P block");
+  EXPECT_EQ(std::get<DistributeDecl>(prog.statements[0]).clauses.at(0).kind, DistClause::Kind::kCyclic);
+  EXPECT_EQ(std::get<DistributeDecl>(prog.statements[1]).clauses.at(0).kind, DistClause::Kind::kBlock);
+}
+
+TEST(Parser, AffineAlignments) {
+  struct Case {
+    const char* text;
+    i64 a, b;
+  };
+  const Case cases[] = {
+      {"array A(10) align with T(i)", 1, 0},
+      {"array A(10) align with T(2*i)", 2, 0},
+      {"array A(10) align with T(2*i+1)", 2, 1},
+      {"array A(10) align with T(i-3)", 1, -3},
+      {"array A(10) align with T(-i+99)", -1, 99},
+      {"array A(10) align with T(3+i)", 1, 3},
+      {"array A(10) align with T(-2*i-5)", -2, -5},
+  };
+  for (const Case& c : cases) {
+    const Program prog = parse(c.text);
+    const auto& a = std::get<ArrayDecl>(prog.statements[0]);
+    EXPECT_EQ(a.align.at(0).a, c.a) << c.text;
+    EXPECT_EQ(a.align.at(0).b, c.b) << c.text;
+  }
+}
+
+TEST(Parser, AssignmentWithPrecedence) {
+  const Program prog = parse("A(0:9) = B(0:9) + 2 * C(0:9)");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  EXPECT_EQ(s.target.array, "A");
+  EXPECT_EQ(s.target.dim0().stride, 1);  // default stride
+  ASSERT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->op, '+');
+  EXPECT_EQ(s.value->lhs->kind, Expr::Kind::kSection);
+  ASSERT_EQ(s.value->rhs->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->rhs->op, '*');
+  EXPECT_EQ(s.value->rhs->lhs->kind, Expr::Kind::kScalar);
+  EXPECT_EQ(s.value->rhs->lhs->scalar, 2.0);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Program prog = parse("A(0:9) = (1 + 2) * 3");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  ASSERT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->op, '*');
+  EXPECT_EQ(s.value->lhs->op, '+');
+}
+
+TEST(Parser, UnaryMinusAndNegativeSectionBounds) {
+  const Program prog = parse("A(9:0:-3) = -B(0:3)");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  EXPECT_EQ(s.target.dim0().lower, 9);
+  EXPECT_EQ(s.target.dim0().upper, 0);
+  EXPECT_EQ(s.target.dim0().stride, -3);
+  EXPECT_EQ(s.value->kind, Expr::Kind::kUnaryMinus);
+  EXPECT_EQ(s.value->lhs->kind, Expr::Kind::kSection);
+}
+
+TEST(Parser, PrintStatement) {
+  const Program prog = parse("print A(0:30:3)");
+  const auto& s = std::get<PrintStmt>(prog.statements[0]);
+  EXPECT_FALSE(s.is_scalar);
+  EXPECT_EQ(s.section.array, "A");
+  EXPECT_EQ(s.section.dim0().stride, 3);
+}
+
+TEST(Parser, PrintScalarStatement) {
+  const Program prog = parse("print total");
+  const auto& s = std::get<PrintStmt>(prog.statements[0]);
+  EXPECT_TRUE(s.is_scalar);
+  EXPECT_EQ(s.name, "total");
+}
+
+TEST(Parser, ScalarAssignmentAndReductions) {
+  const Program prog = parse("x = sum(A(0:99)) + 2 * min(B(0:9:3)) - max(C(5:50:5))");
+  const auto& s = std::get<ScalarAssignStmt>(prog.statements[0]);
+  EXPECT_EQ(s.name, "x");
+  ASSERT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->op, '-');
+  const Expr& plus = *s.value->lhs;
+  ASSERT_EQ(plus.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(plus.op, '+');
+  EXPECT_EQ(plus.lhs->kind, Expr::Kind::kReduce);
+  EXPECT_EQ(plus.lhs->reduce_op, "sum");
+  EXPECT_EQ(plus.lhs->section.array, "A");
+  EXPECT_EQ(s.value->rhs->kind, Expr::Kind::kReduce);
+  EXPECT_EQ(s.value->rhs->reduce_op, "max");
+}
+
+TEST(Parser, ScalarVariableInExpression) {
+  const Program prog = parse("A(0:9) = B(0:9) * alpha");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  ASSERT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->rhs->kind, Expr::Kind::kScalarVar);
+  EXPECT_EQ(s.value->rhs->name, "alpha");
+}
+
+TEST(Parser, ExplainStatement) {
+  const Program prog = parse("explain A(4:300:9)");
+  const auto& s = std::get<ExplainStmt>(prog.statements[0]);
+  EXPECT_EQ(s.section.array, "A");
+  EXPECT_EQ(s.section.dim0().lower, 4);
+  EXPECT_EQ(s.section.dim0().stride, 9);
+}
+
+TEST(Parser, MultiDimensionalDeclarations) {
+  const Program prog = parse(R"(
+processors G(2, 3)
+template T(24, 30)
+distribute T onto G cyclic(4) block
+array M(24, 30) align with T(i, 2*j+1)
+)");
+  EXPECT_EQ(std::get<ProcsDecl>(prog.statements[0]).extents, (std::vector<i64>{2, 3}));
+  EXPECT_EQ(std::get<TemplateDecl>(prog.statements[1]).extents, (std::vector<i64>{24, 30}));
+  const auto& d = std::get<DistributeDecl>(prog.statements[2]);
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0].kind, DistClause::Kind::kCyclicK);
+  EXPECT_EQ(d.clauses[0].block, 4);
+  EXPECT_EQ(d.clauses[1].kind, DistClause::Kind::kBlock);
+  const auto& a = std::get<ArrayDecl>(prog.statements[3]);
+  EXPECT_EQ(a.extents, (std::vector<i64>{24, 30}));
+  ASSERT_EQ(a.align.size(), 2u);
+  EXPECT_EQ(a.align[0].a, 1);
+  EXPECT_EQ(a.align[1].a, 2);
+  EXPECT_EQ(a.align[1].b, 1);
+}
+
+TEST(Parser, MultiDimensionalSections) {
+  const Program prog = parse("M(0:23, 3:27:6) = N(1:24, 0:24:6) + 1");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  ASSERT_EQ(s.target.subs.size(), 2u);
+  EXPECT_EQ(s.target.subs[0].lower, 0);
+  EXPECT_EQ(s.target.subs[0].upper, 23);
+  EXPECT_EQ(s.target.subs[0].stride, 1);
+  EXPECT_EQ(s.target.subs[1].lower, 3);
+  EXPECT_EQ(s.target.subs[1].stride, 6);
+  EXPECT_EQ(s.value->lhs->section.subs.size(), 2u);
+}
+
+TEST(Parser, SecondDimensionAlignVariableIsJ) {
+  EXPECT_THROW(parse("array M(4, 4) align with T(i, i)"), dsl_error);
+  EXPECT_THROW(parse("array M(4, 4) align with T(j, j)"), dsl_error);
+}
+
+TEST(Parser, ForallNormalization) {
+  const Program prog = parse("forall (i = 0:99:2) A(3*i+1) = B(2*i) + i - 5");
+  const auto& s = std::get<AssignStmt>(prog.statements[0]);
+  // Target section: (3*0+1 : 3*99+1 : 3*2) but evaluated over the range's
+  // actual triplet (0:99:2) -> (1 : 298 : 6).
+  ASSERT_EQ(s.target.subs.size(), 1u);
+  EXPECT_EQ(s.target.dim0().lower, 1);
+  EXPECT_EQ(s.target.dim0().upper, 3 * 99 + 1);
+  EXPECT_EQ(s.target.dim0().stride, 6);
+  // RHS: ((B-section) + ramp) - 5.
+  ASSERT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->op, '-');
+  const Expr& plus = *s.value->lhs;
+  ASSERT_EQ(plus.kind, Expr::Kind::kBinary);
+  ASSERT_EQ(plus.lhs->kind, Expr::Kind::kSection);
+  EXPECT_EQ(plus.lhs->section.dim0().lower, 0);
+  EXPECT_EQ(plus.lhs->section.dim0().stride, 4);  // 2 (coeff) * 2 (range stride)
+  ASSERT_EQ(plus.rhs->kind, Expr::Kind::kRamp);
+  EXPECT_EQ(plus.rhs->ramp_lower, 0);
+  EXPECT_EQ(plus.rhs->ramp_stride, 2);
+}
+
+TEST(Parser, ForallErrors) {
+  EXPECT_THROW(parse("forall (i = 0:9) A(3) = i"), dsl_error);      // constant target
+  EXPECT_THROW(parse("forall (i = 0:9:0) A(i) = 1"), dsl_error);    // zero stride
+  EXPECT_THROW(parse("forall i = 0:9 A(i) = 1"), dsl_error);        // missing parens
+  EXPECT_THROW(parse("forall (i = 0:9) A(j) = 1"), dsl_error);      // wrong variable
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse("processors P(4)\ndistribute T P cyclic(8)");
+    FAIL() << "expected dsl_error";
+  } catch (const dsl_error& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, RejectsGarbageStatements) {
+  EXPECT_THROW(parse("42"), dsl_error);
+  EXPECT_THROW(parse("processors"), dsl_error);
+  EXPECT_THROW(parse("A(0:9) ="), dsl_error);
+  EXPECT_THROW(parse("array A(10) align with T(j)"), dsl_error);
+  EXPECT_THROW(parse("array A(10)"), dsl_error);
+  EXPECT_THROW(parse("distribute T onto P scattered"), dsl_error);
+}
+
+TEST(Parser, EmptyProgramIsValid) {
+  EXPECT_TRUE(parse("").statements.empty());
+  EXPECT_TRUE(parse("\n\n# only comments\n").statements.empty());
+}
+
+}  // namespace
+}  // namespace cyclick::dsl

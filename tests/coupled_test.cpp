@@ -1,0 +1,153 @@
+// Tests for coupled-subscript (two index variable) access enumeration and
+// the hoisted row-plan tables.
+#include <gtest/gtest.h>
+
+#include "cyclick/core/coupled.hpp"
+
+namespace cyclick {
+namespace {
+
+// Ground truth: walk the loop nest literally.
+std::vector<CoupledAccess> brute_nest(const BlockCyclic& dist, const LoopNest2& nest,
+                                      const CoupledSubscript& sub, i64 proc) {
+  std::vector<CoupledAccess> out;
+  for (i64 t1 = 0; t1 < nest.outer.size(); ++t1) {
+    const i64 i1 = nest.outer.element(t1);
+    for (i64 t2 = 0; t2 < nest.inner.size(); ++t2) {
+      const i64 i2 = nest.inner.element(t2);
+      const i64 g = sub.value(i1, i2);
+      if (dist.owner(g) == proc) out.push_back({i1, i2, g, dist.local_index(g)});
+    }
+  }
+  return out;
+}
+
+TEST(CoupledSubscript, MatchesBruteForceSweep) {
+  for (i64 p : {1, 2, 4}) {
+    for (i64 k : {2, 4, 8}) {
+      const BlockCyclic dist(p, k);
+      const struct {
+        LoopNest2 nest;
+        CoupledSubscript sub;
+      } cases[] = {
+          {{{0, 9, 1}, {0, 19, 1}}, {20, 1, 0}},    // row-major 10x20 walk
+          {{{0, 9, 1}, {0, 19, 2}}, {20, 1, 3}},    // strided inner
+          {{{1, 17, 3}, {2, 40, 5}}, {7, 3, 11}},   // both strided, coupled coeffs
+          {{{0, 5, 1}, {0, 30, 3}}, {4, 2, 0}},     // overlapping rows (c1 < c2*span)
+          {{{0, 7, 2}, {19, 1, -2}}, {25, 1, 5}},   // descending inner loop
+          {{{0, 4, 1}, {0, 12, 1}}, {13, -1, 40}},  // negative inner coefficient
+      };
+      for (const auto& c : cases) {
+        for (i64 m = 0; m < p; ++m) {
+          const auto want = brute_nest(dist, c.nest, c.sub, m);
+          const auto got = coupled_access_list(dist, c.nest, c.sub, m);
+          ASSERT_EQ(got, want) << "p=" << p << " k=" << k << " m=" << m << " c1=" << c.sub.c1
+                               << " c2=" << c.sub.c2;
+        }
+      }
+    }
+  }
+}
+
+TEST(CoupledSubscript, TotalAccessesPartitionTheNest) {
+  const BlockCyclic dist(4, 8);
+  const LoopNest2 nest{{0, 29, 1}, {0, 49, 1}};
+  const CoupledSubscript sub{50, 1, 0};
+  i64 total = 0;
+  for (i64 m = 0; m < 4; ++m)
+    total += for_each_coupled_access(dist, nest, sub, m, [](const CoupledAccess&) {});
+  EXPECT_EQ(total, nest.outer.size() * nest.inner.size());
+}
+
+TEST(FullOffsetTables, AgreeWithPerProcessorTablesOnPopulatedEntries) {
+  for (i64 p : {2, 4}) {
+    for (i64 k : {4, 8, 16}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 3, 7, 9, 15, 33}) {
+        const OffsetTables full = compute_full_offset_tables(dist, s);
+        ASSERT_EQ(full.start_offset, -1);
+        for (i64 m = 0; m < p; ++m) {
+          for (i64 l : {0, 1, 5}) {
+            const OffsetTables per = compute_offset_tables(dist, l, s, m);
+            if (per.empty()) continue;
+            for (i64 q = 0; q < k; ++q) {
+              if (per.next_offset[static_cast<std::size_t>(q)] < 0) continue;  // unpopulated
+              EXPECT_EQ(full.delta[static_cast<std::size_t>(q)],
+                        per.delta[static_cast<std::size_t>(q)])
+                  << p << " " << k << " " << s << " m=" << m << " l=" << l << " q=" << q;
+              EXPECT_EQ(full.next_offset[static_cast<std::size_t>(q)],
+                        per.next_offset[static_cast<std::size_t>(q)])
+                  << p << " " << k << " " << s << " m=" << m << " l=" << l << " q=" << q;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FullOffsetTables, DegenerateLatticeSelfLoops) {
+  const BlockCyclic dist(4, 8);  // pk = 32
+  const OffsetTables full = compute_full_offset_tables(dist, 64);  // pk | s
+  for (i64 q = 0; q < 8; ++q) {
+    EXPECT_EQ(full.delta[static_cast<std::size_t>(q)], 8 * 2);
+    EXPECT_EQ(full.next_offset[static_cast<std::size_t>(q)], q);
+  }
+}
+
+TEST(CoupledRowPlan, WalkingPlanReproducesAccesses) {
+  const BlockCyclic dist(4, 8);
+  const LoopNest2 nest{{0, 11, 1}, {0, 25, 1}};
+  const CoupledSubscript sub{31, 2, 5};  // rows start in shifting residue classes
+  const i64 stride = sub.c2 * nest.inner.stride;
+  for (i64 m = 0; m < 4; ++m) {
+    const CoupledRowPlan plan = plan_coupled_rows(dist, nest, sub, m);
+    const auto want = brute_nest(dist, nest, sub, m);
+    std::vector<CoupledAccess> got;
+    for (i64 t1 = 0; t1 < nest.outer.size(); ++t1) {
+      const i64 start = plan.row_start[static_cast<std::size_t>(t1)];
+      if (start < 0) continue;
+      const i64 i1 = nest.outer.element(t1);
+      const i64 row_first = sub.value(i1, nest.inner.lower);
+      const i64 row_last = sub.value(i1, nest.inner.last());
+      i64 g = start;
+      i64 local = plan.row_start_local[static_cast<std::size_t>(t1)];
+      i64 q = dist.block_offset(g);
+      while (g <= row_last) {
+        const i64 i2 = nest.inner.lower + ((g - row_first) / stride) * nest.inner.stride;
+        got.push_back({i1, i2, g, local});
+        // Advance via the shared tables: local memory by delta, the global
+        // subscript by the matching element count (delta rows & offsets).
+        const i64 gap = plan.tables.delta[static_cast<std::size_t>(q)];
+        const i64 next_q = plan.tables.next_offset[static_cast<std::size_t>(q)];
+        // Global advance: gap = a*k + (next_q - q)  =>  rows a, offsets diff.
+        const i64 rows_adv = (gap - (next_q - q)) / dist.block_size();
+        g += rows_adv * dist.row_length() + (next_q - q);
+        local += gap;
+        q = next_q;
+      }
+    }
+    EXPECT_EQ(got, want) << "m=" << m;
+  }
+}
+
+TEST(CoupledRowPlan, ActiveRowCount) {
+  const BlockCyclic dist(4, 8);
+  // Inner loop touches one element per row: row i1 hits processor
+  // owner(32*i1), so only ranks whose blocks are hit have active rows.
+  const LoopNest2 nest{{0, 7, 1}, {0, 0, 1}};
+  const CoupledSubscript sub{32, 1, 0};
+  i64 total_active = 0;
+  for (i64 m = 0; m < 4; ++m) total_active += plan_coupled_rows(dist, nest, sub, m).active_rows();
+  EXPECT_EQ(total_active, 8);
+}
+
+TEST(CoupledRowPlan, RejectsDescendingRows) {
+  const BlockCyclic dist(2, 4);
+  const LoopNest2 nest{{0, 3, 1}, {0, 9, 1}};
+  EXPECT_THROW(plan_coupled_rows(dist, nest, CoupledSubscript{5, -1, 20}, 0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,125 @@
+// Tests for the cyclic(k) distribution algebra.
+#include <gtest/gtest.h>
+
+#include "cyclick/hpf/distribution.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(BlockCyclic, BasicQueries) {
+  const BlockCyclic d(4, 8);
+  EXPECT_EQ(d.procs(), 4);
+  EXPECT_EQ(d.block_size(), 8);
+  EXPECT_EQ(d.row_length(), 32);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(7), 0);
+  EXPECT_EQ(d.owner(8), 1);
+  EXPECT_EQ(d.owner(31), 3);
+  EXPECT_EQ(d.owner(32), 0);
+}
+
+TEST(BlockCyclic, CoordsDecomposition) {
+  const BlockCyclic d(4, 8);
+  const GlobalCoords c = d.coords(108);
+  EXPECT_EQ(c.row, 3);
+  EXPECT_EQ(c.offset, 12);
+  EXPECT_EQ(c.owner, 1);
+  EXPECT_EQ(c.local, 3 * 8 + 4);
+  EXPECT_EQ(d.local_index(108), c.local);
+}
+
+TEST(BlockCyclic, GlobalLocalRoundTrip) {
+  for (i64 p : {1, 2, 3, 5}) {
+    for (i64 k : {1, 2, 4, 7}) {
+      const BlockCyclic d(p, k);
+      for (i64 g = 0; g < 6 * p * k; ++g) {
+        const i64 m = d.owner(g);
+        EXPECT_EQ(d.global_index(m, d.local_index(g)), g) << p << " " << k << " " << g;
+        EXPECT_TRUE(d.is_local(g, m));
+      }
+    }
+  }
+}
+
+TEST(BlockCyclic, NegativeGlobalsUseFloorSemantics) {
+  // Negative template cells arise under alignments with negative offsets.
+  const BlockCyclic d(4, 8);
+  EXPECT_EQ(d.row(-1), -1);
+  EXPECT_EQ(d.offset(-1), 31);
+  EXPECT_EQ(d.owner(-1), 3);
+  EXPECT_EQ(d.owner(-32), 0);
+}
+
+TEST(BlockCyclic, LocalSizePartitionsTemplate) {
+  for (i64 p : {1, 2, 4, 5}) {
+    for (i64 k : {1, 3, 8}) {
+      const BlockCyclic d(p, k);
+      for (i64 n : {0L, 1L, 7L, 31L, 32L, 33L, 100L, 321L}) {
+        i64 total = 0;
+        for (i64 m = 0; m < p; ++m) {
+          const i64 sz = d.local_size(m, n);
+          total += sz;
+          // Cross-check against direct counting.
+          i64 count = 0;
+          for (i64 g = 0; g < n; ++g)
+            if (d.owner(g) == m) ++count;
+          EXPECT_EQ(sz, count) << p << " " << k << " n=" << n << " m=" << m;
+        }
+        EXPECT_EQ(total, n);
+      }
+    }
+  }
+}
+
+TEST(BlockCyclic, LocalCapacityIsMaxLocalSize) {
+  const BlockCyclic d(4, 8);
+  for (i64 n : {1, 17, 32, 100, 320}) {
+    i64 mx = 0;
+    for (i64 m = 0; m < 4; ++m) mx = std::max(mx, d.local_size(m, n));
+    EXPECT_EQ(d.local_capacity(n), mx) << n;
+  }
+}
+
+TEST(BlockCyclic, LocalIndexCountsOwnedElementsBelow) {
+  // local_index(g) == number of elements with the same owner and a smaller
+  // global index — the packed-layout property the algorithms rely on.
+  const BlockCyclic d(3, 4);
+  for (i64 g = 0; g < 60; ++g) {
+    const i64 m = d.owner(g);
+    i64 count = 0;
+    for (i64 h = 0; h < g; ++h)
+      if (d.owner(h) == m) ++count;
+    EXPECT_EQ(d.local_index(g), count) << g;
+  }
+}
+
+TEST(BlockCyclic, CyclicFactory) {
+  const BlockCyclic d = BlockCyclic::cyclic(5);
+  EXPECT_EQ(d.block_size(), 1);
+  for (i64 g = 0; g < 25; ++g) EXPECT_EQ(d.owner(g), g % 5);
+}
+
+TEST(BlockCyclic, BlockFactory) {
+  // block over n=10, p=4 -> cyclic(3): procs own [0,3), [3,6), [6,9), [9,10).
+  const BlockCyclic d = BlockCyclic::block(10, 4);
+  EXPECT_EQ(d.block_size(), 3);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(2), 0);
+  EXPECT_EQ(d.owner(3), 1);
+  EXPECT_EQ(d.owner(9), 3);
+  EXPECT_EQ(d.local_size(3, 10), 1);
+}
+
+TEST(BlockCyclic, RejectsBadArguments) {
+  EXPECT_THROW(BlockCyclic(0, 8), precondition_error);
+  EXPECT_THROW(BlockCyclic(4, 0), precondition_error);
+  EXPECT_THROW(BlockCyclic(INT64_MAX / 2, 4), precondition_error);
+  const BlockCyclic d(4, 8);
+  EXPECT_THROW((void)d.global_index(4, 0), precondition_error);
+  EXPECT_THROW((void)d.global_index(0, -1), precondition_error);
+  EXPECT_THROW((void)d.local_size(-1, 10), precondition_error);
+  EXPECT_THROW((void)d.local_size(0, -1), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,164 @@
+// Randomized differential testing (fixed seeds, reproducible): across
+// thousands of random (p, k, l, s, m) configurations, every address
+// generation path in the library — the lattice algorithm, both sorting
+// policies, the Hiranandani method where applicable, the table-free
+// iterator, the offset tables, and the signed-stride wrapper — must agree
+// exactly with the exhaustive oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/baselines/hiranandani.hpp"
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace cyclick {
+namespace {
+
+struct RandomConfig {
+  i64 p, k, l, s, m;
+};
+
+RandomConfig draw(std::mt19937_64& rng) {
+  std::uniform_int_distribution<i64> p_d(1, 40);
+  std::uniform_int_distribution<i64> k_d(1, 48);
+  std::uniform_int_distribution<i64> l_d(-100, 400);
+  const i64 p = p_d(rng);
+  const i64 k = k_d(rng);
+  std::uniform_int_distribution<i64> s_d(1, 3 * p * k + 7);
+  std::uniform_int_distribution<i64> m_d(0, p - 1);
+  return {p, k, l_d(rng), s_d(rng), m_d(rng)};
+}
+
+TEST(FuzzDifferential, AllConstructorsAgreeWithOracle) {
+  std::mt19937_64 rng(0xC9C11C);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const RandomConfig c = draw(rng);
+    const BlockCyclic dist(c.p, c.k);
+    const AccessPattern truth = oracle_access_pattern(dist, c.l, c.s, c.m);
+    const AccessPattern lattice = compute_access_pattern(dist, c.l, c.s, c.m);
+    ASSERT_EQ(lattice, truth) << "lattice: trial " << trial << " p=" << c.p << " k=" << c.k
+                              << " l=" << c.l << " s=" << c.s << " m=" << c.m;
+    const AccessPattern sorted =
+        chatterjee_access_pattern(dist, c.l, c.s, c.m,
+                                  trial % 2 ? SortKind::kComparison : SortKind::kRadix);
+    ASSERT_EQ(sorted, truth) << "chatterjee: trial " << trial << " p=" << c.p
+                             << " k=" << c.k << " l=" << c.l << " s=" << c.s << " m=" << c.m;
+    if (hiranandani_applicable(dist, c.s)) {
+      ASSERT_EQ(hiranandani_access_pattern(dist, c.l, c.s, c.m), truth)
+          << "hiranandani: trial " << trial << " p=" << c.p << " k=" << c.k << " l=" << c.l
+          << " s=" << c.s << " m=" << c.m;
+    }
+  }
+}
+
+TEST(FuzzDifferential, IteratorWalksMatchTables) {
+  std::mt19937_64 rng(0x5EED);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const RandomConfig c = draw(rng);
+    const BlockCyclic dist(c.p, c.k);
+    const AccessPattern pat = compute_access_pattern(dist, c.l, c.s, c.m);
+    LocalAccessIterator it(dist, c.l, c.s, c.m);
+    if (pat.empty()) {
+      ASSERT_TRUE(it.done()) << "trial " << trial;
+      continue;
+    }
+    ASSERT_FALSE(it.done()) << "trial " << trial;
+    ASSERT_EQ(it.global(), pat.start_global) << "trial " << trial;
+    ASSERT_EQ(it.local(), pat.start_local) << "trial " << trial;
+    i64 local = pat.start_local;
+    const i64 steps = 2 * pat.length + 3;
+    for (i64 i = 0; i < steps; ++i) {
+      local += pat.gaps[static_cast<std::size_t>(i % pat.length)];
+      it.advance();
+      ASSERT_EQ(it.local(), local)
+          << "trial " << trial << " step " << i << " p=" << c.p << " k=" << c.k
+          << " l=" << c.l << " s=" << c.s << " m=" << c.m;
+      ASSERT_EQ(dist.owner(it.global()), c.m) << "trial " << trial << " step " << i;
+      ASSERT_EQ(dist.local_index(it.global()), it.local()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FuzzDifferential, OffsetTablesReplayTheCycle) {
+  std::mt19937_64 rng(0xAB1E);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const RandomConfig c = draw(rng);
+    const BlockCyclic dist(c.p, c.k);
+    const AccessPattern pat = compute_access_pattern(dist, c.l, c.s, c.m);
+    const OffsetTables tables = compute_offset_tables(dist, c.l, c.s, c.m);
+    if (pat.empty()) {
+      ASSERT_TRUE(tables.empty()) << "trial " << trial;
+      continue;
+    }
+    i64 q = tables.start_offset;
+    for (i64 i = 0; i < pat.length; ++i) {
+      ASSERT_EQ(tables.delta[static_cast<std::size_t>(q)],
+                pat.gaps[static_cast<std::size_t>(i)])
+          << "trial " << trial << " i=" << i;
+      q = tables.next_offset[static_cast<std::size_t>(q)];
+      ASSERT_GE(q, 0) << "trial " << trial;
+    }
+    ASSERT_EQ(q, tables.start_offset) << "trial " << trial;
+    // Full (phase-free) tables agree wherever the per-proc walk visited.
+    const OffsetTables full = compute_full_offset_tables(dist, c.s);
+    q = tables.start_offset;
+    for (i64 i = 0; i < pat.length; ++i) {
+      ASSERT_EQ(full.delta[static_cast<std::size_t>(q)],
+                tables.delta[static_cast<std::size_t>(q)])
+          << "trial " << trial;
+      ASSERT_EQ(full.next_offset[static_cast<std::size_t>(q)],
+                tables.next_offset[static_cast<std::size_t>(q)])
+          << "trial " << trial;
+      q = tables.next_offset[static_cast<std::size_t>(q)];
+    }
+  }
+}
+
+TEST(FuzzDifferential, SignedStridesMatchOracle) {
+  std::mt19937_64 rng(0xD0C5);
+  for (int trial = 0; trial < 1500; ++trial) {
+    RandomConfig c = draw(rng);
+    c.s = -c.s;  // descending
+    const BlockCyclic dist(c.p, c.k);
+    const AccessPattern truth = oracle_access_pattern(dist, c.l, c.s, c.m);
+    const AccessPattern got = compute_access_pattern_signed(dist, c.l, c.s, c.m);
+    ASSERT_EQ(got, truth) << "trial " << trial << " p=" << c.p << " k=" << c.k
+                          << " l=" << c.l << " s=" << c.s << " m=" << c.m;
+  }
+}
+
+TEST(FuzzDifferential, WorkBoundNeverExceeded) {
+  std::mt19937_64 rng(0xB0DD);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const RandomConfig c = draw(rng);
+    const BlockCyclic dist(c.p, c.k);
+    WorkStats stats;
+    compute_access_pattern(dist, c.l, c.s, c.m, &stats);
+    ASSERT_LE(stats.points_visited, 2 * c.k + 1)
+        << "trial " << trial << " p=" << c.p << " k=" << c.k << " l=" << c.l << " s=" << c.s
+        << " m=" << c.m;
+  }
+}
+
+TEST(FuzzDifferential, FindLastAgainstBruteForce) {
+  std::mt19937_64 rng(0x1A57);
+  for (int trial = 0; trial < 1200; ++trial) {
+    const RandomConfig c = draw(rng);
+    const BlockCyclic dist(c.p, c.k);
+    std::uniform_int_distribution<i64> len_d(1, 300);
+    const RegularSection sec{c.l, c.l + len_d(rng), c.s};
+    if (sec.empty()) continue;
+    std::optional<i64> want;
+    for (i64 t = 0; t < sec.size(); ++t)
+      if (dist.owner(sec.element(t)) == c.m) want = sec.element(t);
+    ASSERT_EQ(find_last(dist, sec, c.m), want)
+        << "trial " << trial << " p=" << c.p << " k=" << c.k << " l=" << c.l << " s=" << c.s
+        << " m=" << c.m;
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

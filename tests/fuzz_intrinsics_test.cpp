@@ -1,0 +1,135 @@
+// Randomized differential tests for the intrinsics and virtual-cyclic
+// layers: shifts, prefix scans, reductions-with-locations, and class
+// enumeration against straightforward references, across random machine
+// shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "cyclick/baselines/gupta_virtual.hpp"
+#include "cyclick/runtime/intrinsics.hpp"
+
+namespace cyclick {
+namespace {
+
+struct Machine {
+  i64 p, k, n;
+};
+
+Machine draw(std::mt19937_64& rng) {
+  const i64 p = 1 + static_cast<i64>(rng() % 6);
+  const i64 k = 1 + static_cast<i64>(rng() % 9);
+  const i64 n = 20 + static_cast<i64>(rng() % 180);
+  return {p, k, n};
+}
+
+std::vector<double> random_image(std::mt19937_64& rng, i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<double>(rng() % 1000) - 500.0;
+  return v;
+}
+
+TEST(FuzzIntrinsics, CshiftEoshiftAgainstReference) {
+  std::mt19937_64 rng(0x5117F7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Machine m = draw(rng);
+    const SpmdExecutor exec(m.p);
+    DistributedArray<double> in(BlockCyclic(m.p, m.k), m.n);
+    DistributedArray<double> out(BlockCyclic(m.p, 1 + static_cast<i64>(rng() % 9)), m.n);
+    const auto image = random_image(rng, m.n);
+    in.scatter(image);
+    const i64 shift = static_cast<i64>(rng() % 500) - 250;
+    if (trial % 2 == 0) {
+      cshift(in, out, shift, exec);
+      const auto got = out.gather();
+      for (i64 i = 0; i < m.n; ++i)
+        ASSERT_EQ(got[static_cast<std::size_t>(i)],
+                  image[static_cast<std::size_t>(floor_mod(i + shift, m.n))])
+            << "trial " << trial << " shift " << shift << " i " << i;
+    } else {
+      const double boundary = static_cast<double>(rng() % 10);
+      eoshift(in, out, shift, boundary, exec);
+      const auto got = out.gather();
+      for (i64 i = 0; i < m.n; ++i) {
+        const i64 src = i + shift;
+        const double want = (src >= 0 && src < m.n)
+                                ? image[static_cast<std::size_t>(src)]
+                                : boundary;
+        ASSERT_EQ(got[static_cast<std::size_t>(i)], want)
+            << "trial " << trial << " shift " << shift << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(FuzzIntrinsics, SumPrefixAgainstReference) {
+  std::mt19937_64 rng(0x9CAF);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Machine m = draw(rng);
+    const SpmdExecutor exec(m.p);
+    DistributedArray<double> in(BlockCyclic(m.p, m.k), m.n);
+    DistributedArray<double> out(BlockCyclic(m.p, 1 + static_cast<i64>(rng() % 5)), m.n);
+    const auto image = random_image(rng, m.n);
+    in.scatter(image);
+    const i64 st = 1 + static_cast<i64>(rng() % 5);
+    const i64 lo = static_cast<i64>(rng() % 10);
+    const i64 count = 1 + (m.n - 1 - lo) / st;
+    const RegularSection sec{lo, lo + (count - 1) * st, st};
+    sum_prefix_section(in, sec, out, sec, exec);
+    double acc = 0.0;
+    for (i64 t = 0; t < count; ++t) {
+      acc += image[static_cast<std::size_t>(sec.element(t))];
+      ASSERT_EQ(out.get(sec.element(t)), acc) << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(FuzzIntrinsics, MaxlocMinlocAgainstReference) {
+  std::mt19937_64 rng(0x10CC);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Machine m = draw(rng);
+    const SpmdExecutor exec(m.p);
+    DistributedArray<double> arr(BlockCyclic(m.p, m.k), m.n);
+    const auto image = random_image(rng, m.n);
+    arr.scatter(image);
+    const i64 st = 1 + static_cast<i64>(rng() % 4);
+    const i64 count = 1 + (m.n - 1) / st;
+    const RegularSection sec{0, (count - 1) * st, st};
+    i64 want_max = 0, want_min = 0;
+    for (i64 t = 1; t < count; ++t) {
+      const double v = image[static_cast<std::size_t>(sec.element(t))];
+      if (v > image[static_cast<std::size_t>(sec.element(want_max))]) want_max = t;
+      if (v < image[static_cast<std::size_t>(sec.element(want_min))]) want_min = t;
+    }
+    ASSERT_EQ(maxloc_section(arr, sec, exec), want_max) << "trial " << trial;
+    ASSERT_EQ(minloc_section(arr, sec, exec), want_min) << "trial " << trial;
+  }
+}
+
+TEST(FuzzIntrinsics, VirtualCyclicSetEquality) {
+  std::mt19937_64 rng(0x6A5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Machine m = draw(rng);
+    const BlockCyclic dist(m.p, m.k);
+    const i64 st = 1 + static_cast<i64>(rng() % static_cast<u64>(3 * m.p * m.k));
+    const i64 lo = static_cast<i64>(rng() % 50);
+    const RegularSection sec{lo, lo + st * (1 + static_cast<i64>(rng() % 60)), st};
+    const i64 proc = static_cast<i64>(rng() % static_cast<u64>(m.p));
+    std::vector<i64> got;
+    for_each_virtual_cyclic(dist, sec, proc, [&](i64 g, i64 la) {
+      ASSERT_EQ(dist.owner(g), proc);
+      ASSERT_EQ(dist.local_index(g), la);
+      got.push_back(g);
+    });
+    std::sort(got.begin(), got.end());
+    std::vector<i64> want;
+    for (i64 t = 0; t < sec.size(); ++t)
+      if (dist.owner(sec.element(t)) == proc) want.push_back(sec.element(t));
+    ASSERT_EQ(got, want) << "trial " << trial << " p=" << m.p << " k=" << m.k
+                         << " sec=" << sec.to_string() << " proc=" << proc;
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,108 @@
+// Tests for the Gupta et al. virtual-cyclic enumeration (paper §7): same
+// element set as the oracle, constant-stride classes, and — the paper's
+// point — a traversal order that is NOT increasing-index in general.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cyclick/baselines/gupta_virtual.hpp"
+#include "cyclick/baselines/oracle.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(VirtualCyclic, CoversExactlyTheOracleSet) {
+  for (i64 p : {1, 2, 4}) {
+    for (i64 k : {1, 3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 7, 9, 15, 33}) {
+        for (i64 l : {0, 4}) {
+          const RegularSection sec{l, l + 57 * s, s};
+          for (i64 m = 0; m < p; ++m) {
+            auto want = oracle_local_sequence(dist, sec, m);
+            std::vector<Access> got;
+            for_each_virtual_cyclic(dist, sec, m,
+                                    [&](i64 g, i64 la) { got.push_back({g, la}); });
+            // Same set (compare sorted by global index).
+            std::sort(got.begin(), got.end(),
+                      [](const Access& a, const Access& b) { return a.global < b.global; });
+            ASSERT_EQ(got, want) << p << " " << k << " " << s << " l=" << l << " m=" << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VirtualCyclic, ClassesHaveConstantStrides) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 1000, 9};
+  for (i64 m = 0; m < 4; ++m) {
+    for (const VirtualClass& cls : virtual_cyclic_classes(dist, sec, m)) {
+      EXPECT_GE(cls.block_offset, 0);
+      EXPECT_LT(cls.block_offset, 8);
+      EXPECT_GT(cls.count, 0);
+      // Every element of the class is in the section, on this processor,
+      // at the advertised offsets and addresses.
+      i64 g = cls.first_global;
+      i64 la = cls.first_local;
+      for (i64 i = 0; i < cls.count; ++i) {
+        EXPECT_TRUE(sec.contains(g)) << g;
+        EXPECT_EQ(dist.owner(g), m);
+        EXPECT_EQ(dist.block_offset(g), cls.block_offset);
+        EXPECT_EQ(dist.local_index(g), la);
+        g += cls.global_stride;
+        la += cls.local_stride;
+      }
+    }
+  }
+}
+
+TEST(VirtualCyclic, OrderDiffersFromIndexOrderInGeneral) {
+  // The paper's §7 criticism: virtual-cyclic visits classes, not increasing
+  // indices. For p=4, k=8, s=9, processor 1 the index-ordered walk starts
+  // 13, 40, 76 (crossing offsets), while class order groups same offsets.
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 300, 9};
+  std::vector<i64> order;
+  for_each_virtual_cyclic(dist, sec, 1, [&](i64 g, i64) { order.push_back(g); });
+  ASSERT_GT(order.size(), 2u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(VirtualCyclic, SingleClassDegenerates) {
+  // pk | s: one offset class per owning processor, strictly ascending.
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{0, 319, 32};
+  std::vector<i64> order;
+  for_each_virtual_cyclic(dist, sec, 0, [&](i64 g, i64) { order.push_back(g); });
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(static_cast<i64>(order.size()), sec.size());
+  EXPECT_EQ(virtual_cyclic_classes(dist, sec, 0).size(), 1u);
+}
+
+TEST(VirtualCyclic, EmptyAndOutOfRangeCases) {
+  const BlockCyclic dist(4, 8);
+  EXPECT_TRUE(virtual_cyclic_classes(dist, RegularSection{5, 4, 1}, 0).empty());
+  EXPECT_TRUE(virtual_cyclic_classes(dist, RegularSection{0, 319, 32}, 2).empty());
+  EXPECT_THROW((void)virtual_cyclic_classes(dist, RegularSection{0, 9, 1}, 4),
+               precondition_error);
+}
+
+TEST(VirtualCyclic, DescendingSectionsCoverSameSet) {
+  const BlockCyclic dist(2, 4);
+  const RegularSection down{99, 3, -7};
+  for (i64 m = 0; m < 2; ++m) {
+    auto want = oracle_local_sequence(dist, down, m);
+    std::sort(want.begin(), want.end(),
+              [](const Access& a, const Access& b) { return a.global < b.global; });
+    std::vector<Access> got;
+    for_each_virtual_cyclic(dist, down, m, [&](i64 g, i64 la) { got.push_back({g, la}); });
+    std::sort(got.begin(), got.end(),
+              [](const Access& a, const Access& b) { return a.global < b.global; });
+    EXPECT_EQ(got, want) << m;
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,186 @@
+// Tests for the HPF/F90 array intrinsics (CSHIFT, EOSHIFT, DOT_PRODUCT,
+// COUNT, MAXLOC, MINLOC) over distributed arrays.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cyclick/runtime/intrinsics.hpp"
+
+namespace cyclick {
+namespace {
+
+std::vector<double> iota_image(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0.0);
+  return v;
+}
+
+TEST(Cshift, MatchesReferenceAcrossShifts) {
+  const i64 n = 50;
+  const SpmdExecutor exec(4);
+  DistributedArray<double> in(BlockCyclic(4, 3), n), out(BlockCyclic(4, 3), n);
+  in.scatter(iota_image(n));
+  for (const i64 shift : {0L, 1L, 7L, -3L, 49L, 50L, 123L, -123L}) {
+    cshift(in, out, shift, exec);
+    const auto image = out.gather();
+    for (i64 i = 0; i < n; ++i)
+      EXPECT_EQ(image[static_cast<std::size_t>(i)],
+                static_cast<double>(floor_mod(i + shift, n)))
+          << "shift=" << shift << " i=" << i;
+  }
+}
+
+TEST(Cshift, AcrossDifferentDistributions) {
+  const i64 n = 64;
+  const SpmdExecutor exec(4);
+  DistributedArray<double> in(BlockCyclic(4, 8), n), out(BlockCyclic(4, 5), n);
+  in.scatter(iota_image(n));
+  cshift(in, out, 10, exec);
+  const auto image = out.gather();
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_EQ(image[static_cast<std::size_t>(i)], static_cast<double>((i + 10) % n)) << i;
+}
+
+TEST(Eoshift, PositiveAndNegativeShifts) {
+  const i64 n = 30;
+  const SpmdExecutor exec(3);
+  DistributedArray<double> in(BlockCyclic(3, 4), n), out(BlockCyclic(3, 4), n);
+  in.scatter(iota_image(n));
+  eoshift(in, out, 5, -1.0, exec);
+  auto image = out.gather();
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_EQ(image[static_cast<std::size_t>(i)],
+              i + 5 < n ? static_cast<double>(i + 5) : -1.0)
+        << i;
+  eoshift(in, out, -4, 99.0, exec);
+  image = out.gather();
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_EQ(image[static_cast<std::size_t>(i)],
+              i - 4 >= 0 ? static_cast<double>(i - 4) : 99.0)
+        << i;
+}
+
+TEST(Eoshift, ShiftBeyondLengthFillsEverything) {
+  const i64 n = 12;
+  const SpmdExecutor exec(2);
+  DistributedArray<double> in(BlockCyclic(2, 2), n), out(BlockCyclic(2, 2), n);
+  in.scatter(iota_image(n));
+  eoshift(in, out, 12, 7.0, exec);
+  for (const double v : out.gather()) EXPECT_EQ(v, 7.0);
+  eoshift(in, out, -99, 3.0, exec);
+  for (const double v : out.gather()) EXPECT_EQ(v, 3.0);
+}
+
+TEST(DotProduct, StridedSectionsAcrossDistributions) {
+  const SpmdExecutor exec(4);
+  DistributedArray<double> a(BlockCyclic(4, 8), 320), b(BlockCyclic(4, 3), 200);
+  a.scatter(iota_image(320));
+  b.scatter(iota_image(200));
+  const RegularSection asec{0, 318, 6};   // 54 elements? (318-0)/6+1 = 54
+  const RegularSection bsec{1, 160, 3};   // (160-1)/3+1 = 54
+  const double got = dot_product(a, asec, b, bsec, exec);
+  double want = 0.0;
+  for (i64 t = 0; t < asec.size(); ++t)
+    want += static_cast<double>(asec.element(t)) * static_cast<double>(bsec.element(t));
+  EXPECT_EQ(got, want);
+}
+
+TEST(CountSection, PredicateCounting) {
+  const SpmdExecutor exec(4);
+  DistributedArray<double> a(BlockCyclic(4, 8), 320);
+  a.scatter(iota_image(320));
+  const i64 big = count_section(a, {0, 319, 1}, [](double v) { return v >= 200.0; }, exec);
+  EXPECT_EQ(big, 120);
+  const i64 strided =
+      count_section(a, {4, 300, 9}, [](double v) { return v > 150.0; }, exec);
+  i64 want = 0;
+  const RegularSection sec{4, 300, 9};
+  for (i64 t = 0; t < sec.size(); ++t)
+    if (sec.element(t) > 150) ++want;
+  EXPECT_EQ(strided, want);
+}
+
+TEST(MaxMinLoc, FindFirstExtremum) {
+  const SpmdExecutor exec(4);
+  DistributedArray<double> a(BlockCyclic(4, 8), 320);
+  auto image = iota_image(320);
+  image[77] = 1000.0;
+  image[200] = 1000.0;  // tie: first position (smaller t) wins
+  image[5] = -50.0;
+  a.scatter(image);
+  const RegularSection whole{0, 319, 1};
+  EXPECT_EQ(maxloc_section(a, whole, exec), 77);
+  EXPECT_EQ(minloc_section(a, whole, exec), 5);
+  // Within a strided section, positions are section-relative.
+  const RegularSection odd{1, 319, 2};
+  EXPECT_EQ(maxloc_section(a, odd, exec), (77 - 1) / 2);
+  EXPECT_EQ(minloc_section(a, odd, exec), (5 - 1) / 2);
+}
+
+TEST(MaxMinLoc, EmptySectionRejected) {
+  const SpmdExecutor exec(2);
+  DistributedArray<double> a(BlockCyclic(2, 2), 10);
+  EXPECT_THROW((void)maxloc_section(a, RegularSection{5, 4, 1}, exec), precondition_error);
+}
+
+TEST(SumPrefix, WholeArrayScan) {
+  const i64 n = 100;
+  const SpmdExecutor exec(4);
+  DistributedArray<double> in(BlockCyclic(4, 7), n), out(BlockCyclic(4, 7), n);
+  in.scatter(iota_image(n));
+  sum_prefix_section(in, {0, n - 1, 1}, out, {0, n - 1, 1}, exec);
+  const auto image = out.gather();
+  double acc = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    acc += static_cast<double>(i);
+    EXPECT_EQ(image[static_cast<std::size_t>(i)], acc) << i;
+  }
+}
+
+TEST(SumPrefix, StridedAndDescendingSections) {
+  const SpmdExecutor exec(3);
+  DistributedArray<double> in(BlockCyclic(3, 4), 120), out(BlockCyclic(3, 5), 120);
+  in.scatter(iota_image(120));
+  // out(descending section) gets the scan of in(ascending strided section)
+  // matched position by position.
+  const RegularSection ssec{2, 110, 4};   // 28 elements
+  const RegularSection osec{111, 3, -4};  // 28 elements, descending
+  sum_prefix_section(in, ssec, out, osec, exec);
+  double acc = 0.0;
+  for (i64 t = 0; t < ssec.size(); ++t) {
+    acc += static_cast<double>(ssec.element(t));
+    EXPECT_EQ(out.get(osec.element(t)), acc) << t;
+  }
+}
+
+TEST(SumPrefix, InPlaceOnSameArrayViaDistinctSections) {
+  const SpmdExecutor exec(2);
+  DistributedArray<double> arr(BlockCyclic(2, 3), 40);
+  arr.scatter(std::vector<double>(40, 1.0));
+  // Second half receives the scan of the first half: 1, 2, ..., 20.
+  sum_prefix_section(arr, {0, 19, 1}, arr, {20, 39, 1}, exec);
+  for (i64 i = 0; i < 20; ++i)
+    EXPECT_EQ(arr.get(20 + i), static_cast<double>(i + 1)) << i;
+}
+
+TEST(SumPrefix, MoreRanksThanElements) {
+  const SpmdExecutor exec(8);
+  DistributedArray<double> in(BlockCyclic(8, 2), 5), out(BlockCyclic(8, 2), 5);
+  in.scatter(std::vector<double>{3, 1, 4, 1, 5});
+  sum_prefix_section(in, {0, 4, 1}, out, {0, 4, 1}, exec);
+  EXPECT_EQ(out.gather(), (std::vector<double>{3, 4, 8, 9, 14}));
+}
+
+TEST(Cshift, InverseShiftsCompose) {
+  const i64 n = 40;
+  const SpmdExecutor exec(4);
+  DistributedArray<double> a(BlockCyclic(4, 4), n), b(BlockCyclic(4, 4), n),
+      c(BlockCyclic(4, 4), n);
+  a.scatter(iota_image(n));
+  cshift(a, b, 13, exec);
+  cshift(b, c, -13, exec);
+  EXPECT_EQ(c.gather(), a.gather());
+}
+
+}  // namespace
+}  // namespace cyclick

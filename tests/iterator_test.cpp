@@ -1,0 +1,85 @@
+// Tests for the table-free LocalAccessIterator (Section 6.2).
+#include <gtest/gtest.h>
+
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/iterator.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(LocalAccessIterator, MatchesOracleSequence) {
+  for (i64 p : {1, 2, 4, 5}) {
+    for (i64 k : {1, 3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 2, 7, 9, 15, 31, 33, 64}) {
+        for (i64 l : {0, 5}) {
+          const RegularSection sec{l, l + 60 * s, s};
+          for (i64 m = 0; m < p; ++m) {
+            const std::vector<Access> want = oracle_local_sequence(dist, sec, m);
+            LocalAccessIterator it(dist, l, s, m);
+            std::vector<Access> got;
+            for (; !it.done() && it.global() <= sec.upper; it.advance())
+              got.push_back({it.global(), it.local()});
+            EXPECT_EQ(got, want) << p << " " << k << " " << s << " " << l << " " << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LocalAccessIterator, DoneOnlyWhenProcessorOwnsNothing) {
+  const BlockCyclic dist(4, 8);
+  // s = 32 = pk: only processor 0 is ever touched (from l = 0).
+  EXPECT_FALSE(LocalAccessIterator(dist, 0, 32, 0).done());
+  EXPECT_TRUE(LocalAccessIterator(dist, 0, 32, 1).done());
+  EXPECT_TRUE(LocalAccessIterator(dist, 0, 32, 3).done());
+}
+
+TEST(LocalAccessIterator, FixedStepDegenerateCase) {
+  // gcd(s, pk) >= k: the iterator falls back to a fixed step.
+  const BlockCyclic dist(4, 8);  // pk = 32
+  const i64 s = 48;              // gcd(48, 32) = 16 >= 8
+  for (i64 m = 0; m < 4; ++m) {
+    LocalAccessIterator it(dist, 0, s, m);
+    const AccessPattern truth = oracle_access_pattern(dist, 0, s, m);
+    if (truth.empty()) {
+      EXPECT_TRUE(it.done()) << m;
+      continue;
+    }
+    ASSERT_FALSE(it.done()) << m;
+    EXPECT_EQ(it.global(), truth.start_global);
+    for (i64 step = 0; step < 5; ++step) {
+      const i64 expect_gap = truth.gaps[static_cast<std::size_t>(step % truth.length)];
+      const i64 before = it.local();
+      EXPECT_EQ(it.peek_gap(), expect_gap);
+      it.advance();
+      EXPECT_EQ(it.local() - before, expect_gap);
+    }
+  }
+}
+
+TEST(LocalAccessIterator, GlobalAndLocalStayConsistent) {
+  // At every step, local() must equal the distribution's packed address of
+  // global(), and global() must be a section element on this processor.
+  const BlockCyclic dist(4, 8);
+  for (i64 s : {9, 17, 23}) {
+    for (i64 m = 0; m < 4; ++m) {
+      LocalAccessIterator it(dist, 4, s, m);
+      for (i64 step = 0; step < 40 && !it.done(); ++step, it.advance()) {
+        EXPECT_EQ(dist.owner(it.global()), m);
+        EXPECT_EQ(dist.local_index(it.global()), it.local());
+        EXPECT_EQ((it.global() - 4) % s, 0);
+      }
+    }
+  }
+}
+
+TEST(LocalAccessIterator, RejectsBadArguments) {
+  const BlockCyclic dist(4, 8);
+  EXPECT_THROW(LocalAccessIterator(dist, 0, 0, 0), precondition_error);
+  EXPECT_THROW(LocalAccessIterator(dist, 0, -9, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,222 @@
+// Directed tests for the Figure-5 algorithm: start location, special cases,
+// gap-table structure, offset tables, negative strides, and find_last.
+#include <gtest/gtest.h>
+
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(FindStart, MatchesBruteForce) {
+  for (i64 p : {1, 2, 4}) {
+    for (i64 k : {1, 2, 5, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 2, 3, 7, 9, 16, 33}) {
+        for (i64 l : {0, 1, 4, 13}) {
+          for (i64 m = 0; m < p; ++m) {
+            const auto got = find_start(dist, l, s, m);
+            // Brute force within two periods.
+            std::optional<i64> want;
+            const i64 period = dist.row_length() / gcd_i64(s, dist.row_length());
+            for (i64 j = 0; j < 2 * period && !want; ++j)
+              if (dist.owner(l + j * s) == m) want = l + j * s;
+            if (want) {
+              ASSERT_TRUE(got.has_value()) << p << " " << k << " " << s << " " << l << " " << m;
+              EXPECT_EQ(got->start_global, *want);
+            } else {
+              EXPECT_FALSE(got.has_value());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FindStart, LengthCountsSolvableOffsets) {
+  const BlockCyclic dist(4, 8);
+  // gcd(9, 32) = 1: all 8 offsets solvable on every processor.
+  for (i64 m = 0; m < 4; ++m) EXPECT_EQ(find_start(dist, 0, 9, m)->length, 8);
+  // gcd(16, 32) = 16 >= k = 8: at most one offset per processor window.
+  for (i64 m = 0; m < 4; ++m) {
+    const auto si = find_start(dist, 0, 16, m);
+    if (si) {
+      EXPECT_EQ(si->length, 1);
+    }
+  }
+}
+
+TEST(ComputeAccessPattern, EmptyWhenProcessorOwnsNothing) {
+  // p=4, k=8, s=32 (pk | s): every element has offset 0 -> processor 0 only.
+  const BlockCyclic dist(4, 8);
+  for (i64 m = 1; m < 4; ++m) {
+    const AccessPattern pat = compute_access_pattern(dist, 0, 32, m);
+    EXPECT_TRUE(pat.empty()) << m;
+    EXPECT_EQ(pat.start_global, -1);
+  }
+}
+
+TEST(ComputeAccessPattern, SingleOffsetSpecialCase) {
+  // pk | s: processor 0 sees a single gap of k*s/d = k*s/pk rows... locally
+  // (s/pk) rows of k cells.
+  const BlockCyclic dist(4, 8);
+  const AccessPattern pat = compute_access_pattern(dist, 0, 64, 0);
+  ASSERT_EQ(pat.length, 1);
+  EXPECT_EQ(pat.gaps[0], 8 * (64 / 32));  // k * s/d with d = pk = 32
+  EXPECT_EQ(pat, oracle_access_pattern(dist, 0, 64, 0));
+}
+
+TEST(ComputeAccessPattern, StrideOneIsContiguous) {
+  const BlockCyclic dist(4, 8);
+  for (i64 m = 0; m < 4; ++m) {
+    const AccessPattern pat = compute_access_pattern(dist, 0, 1, m);
+    ASSERT_EQ(pat.length, 8);
+    for (i64 i = 0; i + 1 < 8; ++i) EXPECT_EQ(pat.gaps[static_cast<std::size_t>(i)], 1);
+    EXPECT_EQ(pat.gaps.back(), 1);  // wrap to the next row's block is also 1 locally
+    EXPECT_EQ(pat, oracle_access_pattern(dist, 0, 1, m));
+  }
+}
+
+TEST(ComputeAccessPattern, GapsAreAlwaysPositiveForAscending) {
+  for (i64 p : {2, 4}) {
+    for (i64 k : {4, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s = 1; s <= 3 * p * k; ++s) {
+        for (i64 m = 0; m < p; ++m) {
+          const AccessPattern pat = compute_access_pattern(dist, 0, s, m);
+          for (const i64 g : pat.gaps) EXPECT_GT(g, 0) << p << " " << k << " " << s << " " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(ComputeAccessPattern, CycleAdvanceInvariant) {
+  // Sum of one gap cycle = (s/d)*k (one full period in local memory).
+  for (i64 p : {2, 3, 4}) {
+    for (i64 k : {2, 4, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 3, 5, 7, 9, 12, 33}) {
+        const i64 d = gcd_i64(s, p * k);
+        for (i64 m = 0; m < p; ++m) {
+          const AccessPattern pat = compute_access_pattern(dist, 0, s, m);
+          if (!pat.empty()) {
+            EXPECT_EQ(pat.cycle_advance(), (s / d) * k)
+                << p << " " << k << " " << s << " " << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ComputeAccessPattern, WorkBoundHolds) {
+  for (i64 p : {2, 32}) {
+    for (i64 k : {4, 16, 64}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {i64{7}, i64{99}, k + 1, p * k - 1, p * k + 1}) {
+        WorkStats stats;
+        compute_access_pattern(dist, 0, s, p - 1, &stats);
+        EXPECT_LE(stats.points_visited, 2 * k + 1) << p << " " << k << " " << s;
+      }
+    }
+  }
+}
+
+TEST(ComputeAccessPattern, NegativeStrideReversesOracle) {
+  for (i64 p : {2, 4}) {
+    for (i64 k : {3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {-1, -2, -7, -9, -15}) {
+        for (i64 l : {200, 301}) {
+          for (i64 m = 0; m < p; ++m) {
+            const AccessPattern got = compute_access_pattern_signed(dist, l, s, m);
+            const AccessPattern want = oracle_access_pattern(dist, l, s, m);
+            EXPECT_EQ(got, want) << p << " " << k << " " << s << " l=" << l << " m=" << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ComputeAccessPattern, SignedPositiveDelegates) {
+  const BlockCyclic dist(4, 8);
+  EXPECT_EQ(compute_access_pattern_signed(dist, 4, 9, 1),
+            compute_access_pattern(dist, 4, 9, 1));
+}
+
+TEST(ComputeAccessPattern, RejectsBadArguments) {
+  const BlockCyclic dist(4, 8);
+  EXPECT_THROW(compute_access_pattern(dist, 0, 0, 0), precondition_error);
+  EXPECT_THROW(compute_access_pattern(dist, 0, -3, 0), precondition_error);
+  EXPECT_THROW(compute_access_pattern(dist, 0, 9, 4), precondition_error);
+  EXPECT_THROW(compute_access_pattern_signed(dist, 0, 0, 0), precondition_error);
+}
+
+TEST(FindLast, MatchesBruteForce) {
+  for (i64 p : {2, 4}) {
+    for (i64 k : {3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, 7, 9, 25}) {
+        for (i64 l : {0, 4}) {
+          const RegularSection sec{l, l + 37 * s - 3, s};
+          for (i64 m = 0; m < p; ++m) {
+            std::optional<i64> want;
+            for (i64 t = 0; t < sec.size(); ++t)
+              if (dist.owner(sec.element(t)) == m) want = sec.element(t);
+            EXPECT_EQ(find_last(dist, sec, m), want)
+                << p << " " << k << " " << s << " l=" << l << " m=" << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FindLast, DescendingSections) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection down{300, 4, -9};
+  for (i64 m = 0; m < 4; ++m) {
+    std::optional<i64> want;
+    for (i64 t = 0; t < down.size(); ++t) {
+      const i64 v = down.element(t);
+      if (dist.owner(v) == m && (!want || v > *want)) want = v;
+    }
+    EXPECT_EQ(find_last(dist, down, m), want) << m;
+  }
+}
+
+TEST(OffsetTables, PaperExampleStructure) {
+  // p=4, k=8, l=4, s=9, m=1: start 13 -> block offset 5.
+  const BlockCyclic dist(4, 8);
+  const OffsetTables t = compute_offset_tables(dist, 4, 9, 1);
+  ASSERT_FALSE(t.empty());
+  EXPECT_EQ(t.start_offset, 5);
+  EXPECT_EQ(t.delta.size(), 8u);
+  EXPECT_EQ(t.next_offset.size(), 8u);
+  // Walking the tables from the start offset reproduces the AM sequence.
+  const AccessPattern pat = compute_access_pattern(dist, 4, 9, 1);
+  i64 q = t.start_offset;
+  for (i64 i = 0; i < pat.length; ++i) {
+    EXPECT_EQ(t.delta[static_cast<std::size_t>(q)], pat.gaps[static_cast<std::size_t>(i)])
+        << i;
+    q = t.next_offset[static_cast<std::size_t>(q)];
+    ASSERT_GE(q, 0);
+  }
+  EXPECT_EQ(q, t.start_offset);  // the walk is a cycle
+}
+
+TEST(OffsetTables, EmptyAndSingleCases) {
+  const BlockCyclic dist(4, 8);
+  EXPECT_TRUE(compute_offset_tables(dist, 0, 32, 2).empty());
+  const OffsetTables single = compute_offset_tables(dist, 0, 64, 0);
+  ASSERT_FALSE(single.empty());
+  EXPECT_EQ(single.start_offset, 0);
+  EXPECT_EQ(single.delta[0], 16);
+  EXPECT_EQ(single.next_offset[0], 0);
+}
+
+}  // namespace
+}  // namespace cyclick

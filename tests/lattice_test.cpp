@@ -1,0 +1,135 @@
+// Tests for the integer-lattice theory layer (paper, Sections 3-4):
+// lattice membership, basis predicates, canonical basis construction, and
+// the R/L basis selection including its minimality/maximality properties.
+#include <gtest/gtest.h>
+
+#include "cyclick/lattice/lattice.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(SectionLattice, MembershipMatchesDefinition) {
+  const SectionLattice lat(32, 9);
+  // (b, a) in A iff 9 | 32a + b.
+  EXPECT_TRUE(lat.contains({9, 0}));    // index 1
+  EXPECT_TRUE(lat.contains({4, 1}));    // 36 = 4*9
+  EXPECT_TRUE(lat.contains({5, -1}));   // -27 = -3*9
+  EXPECT_TRUE(lat.contains({0, 0}));    // origin
+  EXPECT_FALSE(lat.contains({1, 0}));
+  EXPECT_FALSE(lat.contains({4, 2}));
+}
+
+TEST(SectionLattice, ClosedUnderSubtraction) {
+  // Theorem 1: A is a lattice, hence closed under subtraction.
+  const SectionLattice lat(24, 7);
+  std::vector<LatticePoint> pts;
+  for (i64 a = -4; a <= 4; ++a)
+    for (i64 b = -30; b <= 30; ++b)
+      if (lat.contains({b, a})) pts.push_back({b, a});
+  ASSERT_GT(pts.size(), 4u);
+  for (std::size_t i = 0; i < pts.size(); i += 7)
+    for (std::size_t j = 0; j < pts.size(); j += 5)
+      EXPECT_TRUE(lat.contains(pts[i] - pts[j]));
+}
+
+TEST(SectionLattice, IndexOfRoundTrips) {
+  const SectionLattice lat(32, 9);
+  for (i64 i = -40; i <= 40; ++i) {
+    const SectionPoint pt = lat.point_of_index(i);
+    EXPECT_EQ(lat.index_of(pt.v), i);
+    EXPECT_GE(pt.v.b, 0);
+    EXPECT_LT(pt.v.b, 32);
+  }
+}
+
+TEST(SectionLattice, CanonicalBasisSweep) {
+  for (i64 pk : {4, 6, 8, 15, 32, 64}) {
+    for (i64 s : {1, 2, 3, 5, 7, 9, 31, 33, 100}) {
+      if (s % pk == 0) continue;  // single-vector degenerate case
+      const SectionLattice lat(pk, s);
+      const auto [p1, p2] = lat.canonical_basis();
+      EXPECT_TRUE(lat.contains(p1.v)) << pk << " " << s;
+      EXPECT_TRUE(lat.contains(p2.v)) << pk << " " << s;
+      EXPECT_TRUE(lat.is_basis(p1, p2)) << pk << " " << s;
+    }
+  }
+}
+
+TEST(SectionLattice, BasisRejectsDependentVectors) {
+  const SectionLattice lat(32, 9);
+  const SectionPoint p1 = lat.point_of_index(1);
+  const SectionPoint p2 = lat.point_of_index(2);  // collinear in index space?
+  // (9,0) and (18,0): det = 0*2 - 0*1 = 0 -> not a basis.
+  EXPECT_FALSE(lat.is_basis(p1, p2));
+}
+
+TEST(SectionLattice, BasisPreconditionChecked) {
+  const SectionLattice lat(32, 9);
+  EXPECT_THROW((void)lat.is_basis({{1, 0}, 0}, {{9, 0}, 1}), precondition_error);
+}
+
+TEST(MemoryGap, MatchesRowTimesBlockPlusOffset) {
+  EXPECT_EQ((LatticePoint{4, 1}.memory_gap(8)), 12);
+  EXPECT_EQ((LatticePoint{5, -1}.memory_gap(8)), -3);
+  EXPECT_EQ((LatticePoint{0, 0}.memory_gap(8)), 0);
+}
+
+TEST(RlBasis, PropertiesAcrossSweep) {
+  // For a broad (p, k, s) sweep: R/L are lattice points with offsets in
+  // (0, k), R has the smallest positive index among them, L the largest
+  // negative, and they are unimodular (Theorem 2).
+  for (i64 p : {1, 2, 3, 4, 7}) {
+    for (i64 k : {2, 3, 4, 8, 16}) {
+      for (i64 s = 1; s <= 3 * p * k + 1; s += 3) {
+        const i64 pk = p * k;
+        const auto basis = select_rl_basis(p, k, s);
+        const i64 d = gcd_i64(s, pk);
+        if (d >= k) {
+          EXPECT_FALSE(basis.has_value()) << p << " " << k << " " << s;
+          continue;
+        }
+        ASSERT_TRUE(basis.has_value()) << p << " " << k << " " << s;
+        const SectionLattice lat(pk, s);
+        EXPECT_TRUE(lat.contains(basis->r.v));
+        EXPECT_TRUE(lat.contains(basis->l.v));
+        EXPECT_TRUE(lat.is_basis(basis->r, basis->l)) << p << " " << k << " " << s;
+        EXPECT_GT(basis->r.v.b, 0);
+        EXPECT_LT(basis->r.v.b, k);
+        EXPECT_GT(basis->l.v.b, 0);
+        EXPECT_LT(basis->l.v.b, k);
+        EXPECT_GT(basis->r.index, 0);
+        EXPECT_LT(basis->l.index, 0);
+
+        // Minimality / maximality: no lattice point with offset in (0, k)
+        // has index in (0, r.index) or (l.index, 0).
+        for (i64 i = 1; i < basis->r.index; ++i)
+          EXPECT_FALSE(lat.point_of_index(i).v.b < k) << p << " " << k << " " << s << " " << i;
+        for (i64 i = basis->l.index + 1; i < 0; ++i) {
+          const i64 b = lat.point_of_index(i).v.b;  // normalized to [0, pk)
+          EXPECT_FALSE(b > 0 && b < k) << p << " " << k << " " << s << " " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RlBasis, DegenerateWhenRowLengthDividesStride) {
+  EXPECT_FALSE(select_rl_basis(4, 8, 32).has_value());
+  EXPECT_FALSE(select_rl_basis(4, 8, 64).has_value());
+}
+
+TEST(RlBasis, RejectsBadArguments) {
+  EXPECT_THROW(select_rl_basis(0, 8, 9), precondition_error);
+  EXPECT_THROW(select_rl_basis(4, 0, 9), precondition_error);
+  EXPECT_THROW(select_rl_basis(4, 8, 0), precondition_error);
+  EXPECT_THROW(select_rl_basis(4, 8, -9), precondition_error);
+}
+
+TEST(SectionLattice, RejectsBadArguments) {
+  EXPECT_THROW(SectionLattice(0, 9), precondition_error);
+  EXPECT_THROW(SectionLattice(32, 0), precondition_error);
+  EXPECT_THROW(SectionLattice(32, -1), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

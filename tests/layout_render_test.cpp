@@ -1,0 +1,78 @@
+// Tests for the Figure 1/2/6-style ASCII layout renderer.
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "cyclick/hpf/layout_render.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(LayoutRender, SmallLayoutExactText) {
+  // p=2, k=2 (pk=4), section (1:7:3) = {1, 4, 7}, two rows.
+  const BlockCyclic dist(2, 2);
+  const RegularSection sec{1, 7, 3};
+  const std::string got = render_section_layout(dist, sec, 2);
+  const std::string want =
+      " 0 (1)| 2  3 \n"
+      "[4] 5 | 6 [7]\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(LayoutRender, ProcessorWalkMarksOnlyOwnedElements) {
+  const BlockCyclic dist(2, 2);
+  const RegularSection sec{1, 7, 3};  // {1, 4, 7}; proc 1 owns offsets {2,3}
+  const std::string got = render_processor_walk(dist, sec, 1, 2);
+  const std::string want =
+      " 0 (1)| 2  3 \n"
+      " 4  5 | 6 [7]\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(LayoutRender, PaperFigure1Element108) {
+  // Figure 1: p=4, k=8, element 108 sits in row 3 at offset 12 (processor
+  // 1's block). Check the rendered grid brackets exactly that cell.
+  const BlockCyclic dist(4, 8);
+  const std::string got = render_layout(dist, 4, [](i64 g) { return g == 108; });
+  // Row 3 must contain "[108]" and no other brackets anywhere.
+  EXPECT_NE(got.find("[108]"), std::string::npos);
+  EXPECT_EQ(got.find('['), got.rfind('['));
+  // 4 rows rendered.
+  EXPECT_EQ(std::count(got.begin(), got.end(), '\n'), 4);
+}
+
+TEST(LayoutRender, BlockSeparatorsCountMatchesProcessors) {
+  const BlockCyclic dist(4, 8);
+  const std::string got = render_section_layout(dist, {0, 31, 5}, 1);
+  // p-1 = 3 separators in one row.
+  EXPECT_EQ(std::count(got.begin(), got.end(), '|'), 3);
+}
+
+TEST(LayoutRender, BracketCountEqualsSectionElementsShown) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 300, 9};
+  const std::string got = render_section_layout(dist, sec, 10);  // indices 0..319
+  // 33 section elements; the lower bound renders with parentheses.
+  EXPECT_EQ(std::count(got.begin(), got.end(), '['), sec.size() - 1);
+  EXPECT_EQ(std::count(got.begin(), got.end(), '('), 1);
+}
+
+TEST(LayoutRender, WalkBracketsMatchProcessorShare) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 300, 9};
+  for (i64 m = 0; m < 4; ++m) {
+    const std::string got = render_processor_walk(dist, sec, m, 10);
+    i64 owned = 0;
+    for (i64 t = 0; t < sec.size(); ++t)
+      if (dist.owner(sec.element(t)) == m && sec.element(t) != sec.lower) ++owned;
+    EXPECT_EQ(std::count(got.begin(), got.end(), '['), owned) << m;
+  }
+}
+
+TEST(LayoutRender, RejectsBadArguments) {
+  const BlockCyclic dist(2, 2);
+  EXPECT_THROW((void)render_section_layout(dist, {0, 3, 1}, 0), precondition_error);
+  EXPECT_THROW((void)render_processor_walk(dist, {0, 3, 1}, 2, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

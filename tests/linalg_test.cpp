@@ -1,0 +1,229 @@
+// Tests for the block-scattered linear algebra layer: DistMatrix structure,
+// GEMV, SUMMA, transpose, norms — all against serial references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "cyclick/linalg/blas.hpp"
+
+namespace cyclick {
+namespace {
+
+std::vector<double> random_matrix(i64 rows, i64 cols, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(rows * cols));
+  for (auto& v : m) v = static_cast<double>(rng() % 19) - 9.0;
+  return m;
+}
+
+TEST(DistMatrix, DenseRoundTrip) {
+  DistMatrix<double> a(12, 15, 2, 3, 2, 3);
+  const auto image = random_matrix(12, 15, 1);
+  a.from_dense(image);
+  EXPECT_EQ(a.to_dense(), image);
+  EXPECT_EQ(a.get(3, 7), image[static_cast<std::size_t>(3 * 15 + 7)]);
+}
+
+TEST(DistMatrix, OwnedRowsPartitionAndMatchOwners) {
+  DistMatrix<double> a(23, 17, 3, 2, 2, 3);
+  std::vector<int> seen(23, 0);
+  for (i64 gr = 0; gr < 2; ++gr) {
+    for (const i64 i : a.owned_rows(gr)) {
+      EXPECT_EQ(a.row_dist().owner(i), gr);
+      ++seen[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+  std::vector<int> seen_cols(17, 0);
+  for (i64 gc = 0; gc < 3; ++gc)
+    for (const i64 j : a.owned_cols(gc)) ++seen_cols[static_cast<std::size_t>(j)];
+  for (const int c : seen_cols) EXPECT_EQ(c, 1);
+}
+
+TEST(Gemv, MatchesSerial) {
+  const i64 rows = 18, cols = 22;
+  DistMatrix<double> a(rows, cols, 2, 3, 2, 3);
+  const auto image = random_matrix(rows, cols, 2);
+  a.from_dense(image);
+  std::vector<double> x(static_cast<std::size_t>(cols));
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] = static_cast<double>(j % 7) - 3.0;
+
+  const SpmdExecutor exec(6, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(6);
+  const std::vector<double> y = gemv<double>(a, x, exec, tr);
+
+  for (i64 i = 0; i < rows; ++i) {
+    double want = 0.0;
+    for (i64 j = 0; j < cols; ++j)
+      want += image[static_cast<std::size_t>(i * cols + j)] * x[static_cast<std::size_t>(j)];
+    EXPECT_EQ(y[static_cast<std::size_t>(i)], want) << i;
+  }
+  EXPECT_EQ(tr.in_flight(), 0);
+}
+
+TEST(Summa, MatchesSerialGemm) {
+  const i64 n = 20, k = 14, m = 17;
+  // Conformal distributions: A rows/C rows cyclic(3) on 2 grid rows; B
+  // cols/C cols cyclic(2) on 3 grid cols; A cols/B rows cyclic(4).
+  DistMatrix<double> a(n, k, 3, 4, 2, 3);
+  DistMatrix<double> b(k, m, 4, 2, 2, 3);
+  DistMatrix<double> c(n, m, 3, 2, 2, 3);
+  const auto ai = random_matrix(n, k, 3);
+  const auto bi = random_matrix(k, m, 4);
+  a.from_dense(ai);
+  b.from_dense(bi);
+
+  const SpmdExecutor exec(6, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(6);
+  summa(a, b, c, exec, tr);
+
+  const auto ci = c.to_dense();
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < m; ++j) {
+      double want = 0.0;
+      for (i64 t = 0; t < k; ++t)
+        want += ai[static_cast<std::size_t>(i * k + t)] *
+                bi[static_cast<std::size_t>(t * m + j)];
+      ASSERT_EQ(ci[static_cast<std::size_t>(i * m + j)], want) << i << "," << j;
+    }
+  EXPECT_EQ(tr.in_flight(), 0);
+}
+
+TEST(Summa, WrongDistributionsRejected) {
+  DistMatrix<double> a(8, 8, 2, 2, 2, 2);
+  DistMatrix<double> b(8, 8, 2, 2, 2, 2);
+  DistMatrix<double> c(8, 8, 3, 2, 2, 2);  // C rows not conformal with A rows
+  const SpmdExecutor exec(4, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(4);
+  EXPECT_THROW(summa(a, b, c, exec, tr), precondition_error);
+  // Sequential executor rejected (collectives would deadlock).
+  const SpmdExecutor seq(4, SpmdExecutor::Mode::kSequential);
+  DistMatrix<double> c2(8, 8, 2, 2, 2, 2);
+  EXPECT_THROW(summa(a, b, c2, seq, tr), precondition_error);
+}
+
+TEST(Transpose, MatchesSerial) {
+  const i64 rows = 13, cols = 19;
+  DistMatrix<double> a(rows, cols, 2, 3, 2, 3);
+  DistMatrix<double> at(cols, rows, 3, 2, 2, 3);
+  const auto image = random_matrix(rows, cols, 5);
+  a.from_dense(image);
+  const SpmdExecutor exec(6);
+  transpose(a, at, exec);
+  for (i64 i = 0; i < rows; ++i)
+    for (i64 j = 0; j < cols; ++j)
+      ASSERT_EQ(at.get(j, i), image[static_cast<std::size_t>(i * cols + j)]) << i << "," << j;
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  DistMatrix<double> a(9, 11, 2, 2, 2, 2), at(11, 9, 3, 1, 2, 2), att(9, 11, 1, 4, 2, 2);
+  const auto image = random_matrix(9, 11, 6);
+  a.from_dense(image);
+  const SpmdExecutor exec(4);
+  transpose(a, at, exec);
+  transpose(at, att, exec);
+  EXPECT_EQ(att.to_dense(), image);
+}
+
+TEST(FrobeniusNorm, MatchesSerial) {
+  DistMatrix<double> a(10, 10, 3, 3, 2, 2);
+  const auto image = random_matrix(10, 10, 7);
+  a.from_dense(image);
+  const SpmdExecutor exec(4);
+  double want = 0.0;
+  for (const double v : image) want += v * v;
+  EXPECT_DOUBLE_EQ(frobenius_norm(a, exec), std::sqrt(want));
+}
+
+TEST(LuFactor, ReconstructsTheMatrix) {
+  const i64 n = 16;
+  // Diagonally dominant => no pivoting needed.
+  auto image = random_matrix(n, n, 11);
+  for (i64 i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (i64 j = 0; j < n; ++j) rowsum += std::abs(image[static_cast<std::size_t>(i * n + j)]);
+    image[static_cast<std::size_t>(i * n + i)] = rowsum + 1.0;
+  }
+  DistMatrix<double> a(n, n, 3, 2, 2, 3);
+  a.from_dense(image);
+  const SpmdExecutor exec(6, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(6);
+  lu_factor(a, exec, tr);
+  EXPECT_EQ(tr.in_flight(), 0);
+
+  // Reconstruct L * U from the packed factors and compare.
+  const auto f = a.to_dense();
+  double max_err = 0.0;
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const i64 kmax = i < j ? i : j;
+      for (i64 t = 0; t <= kmax; ++t) {
+        const double lit = (t == i) ? 1.0 : (t < i ? f[static_cast<std::size_t>(i * n + t)] : 0.0);
+        const double utj = (t <= j) ? f[static_cast<std::size_t>(t * n + j)] : 0.0;
+        acc += lit * utj;
+      }
+      max_err = std::max(max_err,
+                         std::abs(acc - image[static_cast<std::size_t>(i * n + j)]));
+    }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(LuFactor, SolvesASystemViaForwardBackSubstitution) {
+  const i64 n = 12;
+  auto image = random_matrix(n, n, 12);
+  for (i64 i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (i64 j = 0; j < n; ++j) rowsum += std::abs(image[static_cast<std::size_t>(i * n + j)]);
+    image[static_cast<std::size_t>(i * n + i)] = rowsum + 1.0;
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x_true.size(); ++i) x_true[i] = static_cast<double>(i) - 5.5;
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < n; ++j)
+      b[static_cast<std::size_t>(i)] +=
+          image[static_cast<std::size_t>(i * n + j)] * x_true[static_cast<std::size_t>(j)];
+
+  DistMatrix<double> a(n, n, 2, 2, 2, 2);
+  a.from_dense(image);
+  const SpmdExecutor exec(4, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(4);
+  lu_factor(a, exec, tr);
+  const auto f = a.to_dense();
+
+  // Serial triangular solves on the gathered factors.
+  std::vector<double> y = b;
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < i; ++j)
+      y[static_cast<std::size_t>(i)] -=
+          f[static_cast<std::size_t>(i * n + j)] * y[static_cast<std::size_t>(j)];
+  std::vector<double> x = y;
+  for (i64 i = n - 1; i >= 0; --i) {
+    for (i64 j = i + 1; j < n; ++j)
+      x[static_cast<std::size_t>(i)] -=
+          f[static_cast<std::size_t>(i * n + j)] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] /= f[static_cast<std::size_t>(i * n + i)];
+  }
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9)
+        << i;
+}
+
+TEST(Summa, IdentityTimesMatrix) {
+  const i64 n = 12;
+  DistMatrix<double> eye(n, n, 2, 2, 2, 2), b(n, n, 2, 3, 2, 2), c(n, n, 2, 3, 2, 2);
+  std::vector<double> id(static_cast<std::size_t>(n * n), 0.0);
+  for (i64 i = 0; i < n; ++i) id[static_cast<std::size_t>(i * n + i)] = 1.0;
+  eye.from_dense(id);
+  const auto bi = random_matrix(n, n, 8);
+  b.from_dense(bi);
+  const SpmdExecutor exec(4, SpmdExecutor::Mode::kThreads);
+  InProcessTransport tr(4);
+  summa(eye, b, c, exec, tr);
+  EXPECT_EQ(c.to_dense(), bi);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,106 @@
+// Tests for processor grids and multidimensional mappings.
+#include <gtest/gtest.h>
+#include <map>
+#include <utility>
+
+#include "cyclick/hpf/multidim.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(ProcessorGrid, RankLinearizationRoundTrips) {
+  const ProcessorGrid grid({3, 4, 2});
+  EXPECT_EQ(grid.rank_count(), 24);
+  EXPECT_EQ(grid.dims(), 3u);
+  for (i64 r = 0; r < grid.rank_count(); ++r) {
+    const auto c = grid.coords_of(r);
+    EXPECT_EQ(grid.rank_of(c), r);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(c[d], 0);
+      EXPECT_LT(c[d], grid.extent(d));
+    }
+  }
+}
+
+TEST(ProcessorGrid, RowMajorOrder) {
+  const ProcessorGrid grid({2, 3});
+  EXPECT_EQ(grid.rank_of({0, 0}), 0);
+  EXPECT_EQ(grid.rank_of({0, 2}), 2);
+  EXPECT_EQ(grid.rank_of({1, 0}), 3);
+  EXPECT_EQ(grid.rank_of({1, 2}), 5);
+}
+
+TEST(ProcessorGrid, RejectsBadInput) {
+  EXPECT_THROW(ProcessorGrid({}), precondition_error);
+  EXPECT_THROW(ProcessorGrid({2, 0}), precondition_error);
+  const ProcessorGrid grid({2, 2});
+  EXPECT_THROW((void)grid.rank_of({0}), precondition_error);
+  EXPECT_THROW((void)grid.rank_of({0, 2}), precondition_error);
+  EXPECT_THROW((void)grid.coords_of(4), precondition_error);
+}
+
+MultiDimMapping make_2d() {
+  // 12x10 array, rows cyclic(2) over 3 procs, cols cyclic(3) over 2 procs.
+  std::vector<DimMapping> dims;
+  dims.emplace_back(12, AffineAlignment::identity(), BlockCyclic(3, 2));
+  dims.emplace_back(10, AffineAlignment::identity(), BlockCyclic(2, 3));
+  return {std::move(dims), ProcessorGrid({3, 2})};
+}
+
+TEST(MultiDimMapping, OwnerIsProductOfPerDimOwners) {
+  const MultiDimMapping map = make_2d();
+  for (i64 i = 0; i < 12; ++i)
+    for (i64 j = 0; j < 10; ++j) {
+      const i64 want = map.grid().rank_of({BlockCyclic(3, 2).owner(i),
+                                           BlockCyclic(2, 3).owner(j)});
+      EXPECT_EQ(map.owner_rank({i, j}), want) << i << "," << j;
+    }
+}
+
+TEST(MultiDimMapping, LocalAddressesAreDistinctPerRank) {
+  const MultiDimMapping map = make_2d();
+  // Each (rank, local address) pair must identify exactly one element.
+  std::map<std::pair<i64, i64>, i64> seen;
+  for (i64 i = 0; i < 12; ++i)
+    for (i64 j = 0; j < 10; ++j) {
+      const i64 r = map.owner_rank({i, j});
+      const i64 la = map.local_address({i, j});
+      EXPECT_GE(la, 0);
+      EXPECT_LT(la, map.local_capacity());
+      const auto key = std::make_pair(r, la);
+      EXPECT_EQ(seen.count(key), 0u) << "collision at " << i << "," << j;
+      seen[key] = i * 10 + j;
+    }
+  EXPECT_EQ(static_cast<i64>(seen.size()), map.total_elements());
+}
+
+TEST(MultiDimMapping, AlignedDimension) {
+  // 5-element dim aligned with 2*i+1 onto a 12-cell template dimension.
+  std::vector<DimMapping> dims;
+  dims.emplace_back(5, AffineAlignment{2, 1}, BlockCyclic(2, 3));
+  const MultiDimMapping map{std::move(dims), ProcessorGrid({2})};
+  for (i64 i = 0; i < 5; ++i)
+    EXPECT_EQ(map.owner_rank({i}), BlockCyclic(2, 3).owner(2 * i + 1)) << i;
+}
+
+TEST(MultiDimMapping, RejectsMismatchedGrid) {
+  std::vector<DimMapping> dims;
+  dims.emplace_back(10, AffineAlignment::identity(), BlockCyclic(3, 2));
+  EXPECT_THROW(MultiDimMapping(std::move(dims), ProcessorGrid({4})), precondition_error);
+}
+
+TEST(MultiDimMapping, RejectsNegativeCells) {
+  std::vector<DimMapping> dims;
+  dims.emplace_back(10, AffineAlignment{1, -5}, BlockCyclic(2, 2));
+  EXPECT_THROW(MultiDimMapping(std::move(dims), ProcessorGrid({2})), precondition_error);
+}
+
+TEST(MultiDimMapping, SubscriptValidation) {
+  const MultiDimMapping map = make_2d();
+  EXPECT_THROW((void)map.owner_rank({0}), precondition_error);
+  EXPECT_THROW((void)map.owner_rank({12, 0}), precondition_error);
+  EXPECT_THROW((void)map.local_address({0, -1}), precondition_error);
+}
+
+}  // namespace
+}  // namespace cyclick

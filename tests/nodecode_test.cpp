@@ -1,0 +1,168 @@
+// Tests for the four Figure-8 node-code shapes: all shapes must touch the
+// same local addresses in the same order, which must equal the oracle's.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/codegen/nodecode.hpp"
+
+namespace cyclick {
+namespace {
+
+constexpr CodeShape kAllShapes[] = {CodeShape::kModCycle, CodeShape::kConditionalReset,
+                                    CodeShape::kCycleFor, CodeShape::kOffsetIndexed};
+
+// Run one shape and record the local addresses it touched.
+std::vector<i64> touched_addresses(CodeShape shape, const BlockCyclic& dist,
+                                   const RegularSection& sec, i64 proc) {
+  const i64 cap = dist.local_capacity(sec.upper + 1);
+  std::vector<int> buffer(static_cast<std::size_t>(cap), 0);
+  std::vector<i64> touched;
+  run_section_node_code(shape, dist, sec, proc, std::span<int>(buffer), [&](int& slot) {
+    touched.push_back(static_cast<i64>(&slot - buffer.data()));
+    slot += 1;
+  });
+  return touched;
+}
+
+TEST(NodeCode, AllShapesVisitOracleSequence) {
+  for (i64 p : {1, 2, 4}) {
+    for (i64 k : {2, 4, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {i64{1}, i64{3}, i64{7}, i64{9}, 2 * k + 1}) {
+        const RegularSection sec{2, 2 + 57 * s, s};
+        for (i64 m = 0; m < p; ++m) {
+          const auto want_seq = oracle_local_sequence(dist, sec, m);
+          std::vector<i64> want;
+          want.reserve(want_seq.size());
+          for (const Access& a : want_seq) want.push_back(a.local);
+          for (const CodeShape shape : kAllShapes) {
+            EXPECT_EQ(touched_addresses(shape, dist, sec, m), want)
+                << code_shape_name(shape) << " p=" << p << " k=" << k << " s=" << s
+                << " m=" << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(NodeCode, ShapesCountAccesses) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{0, 319, 9};  // 36 elements over 4 procs
+  i64 total = 0;
+  for (i64 m = 0; m < 4; ++m) {
+    std::vector<double> buffer(static_cast<std::size_t>(dist.local_capacity(320)), 0.0);
+    total += run_section_node_code(CodeShape::kConditionalReset, dist, sec, m,
+                                   std::span<double>(buffer), [](double& x) { x = 100.0; });
+  }
+  EXPECT_EQ(total, sec.size());
+}
+
+TEST(NodeCode, EmptyRangeDoesNothing) {
+  std::vector<double> buffer(8, 0.0);
+  const AccessPattern empty;
+  const OffsetTables tables;
+  for (const CodeShape shape : kAllShapes) {
+    EXPECT_EQ(run_node_code(shape, std::span<double>(buffer), empty, tables, 7,
+                            [](double& x) { x = 1.0; }),
+              0)
+        << code_shape_name(shape);
+  }
+  for (const double v : buffer) EXPECT_EQ(v, 0.0);
+}
+
+TEST(NodeCode, StartBeyondLastDoesNothing) {
+  // A processor whose first access lies beyond the section's last element
+  // must perform zero accesses in every shape (guards the 8(c) shape, whose
+  // paper version tests bounds only after the first body execution).
+  std::vector<double> buffer(64, 0.0);
+  AccessPattern pat;
+  pat.start_local = 10;
+  pat.length = 2;
+  pat.gaps = {3, 5};
+  OffsetTables tables;
+  tables.start_offset = 0;
+  tables.delta = {3, 5};
+  tables.next_offset = {1, 0};
+  for (const CodeShape shape : kAllShapes) {
+    EXPECT_EQ(run_node_code(shape, std::span<double>(buffer), pat, tables, 9,
+                            [](double& x) { x = 1.0; }),
+              0)
+        << code_shape_name(shape);
+  }
+}
+
+TEST(NodeCode, PaperExampleAssignment) {
+  // A(4:300:9) = 100.0 on the paper's machine; verify the global image.
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 300, 9};
+  const i64 n = 320;
+  std::vector<std::vector<double>> locals(
+      4, std::vector<double>(static_cast<std::size_t>(dist.local_capacity(n)), 0.0));
+  for (i64 m = 0; m < 4; ++m)
+    run_section_node_code(CodeShape::kOffsetIndexed, dist, sec, m,
+                          std::span<double>(locals[static_cast<std::size_t>(m)]),
+                          [](double& x) { x = 100.0; });
+  for (i64 g = 0; g < n; ++g) {
+    const double v =
+        locals[static_cast<std::size_t>(dist.owner(g))][static_cast<std::size_t>(
+            dist.local_index(g))];
+    EXPECT_EQ(v, sec.contains(g) ? 100.0 : 0.0) << g;
+  }
+}
+
+TEST(NodeCode, TableFreeShapeMatchesOracle) {
+  for (i64 p : {2, 4}) {
+    for (i64 k : {4, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {3, 9, 17}) {
+        const RegularSection sec{1, 1 + 40 * s, s};
+        for (i64 m = 0; m < p; ++m) {
+          const auto want_seq = oracle_local_sequence(dist, sec, m);
+          const i64 cap = dist.local_capacity(sec.upper + 1);
+          std::vector<int> buffer(static_cast<std::size_t>(cap), 0);
+          std::vector<i64> got;
+          const auto lastg = find_last(dist, sec, m);
+          const i64 last = lastg ? dist.local_index(*lastg) : -1;
+          run_table_free(dist, sec.lower, sec.stride, m, std::span<int>(buffer), last,
+                         [&](int& slot) {
+                           got.push_back(static_cast<i64>(&slot - buffer.data()));
+                         });
+          std::vector<i64> want;
+          for (const Access& a : want_seq) want.push_back(a.local);
+          EXPECT_EQ(got, want) << p << " " << k << " " << s << " " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(ForEachLocalAccess, AscendingMatchesOracle) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{4, 300, 9};
+  for (i64 m = 0; m < 4; ++m) {
+    const auto want = oracle_local_sequence(dist, sec, m);
+    std::vector<Access> got;
+    for_each_local_access(dist, sec, m,
+                          [&](i64 g, i64 la) { got.push_back({g, la}); });
+    EXPECT_EQ(got, want) << m;
+  }
+}
+
+TEST(ForEachLocalAccess, DescendingMatchesOracle) {
+  const BlockCyclic dist(4, 8);
+  const RegularSection sec{300, 4, -9};
+  for (i64 m = 0; m < 4; ++m) {
+    const auto want = oracle_local_sequence(dist, sec, m);
+    std::vector<Access> got;
+    for_each_local_access(dist, sec, m,
+                          [&](i64 g, i64 la) { got.push_back({g, la}); });
+    EXPECT_EQ(got, want) << m;
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,125 @@
+// Locks in every concrete number the paper derives for its running example
+// (Figures 1-4 and 6): p = 4 processors, cyclic(8) distribution, stride 9.
+#include <gtest/gtest.h>
+
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+#include "cyclick/lattice/lattice.hpp"
+
+namespace cyclick {
+namespace {
+
+const BlockCyclic kDist{4, 8};  // p = 4, k = 8, pk = 32
+
+TEST(PaperFigure1, Element108Coordinates) {
+  // "array element A(108) has offset 4 in block 3 of processor 1".
+  EXPECT_EQ(kDist.owner(108), 1);
+  EXPECT_EQ(kDist.row(108), 3);
+  EXPECT_EQ(kDist.block_offset(108), 4);
+  // "the coordinates of the array element with index 108 are (12, 3)":
+  // offset-in-row 12, row 3.
+  EXPECT_EQ(kDist.offset(108), 12);
+}
+
+TEST(PaperSection3, BasisTestExample) {
+  // "(3,3): 3x32+3 = 11x9 and (-1,2): 2x32-1 = 7x9. Since 3x7-2x11 = -1,
+  // these vectors form a lattice basis." (s = 9, l = 0.)
+  const SectionLattice lattice(32, 9);
+  const SectionPoint p1{{3, 3}, 11};
+  const SectionPoint p2{{-1, 2}, 7};
+  ASSERT_TRUE(lattice.contains(p1.v));
+  ASSERT_TRUE(lattice.contains(p2.v));
+  EXPECT_EQ(lattice.index_of(p1.v), 11);
+  EXPECT_EQ(lattice.index_of(p2.v), 7);
+  EXPECT_TRUE(lattice.is_basis(p1, p2));
+}
+
+TEST(PaperSection3, CanonicalBasisIsABasis) {
+  const SectionLattice lattice(32, 9);
+  const auto [b1, b2] = lattice.canonical_basis();
+  EXPECT_TRUE(lattice.contains(b1.v));
+  EXPECT_TRUE(lattice.contains(b2.v));
+  EXPECT_TRUE(lattice.is_basis(b1, b2));
+  // First vector is the index-1 point (9 mod 32, 9 div 32) = (9, 0).
+  EXPECT_EQ(b1.v, (LatticePoint{9, 0}));
+  EXPECT_EQ(b1.index, 1);
+}
+
+TEST(PaperSection4, RAndLVectors) {
+  // "vector R ... is equal to (4,1) and corresponds to the regular section
+  //  index 1x32+4 = 36. Vector L ... is equal to (5,-1), and its
+  //  corresponding index is -1x32+5 = -27."
+  const auto basis = select_rl_basis(4, 8, 9);
+  ASSERT_TRUE(basis.has_value());
+  EXPECT_EQ(basis->r.v, (LatticePoint{4, 1}));
+  EXPECT_EQ(basis->l.v, (LatticePoint{5, -1}));
+  // Section-index values: R corresponds to value 36 = 4*9, L to -27 = -3*9.
+  EXPECT_EQ(basis->r.index * 9, 36);
+  EXPECT_EQ(basis->l.index * 9, -27);
+  EXPECT_EQ(basis->d, 1);
+  // "The smallest positive index on processor 0 is 36 ... The largest index
+  //  in the first cycle is 261, and since the point that starts the next
+  //  cycle is 288, we have L = (5,8) - (0,9) = (5,-1)."
+  const SectionLattice lattice(32, 9);
+  EXPECT_TRUE(lattice.is_basis(basis->r, basis->l));
+}
+
+TEST(PaperFigure6, AlgorithmWalkthrough) {
+  // Input p=4, k=8, l=4, s=9, m=1: start = 13, length = 8,
+  // AM = [3, 12, 15, 12, 3, 12, 3, 12].
+  WorkStats stats;
+  const AccessPattern pat = compute_access_pattern(kDist, 4, 9, 1, &stats);
+  EXPECT_EQ(pat.start_global, 13);
+  EXPECT_EQ(pat.length, 8);
+  EXPECT_EQ(pat.gaps, (std::vector<i64>{3, 12, 15, 12, 3, 12, 3, 12}));
+  // Local address of 13: row 0, block offset 13 - 8 = 5.
+  EXPECT_EQ(pat.start_local, 5);
+  // Work bound of Section 5.1: at most 2k+1 points examined.
+  EXPECT_LE(stats.points_visited, 2 * 8 + 1);
+}
+
+TEST(PaperFigure6, WalkMatchesListedIndices) {
+  // The rectangles in Figure 6 mark processor 1's section elements,
+  // beginning 13, 40, 76, 139 (the walkthrough's text), continuing to 301,
+  // the first point of the next cycle. (Elements are 4+9j with
+  // (4+9j) mod 32 in [8,16).)
+  LocalAccessIterator it(kDist, 4, 9, 1);
+  const std::vector<i64> expected{13, 40, 76, 139, 175, 202, 238, 265, 301};
+  for (const i64 want : expected) {
+    ASSERT_FALSE(it.done());
+    EXPECT_EQ(it.global(), want);
+    it.advance();
+  }
+}
+
+TEST(PaperSection2, StartLocationForEveryProcessor) {
+  // l = 0, s = 9: first section elements per processor from Figure 2's
+  // marked lattice (proc 0 owns offset range [0,8), etc.).
+  const std::vector<i64> expect_start{0, 9, 18, 27};
+  for (i64 m = 0; m < 4; ++m) {
+    const auto si = find_start(kDist, 0, 9, m);
+    ASSERT_TRUE(si.has_value());
+    EXPECT_EQ(si->start_global, expect_start[static_cast<std::size_t>(m)]) << "m=" << m;
+  }
+}
+
+TEST(PaperExample, AllMethodsAgreeForAllProcessors) {
+  for (i64 m = 0; m < 4; ++m) {
+    const AccessPattern lattice = compute_access_pattern(kDist, 4, 9, m);
+    const AccessPattern sorting = chatterjee_access_pattern(kDist, 4, 9, m);
+    const AccessPattern truth = oracle_access_pattern(kDist, 4, 9, m);
+    EXPECT_EQ(lattice, truth) << "m=" << m;
+    EXPECT_EQ(sorting, truth) << "m=" << m;
+  }
+}
+
+TEST(PaperExample, CycleAdvanceIsStrideTimesBlock) {
+  // One period advances s/d = 9 rows of k = 8 local cells: 72.
+  const AccessPattern pat = compute_access_pattern(kDist, 4, 9, 1);
+  EXPECT_EQ(pat.cycle_advance(), 72);
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,98 @@
+// Scale and overflow-adjacent stress tests: large p, k, strides near 2^31,
+// lower bounds far from zero — the regimes where naive 32-bit or
+// truncating-division implementations break.
+#include <gtest/gtest.h>
+
+#include "cyclick/baselines/chatterjee.hpp"
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(ScaleStress, LargeBlockAndProcessorCounts) {
+  // p=256, k=1024 (pk = 262144): full Table-1-style verification on a
+  // machine two orders of magnitude beyond the paper's.
+  const BlockCyclic dist(256, 1024);
+  const i64 pk = dist.row_length();
+  for (const i64 s : {i64{7}, i64{1023}, pk - 1, pk + 1, 3 * pk + 17}) {
+    for (const i64 m : {i64{0}, i64{127}, i64{255}}) {
+      const AccessPattern a = compute_access_pattern(dist, 5, s, m);
+      const AccessPattern b = chatterjee_access_pattern(dist, 5, s, m);
+      ASSERT_EQ(a, b) << "s=" << s << " m=" << m;
+      if (!a.empty()) {
+        const i64 d = gcd_i64(s, pk);
+        ASSERT_EQ(a.cycle_advance(), (s / d) * 1024) << "s=" << s << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(ScaleStress, StridesNearTwoToThirtyOne) {
+  // Large strides exercise the 128-bit congruence arithmetic: s*j and i*s
+  // intermediates overflow 64 bits if computed naively without reduction.
+  const BlockCyclic dist(32, 64);  // pk = 2048
+  for (const i64 s : {(i64{1} << 31) - 1, (i64{1} << 31) + 1, (i64{1} << 40) + 3}) {
+    for (const i64 m : {i64{0}, i64{17}, i64{31}}) {
+      const AccessPattern a = compute_access_pattern(dist, 0, s, m);
+      const AccessPattern b = oracle_access_pattern(dist, 0, s, m);
+      ASSERT_EQ(a, b) << "s=" << s << " m=" << m;
+    }
+  }
+}
+
+TEST(ScaleStress, LowerBoundsFarFromZero) {
+  const BlockCyclic dist(16, 32);
+  for (const i64 l : {i64{1} << 40, -(i64{1} << 20)}) {
+    for (const i64 s : {9, 515}) {
+      for (const i64 m : {i64{0}, i64{9}}) {
+        const AccessPattern a = compute_access_pattern(dist, l, s, m);
+        const AccessPattern b = oracle_access_pattern(dist, l, s, m);
+        ASSERT_EQ(a, b) << "l=" << l << " s=" << s << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(ScaleStress, IteratorLongWalkStaysExact) {
+  // Walk a million accesses and spot-check the invariants: owner stays m,
+  // local address equals the distribution's packed address.
+  const BlockCyclic dist(32, 16);
+  const i64 s = 37;
+  LocalAccessIterator it(dist, 3, s, 11);
+  ASSERT_FALSE(it.done());
+  for (i64 step = 0; step < 1'000'000; ++step) {
+    it.advance();
+    if ((step & 0xffff) == 0) {
+      ASSERT_EQ(dist.owner(it.global()), 11) << step;
+      ASSERT_EQ(dist.local_index(it.global()), it.local()) << step;
+      ASSERT_EQ(floor_mod(it.global() - 3, s), 0) << step;
+    }
+  }
+  // Final exact check.
+  ASSERT_EQ(dist.owner(it.global()), 11);
+  ASSERT_EQ(dist.local_index(it.global()), it.local());
+}
+
+TEST(ScaleStress, WorstCaseWorkBoundAtScale) {
+  const BlockCyclic dist(32, 4096);
+  WorkStats stats;
+  compute_access_pattern(dist, 0, 32 * 4096 - 1, 31, &stats);  // s = pk-1
+  EXPECT_LE(stats.points_visited, 2 * 4096 + 1);
+}
+
+TEST(ScaleStress, DegenerateExtremes) {
+  // One processor; one-element blocks; both at once.
+  for (const auto& [p, k] : {std::pair<i64, i64>{1, 4096}, {4096, 1}, {1, 1}}) {
+    const BlockCyclic dist(p, k);
+    for (const i64 s : {1, 3, 12345}) {
+      const i64 m = p - 1;
+      ASSERT_EQ(compute_access_pattern(dist, 2, s, m), oracle_access_pattern(dist, 2, s, m))
+          << p << " " << k << " " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

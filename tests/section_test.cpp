@@ -1,0 +1,131 @@
+// Tests for Fortran-90 regular sections (subscript triplets).
+#include <gtest/gtest.h>
+
+#include "cyclick/hpf/section.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(RegularSection, SizeAscending) {
+  EXPECT_EQ((RegularSection{0, 9, 1}.size()), 10);
+  EXPECT_EQ((RegularSection{0, 9, 3}.size()), 4);   // 0 3 6 9
+  EXPECT_EQ((RegularSection{0, 8, 3}.size()), 3);   // 0 3 6
+  EXPECT_EQ((RegularSection{4, 300, 9}.size()), 33);
+  EXPECT_EQ((RegularSection{5, 4, 1}.size()), 0);
+}
+
+TEST(RegularSection, SizeDescending) {
+  EXPECT_EQ((RegularSection{9, 0, -1}.size()), 10);
+  EXPECT_EQ((RegularSection{9, 0, -3}.size()), 4);  // 9 6 3 0
+  EXPECT_EQ((RegularSection{9, 1, -3}.size()), 3);  // 9 6 3
+  EXPECT_EQ((RegularSection{0, 9, -1}.size()), 0);
+}
+
+TEST(RegularSection, ElementsAndLast) {
+  const RegularSection s{4, 300, 9};
+  EXPECT_EQ(s.element(0), 4);
+  EXPECT_EQ(s.element(1), 13);
+  EXPECT_EQ(s.last(), 292);
+  EXPECT_THROW((void)s.element(-1), precondition_error);
+  EXPECT_THROW((void)s.element(s.size()), precondition_error);
+}
+
+TEST(RegularSection, Contains) {
+  const RegularSection s{4, 300, 9};
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_TRUE(s.contains(13));
+  EXPECT_TRUE(s.contains(292));
+  EXPECT_FALSE(s.contains(301));  // beyond the bound
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_FALSE(s.contains(-5));
+  const RegularSection down{9, 0, -3};
+  EXPECT_TRUE(down.contains(9));
+  EXPECT_TRUE(down.contains(0));
+  EXPECT_FALSE(down.contains(12));
+  EXPECT_FALSE(down.contains(1));
+}
+
+TEST(RegularSection, AscendingNormalization) {
+  const RegularSection down{9, 1, -3};  // {9, 6, 3}
+  const RegularSection up = down.ascending();
+  EXPECT_EQ(up.lower, 3);
+  EXPECT_EQ(up.upper, 9);
+  EXPECT_EQ(up.stride, 3);
+  EXPECT_EQ(up.size(), down.size());
+  // Ascending of ascending tightens the bound to the last element.
+  const RegularSection loose{0, 10, 3};  // {0 3 6 9}
+  EXPECT_EQ(loose.ascending().upper, 9);
+}
+
+TEST(RegularSection, AffineImagePreservesElementOrder) {
+  const RegularSection s{1, 7, 2};  // 1 3 5 7
+  const RegularSection img = s.affine_image(3, 10);  // 13 19 25 31
+  EXPECT_EQ(img.size(), s.size());
+  for (i64 t = 0; t < s.size(); ++t) EXPECT_EQ(img.element(t), 3 * s.element(t) + 10);
+  const RegularSection neg = s.affine_image(-2, 100);  // 98 94 90 86
+  EXPECT_EQ(neg.size(), s.size());
+  for (i64 t = 0; t < s.size(); ++t) EXPECT_EQ(neg.element(t), -2 * s.element(t) + 100);
+}
+
+TEST(RegularSection, IntersectBasic) {
+  // {0,3,6,...,30} ∩ {0,5,10,...,30} = {0,15,30}.
+  const RegularSection a{0, 30, 3};
+  const RegularSection b{0, 30, 5};
+  const RegularSection c = a.intersect(b);
+  EXPECT_EQ(c.lower, 0);
+  EXPECT_EQ(c.stride, 15);
+  EXPECT_EQ(c.size(), 3);
+}
+
+TEST(RegularSection, IntersectEmptyWhenIncompatible) {
+  // Odd vs even numbers.
+  const RegularSection odd{1, 99, 2};
+  const RegularSection even{0, 98, 2};
+  EXPECT_TRUE(odd.intersect(even).empty());
+}
+
+TEST(RegularSection, IntersectHandlesOffsetsAndBounds) {
+  const RegularSection a{2, 50, 4};   // 2 6 10 ... 50
+  const RegularSection b{10, 40, 6};  // 10 16 22 28 34 40
+  const RegularSection c = a.intersect(b);
+  // common: values ≡ 2 (mod 4) and ≡ 4 (mod 6): 10, 22, 34, 46>40 -> {10,22,34}
+  EXPECT_EQ(c.lower, 10);
+  EXPECT_EQ(c.stride, 12);
+  EXPECT_EQ(c.size(), 3);
+}
+
+TEST(RegularSection, IntersectExhaustiveAgainstSets) {
+  for (i64 l1 = 0; l1 < 6; ++l1)
+    for (i64 s1 : {1, 2, 3, 5})
+      for (i64 l2 = 0; l2 < 6; ++l2)
+        for (i64 s2 : {1, 2, 4, 6}) {
+          const RegularSection a{l1, l1 + 4 * s1, s1};
+          const RegularSection b{l2, l2 + 5 * s2, s2};
+          const RegularSection c = a.intersect(b);
+          for (i64 v = -5; v <= 60; ++v) {
+            const bool in_both = a.contains(v) && b.contains(v);
+            EXPECT_EQ(c.contains(v), in_both)
+                << a.to_string() << " ∩ " << b.to_string() << " at " << v;
+          }
+        }
+}
+
+TEST(RegularSection, IntersectWithDescendingOperands) {
+  const RegularSection down{30, 0, -3};
+  const RegularSection up{0, 30, 5};
+  const RegularSection c = down.intersect(up);
+  EXPECT_EQ(c.lower, 0);
+  EXPECT_EQ(c.stride, 15);
+  EXPECT_EQ(c.size(), 3);
+}
+
+TEST(RegularSection, ZeroStrideRejected) {
+  EXPECT_THROW(RegularSection(0, 10, 0), precondition_error);
+}
+
+TEST(RegularSection, ToString) {
+  EXPECT_EQ((RegularSection{4, 300, 9}.to_string()), "(4:300:9)");
+}
+
+}  // namespace
+}  // namespace cyclick

@@ -1,0 +1,67 @@
+// Tests for the simulated SPMD executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "cyclick/runtime/spmd.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(SpmdExecutor, SequentialRunsEveryRankOnce) {
+  const SpmdExecutor exec(7, SpmdExecutor::Mode::kSequential);
+  std::vector<int> hits(7, 0);
+  exec.run([&](i64 r) { ++hits[static_cast<std::size_t>(r)]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SpmdExecutor, ThreadedRunsEveryRankOnce) {
+  const SpmdExecutor exec(16, SpmdExecutor::Mode::kThreads);
+  std::vector<std::atomic<int>> hits(16);
+  exec.run([&](i64 r) { hits[static_cast<std::size_t>(r)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SpmdExecutor, RunIsABarrier) {
+  // Work done in phase 1 must be visible in phase 2 across all ranks.
+  const SpmdExecutor exec(8, SpmdExecutor::Mode::kThreads);
+  std::vector<i64> stage1(8, 0);
+  exec.run([&](i64 r) { stage1[static_cast<std::size_t>(r)] = r + 1; });
+  i64 total = 0;
+  exec.run([&](i64 r) {
+    if (r == 0) total = std::accumulate(stage1.begin(), stage1.end(), i64{0});
+  });
+  EXPECT_EQ(total, 36);
+}
+
+TEST(SpmdExecutor, ExceptionsPropagate) {
+  const SpmdExecutor seq(4, SpmdExecutor::Mode::kSequential);
+  EXPECT_THROW(seq.run([](i64 r) {
+    if (r == 2) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+  const SpmdExecutor thr(4, SpmdExecutor::Mode::kThreads);
+  EXPECT_THROW(thr.run([](i64 r) {
+    if (r == 3) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(SpmdExecutor, RejectsBadRankCount) {
+  EXPECT_THROW(SpmdExecutor(0), precondition_error);
+  EXPECT_THROW(SpmdExecutor(-2), precondition_error);
+}
+
+TEST(SpmdExecutor, SingleRankWorksInBothModes) {
+  for (const auto mode : {SpmdExecutor::Mode::kSequential, SpmdExecutor::Mode::kThreads}) {
+    const SpmdExecutor exec(1, mode);
+    int hits = 0;
+    exec.run([&](i64) { ++hits; });
+    EXPECT_EQ(hits, 1);
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

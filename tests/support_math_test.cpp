@@ -1,0 +1,164 @@
+// Unit and property tests for the number-theory substrate.
+#include <gtest/gtest.h>
+
+#include "cyclick/support/math.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(FloorDiv, MatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(FloorMod, HasSignOfDivisor) {
+  EXPECT_EQ(floor_mod(7, 3), 1);
+  EXPECT_EQ(floor_mod(-7, 3), 2);
+  EXPECT_EQ(floor_mod(7, -3), -2);
+  EXPECT_EQ(floor_mod(-7, -3), -1);
+  EXPECT_EQ(floor_mod(0, 9), 0);
+}
+
+TEST(FloorDivMod, Identity) {
+  for (i64 a = -50; a <= 50; ++a)
+    for (i64 b : {-7, -3, -1, 1, 2, 5, 13}) {
+      EXPECT_EQ(floor_div(a, b) * b + floor_mod(a, b), a) << a << " " << b;
+      if (b > 0) {
+        EXPECT_GE(floor_mod(a, b), 0);
+        EXPECT_LT(floor_mod(a, b), b);
+      }
+    }
+}
+
+TEST(CeilDiv, MatchesMathematicalCeil) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(ExtendedEuclid, BezoutIdentityHolds) {
+  for (i64 a = 0; a <= 60; ++a)
+    for (i64 b = 0; b <= 60; ++b) {
+      if (a == 0 && b == 0) continue;
+      const EgcdResult r = extended_euclid(a, b);
+      EXPECT_EQ(r.g, gcd_i64(a, b));
+      EXPECT_EQ(a * r.x + b * r.y, r.g) << a << " " << b;
+    }
+}
+
+TEST(ExtendedEuclid, PaperExampleValues) {
+  // Figure 6 walkthrough: p=4, k=8, s=9 -> EXTENDED-EUCLID(9, 32) gives
+  // d = 1, x = -7, y = 2.
+  const EgcdResult r = extended_euclid(9, 32);
+  EXPECT_EQ(r.g, 1);
+  EXPECT_EQ(9 * r.x + 32 * r.y, 1);
+}
+
+TEST(Gcd, BasicAndNegatives) {
+  EXPECT_EQ(gcd_i64(12, 18), 6);
+  EXPECT_EQ(gcd_i64(-12, 18), 6);
+  EXPECT_EQ(gcd_i64(12, -18), 6);
+  EXPECT_EQ(gcd_i64(0, 5), 5);
+  EXPECT_EQ(gcd_i64(5, 0), 5);
+  EXPECT_EQ(gcd_i64(1, 1), 1);
+}
+
+TEST(Lcm, BasicAndZero) {
+  EXPECT_EQ(lcm_i64(4, 6), 12);
+  EXPECT_EQ(lcm_i64(9, 32), 288);
+  EXPECT_EQ(lcm_i64(0, 7), 0);
+  EXPECT_EQ(lcm_i64(7, 7), 7);
+}
+
+TEST(Lcm, OverflowIsRejected) {
+  EXPECT_THROW(lcm_i64((INT64_MAX / 2) | 1, (INT64_MAX / 3) | 1), precondition_error);
+}
+
+TEST(MulMod, MatchesWideArithmetic) {
+  EXPECT_EQ(mulmod(7, 9, 32), (7 * 9) % 32);
+  EXPECT_EQ(mulmod(-7, 9, 32), floor_mod(-63, 32));
+  // Values that would overflow 64-bit products:
+  const i64 big = INT64_C(4'000'000'000);
+  EXPECT_EQ(mulmod(big, big, 97),
+            static_cast<i64>((static_cast<i128>(big) * big) % 97));
+}
+
+TEST(SolveCongruence, FindsSmallestNonnegative) {
+  // 9 j ≡ 4 (mod 32): j = 4 works (36 mod 32 = 4).
+  const auto j = solve_congruence_min_nonneg(9, 4, 32);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(*j, 4);
+}
+
+TEST(SolveCongruence, DetectsUnsolvable) {
+  // 6 j ≡ 1 (mod 9) has no solution (gcd 3 does not divide 1).
+  EXPECT_FALSE(solve_congruence_min_nonneg(6, 1, 9).has_value());
+}
+
+TEST(SolveCongruence, ExhaustiveSweepAgainstBruteForce) {
+  for (i64 n : {2, 3, 5, 8, 12, 30, 32}) {
+    for (i64 a = -2 * n; a <= 2 * n; ++a) {
+      for (i64 c = -n; c <= n; ++c) {
+        const auto fast = solve_congruence_min_nonneg(a, c, n);
+        std::optional<i64> slow;
+        for (i64 j = 0; j < n; ++j) {
+          if (floor_mod(a * j - c, n) == 0) {
+            slow = j;
+            break;
+          }
+        }
+        EXPECT_EQ(fast, slow) << "a=" << a << " c=" << c << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SolveCongruence, NegativeTargets) {
+  // The start-location scan feeds negative residues (km - l can be < 0).
+  const auto j = solve_congruence_min_nonneg(9, -4, 32);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(floor_mod(9 * *j + 4, 32), 0);
+}
+
+TEST(ModInverse, InvertsUnits) {
+  for (i64 n : {2, 7, 32, 45}) {
+    for (i64 a = 1; a < n; ++a) {
+      const auto inv = mod_inverse(a, n);
+      if (gcd_i64(a, n) == 1) {
+        ASSERT_TRUE(inv.has_value());
+        EXPECT_EQ(floor_mod(a * *inv, n), 1);
+      } else {
+        EXPECT_FALSE(inv.has_value());
+      }
+    }
+  }
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(512));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(520));
+}
+
+TEST(Contracts, PreconditionErrorsCarryContext) {
+  try {
+    solve_congruence_min_nonneg(3, 1, 0);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("modulus"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cyclick

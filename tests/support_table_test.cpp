@@ -1,0 +1,57 @@
+// Tests for the TextTable formatter used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cyclick/support/table.hpp"
+
+namespace cyclick {
+namespace {
+
+TEST(TextTable, AlignedPrintContainsAllCells) {
+  TextTable t({"k", "Lattice", "Sorting"});
+  t.add_row({"4", "48", "56"});
+  t.add_row({"512", "614", "5550"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  for (const char* cell : {"k", "Lattice", "Sorting", "4", "48", "56", "512", "614", "5550"})
+    EXPECT_NE(out.find(cell), std::string::npos) << cell;
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, ArityMismatchRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), precondition_error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(-42), "-42");
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fixed(2.0, 0), "2");
+}
+
+TEST(TextTable, RowAndColCounts) {
+  TextTable t({"x", "y", "z"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace cyclick

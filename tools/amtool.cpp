@@ -1,0 +1,206 @@
+// amtool — command-line inspector for cyclic(k) memory access sequences.
+//
+// Subcommands:
+//   amtool table  -p P -k K -s S [-l L] [-m M]   AM gap table(s)
+//   amtool basis  -p P -k K -s S                 R/L and canonical lattice basis
+//   amtool walk   -p P -k K -s S -u U [-l L] [-m M]   list accesses (global->local)
+//   amtool owners -p P -k K -s S -u U [-l L]     per-processor element counts
+//   amtool layout -p P -k K -s S -u U [-l L] [-m M]   Figure 1/2/6 style rendering
+//   amtool stats  -p P -k K -s S [-l L]          gap histogram + Theorem-3 summary
+//
+// All subcommands accept any subset of processors via -m (default: all).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <map>
+
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+#include "cyclick/hpf/layout_render.hpp"
+#include "cyclick/lattice/lattice.hpp"
+
+namespace {
+
+using namespace cyclick;
+
+struct Options {
+  i64 p = 4, k = 8, s = 9, l = 0;
+  std::optional<i64> u;
+  std::optional<i64> m;
+};
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: amtool <table|basis|walk|owners|layout|stats> -p <procs> -k <block> -s <stride>\n"
+      "              [-l <lower>] [-u <upper>] [-m <proc>]\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc) usage();
+    const std::string flag = argv[i];
+    const i64 value = std::atoll(argv[i + 1]);
+    if (flag == "-p") opt.p = value;
+    else if (flag == "-k") opt.k = value;
+    else if (flag == "-s") opt.s = value;
+    else if (flag == "-l") opt.l = value;
+    else if (flag == "-u") opt.u = value;
+    else if (flag == "-m") opt.m = value;
+    else usage();
+  }
+  return opt;
+}
+
+void print_pattern(const BlockCyclic& dist, const Options& opt, i64 m) {
+  const AccessPattern pat = compute_access_pattern_signed(dist, opt.l, opt.s, m);
+  std::cout << "proc " << m << ": ";
+  if (pat.empty()) {
+    std::cout << "no elements\n";
+    return;
+  }
+  std::cout << "start A(" << pat.start_global << ") local " << pat.start_local
+            << ", period " << pat.length << ", AM = [";
+  for (std::size_t i = 0; i < pat.gaps.size(); ++i)
+    std::cout << (i ? ", " : "") << pat.gaps[i];
+  std::cout << "]\n";
+}
+
+int cmd_table(const BlockCyclic& dist, const Options& opt) {
+  if (opt.m) {
+    print_pattern(dist, opt, *opt.m);
+  } else {
+    for (i64 m = 0; m < opt.p; ++m) print_pattern(dist, opt, m);
+  }
+  return 0;
+}
+
+int cmd_basis(const BlockCyclic& dist, const Options& opt) {
+  CYCLICK_REQUIRE(opt.s > 0, "basis requires a positive stride");
+  const SectionLattice lattice(dist.row_length(), opt.s);
+  const auto [c1, c2] = lattice.canonical_basis();
+  std::cout << "section lattice: pk*a + b = i*s with pk = " << dist.row_length()
+            << ", s = " << opt.s << ", gcd = " << gcd_i64(opt.s, dist.row_length()) << "\n"
+            << "canonical basis: (" << c1.v.b << ", " << c1.v.a << ") index " << c1.index
+            << ";  (" << c2.v.b << ", " << c2.v.a << ") index " << c2.index << "\n";
+  if (const auto rl = select_rl_basis(opt.p, opt.k, opt.s)) {
+    std::cout << "R = (" << rl->r.v.b << ", " << rl->r.v.a << ") index " << rl->r.index
+              << ", memory gap " << rl->gap_r(opt.k) << "\n"
+              << "L = (" << rl->l.v.b << ", " << rl->l.v.a << ") index " << rl->l.index
+              << ", memory gap " << -rl->gap_minus_l(opt.k) << "\n"
+              << "Theorem-3 gaps: R " << rl->gap_r(opt.k) << ", -L " << rl->gap_minus_l(opt.k)
+              << ", R-L " << rl->gap_r_minus_l(opt.k) << "\n";
+  } else {
+    std::cout << "degenerate: gcd(s, pk) >= k, at most one offset per block\n";
+  }
+  return 0;
+}
+
+int cmd_walk(const BlockCyclic& dist, const Options& opt) {
+  if (!opt.u) {
+    std::cerr << "walk requires -u <upper>\n";
+    return 2;
+  }
+  const RegularSection sec{opt.l, *opt.u, opt.s};
+  const auto walk_one = [&](i64 m) {
+    std::cout << "proc " << m << ":\n";
+    for_each_local_access(dist, sec, m, [&](i64 g, i64 la) {
+      std::cout << "  A(" << g << ") -> mem[" << la << "]\n";
+    });
+  };
+  if (opt.m) {
+    walk_one(*opt.m);
+  } else {
+    for (i64 m = 0; m < opt.p; ++m) walk_one(m);
+  }
+  return 0;
+}
+
+int cmd_owners(const BlockCyclic& dist, const Options& opt) {
+  if (!opt.u) {
+    std::cerr << "owners requires -u <upper>\n";
+    return 2;
+  }
+  const RegularSection sec{opt.l, *opt.u, opt.s};
+  i64 total = 0;
+  for (i64 m = 0; m < opt.p; ++m) {
+    i64 count = 0;
+    for_each_local_access(dist, sec, m, [&](i64, i64) { ++count; });
+    std::cout << "proc " << m << ": " << count << " elements\n";
+    total += count;
+  }
+  std::cout << "total: " << total << " of " << sec.size() << "\n";
+  return total == sec.size() ? 0 : 1;
+}
+
+int cmd_stats(const BlockCyclic& dist, const Options& opt) {
+  // Gap histogram + Theorem-3 structure summary across processors.
+  CYCLICK_REQUIRE(opt.s > 0, "stats requires a positive stride");
+  std::map<i64, i64> histogram;
+  i64 empty_procs = 0;
+  i64 total_period = 0;
+  for (i64 m = 0; m < opt.p; ++m) {
+    const AccessPattern pat = compute_access_pattern(dist, opt.l, opt.s, m);
+    if (pat.empty()) {
+      ++empty_procs;
+      continue;
+    }
+    total_period += pat.length;
+    for (const i64 g : pat.gaps) ++histogram[g];
+  }
+  const i64 d = gcd_i64(opt.s, dist.row_length());
+  std::cout << "gcd(s, pk) = " << d << ", period sum over processors = " << total_period
+            << " (= pk/d = " << dist.row_length() / d << ")\n"
+            << "processors with no elements: " << empty_procs << "\n";
+  if (const auto basis = select_rl_basis(opt.p, opt.k, opt.s)) {
+    std::cout << "Theorem-3 gaps: R " << basis->gap_r(opt.k) << ", -L "
+              << basis->gap_minus_l(opt.k) << ", R-L " << basis->gap_r_minus_l(opt.k)
+              << "\n";
+  }
+  std::cout << "gap histogram (gap: count across all AM tables):\n";
+  for (const auto& [gap, count] : histogram)
+    std::cout << "  " << gap << ": " << count << "\n";
+  return 0;
+}
+
+int cmd_layout(const BlockCyclic& dist, const Options& opt) {
+  if (!opt.u) {
+    std::cerr << "layout requires -u <upper>\n";
+    return 2;
+  }
+  const RegularSection sec{opt.l, *opt.u, opt.s};
+  const i64 rows = floor_div(sec.ascending().upper, dist.row_length()) + 1;
+  if (opt.m) {
+    std::cout << "section elements on processor " << *opt.m << " (Figure 6 style; ("
+              << sec.lower << ") is the lower bound):\n"
+              << render_processor_walk(dist, sec, *opt.m, rows);
+  } else {
+    std::cout << "section elements across the layout (Figure 1/2 style):\n"
+              << render_section_layout(dist, sec, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Options opt = parse_options(argc, argv);
+  try {
+    const BlockCyclic dist(opt.p, opt.k);
+    if (cmd == "table") return cmd_table(dist, opt);
+    if (cmd == "basis") return cmd_basis(dist, opt);
+    if (cmd == "walk") return cmd_walk(dist, opt);
+    if (cmd == "owners") return cmd_owners(dist, opt);
+    if (cmd == "layout") return cmd_layout(dist, opt);
+    if (cmd == "stats") return cmd_stats(dist, opt);
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "amtool: " << e.what() << "\n";
+    return 1;
+  }
+}

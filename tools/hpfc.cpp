@@ -1,0 +1,73 @@
+// hpfc — run a mini-HPF DSL program from a file or stdin.
+//
+//   hpfc program.hpf          execute a file
+//   hpfc -                    execute stdin
+//   hpfc -t program.hpf       execute with the threaded SPMD executor
+//   hpfc -v program.hpf       also print the lowering trace (one line per
+//                             runtime operation each statement lowers to)
+//
+// Prints the program's `print`/`explain` output; compile and runtime
+// errors carry source line numbers.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cyclick/compiler/interp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cyclick;
+
+  bool threaded = false;
+  bool verbose = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-t") {
+      threaded = true;
+    } else if (arg == "-v") {
+      verbose = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: hpfc [-t] [-v] <program.hpf | ->\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: hpfc [-t] [-v] <program.hpf | ->\n";
+    return 2;
+  }
+
+  std::string source;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "hpfc: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  try {
+    dsl::Machine machine(threaded ? SpmdExecutor::Mode::kThreads
+                                  : SpmdExecutor::Mode::kSequential);
+    if (verbose) machine.enable_trace();
+    machine.run_source(source);
+    std::cout << machine.output();
+    if (verbose) std::cerr << "--- lowering trace ---\n" << machine.trace_log();
+    return 0;
+  } catch (const dsl_error& e) {
+    std::cerr << "hpfc: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "hpfc: internal error: " << e.what() << "\n";
+    return 1;
+  }
+}
