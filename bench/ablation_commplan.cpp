@@ -1,10 +1,19 @@
-// Ablation E: communication-set construction cost. An HPF run-time system
-// must derive, for dst(dsec) = src(ssec), which elements each rank sends
-// and receives. The naive method scans the whole section on every rank and
+// Ablation E: communication-plan construction and execution cost. An HPF
+// run-time system must derive, for dst(dsec) = src(ssec), which elements
+// each rank sends and receives, and then actually move the bytes — often
+// every sweep of an iterative solver.
+//
+// Construction: the naive method scans the whole section on every rank and
 // computes both owners per element (O(p * |section|)); the access-sequence
 // machinery lets each rank enumerate only its own elements (O(|section|)
-// total across ranks, O(k + log) setup each). This is precisely the payoff
-// the paper's introduction promises for compilers and run-time systems.
+// total across ranks, O(k + log) setup each); the compressed builder adds
+// owner-run source resolution and gap-table compression on top.
+//
+// Execution: the legacy per-item plan re-solves the source local address
+// (a modular solve) per element and allocates payload buffers per call;
+// the compressed plan replays periodic gap tables through a reusable
+// arena (zero steady-state allocations); the cached path adds only a hash
+// lookup on top of that.
 #include "bench_common.hpp"
 #include "cyclick/runtime/section_ops.hpp"
 
@@ -14,10 +23,10 @@ using namespace cyclick;
 using namespace cyclick::bench;
 
 // Naive plan: every rank scans all t and keeps what it receives.
-CommPlan naive_plan(const DistributedArray<double>& src, const RegularSection& ssec,
-                    const DistributedArray<double>& dst, const RegularSection& dsec,
-                    const SpmdExecutor& exec) {
-  CommPlan plan;
+LegacyCommPlan naive_plan(const DistributedArray<double>& src, const RegularSection& ssec,
+                          const DistributedArray<double>& dst, const RegularSection& dsec,
+                          const SpmdExecutor& exec) {
+  LegacyCommPlan plan;
   plan.ranks = exec.ranks();
   plan.pairwise.resize(static_cast<std::size_t>(plan.ranks * plan.ranks));
   exec.run([&](i64 rank) {
@@ -36,44 +45,92 @@ CommPlan naive_plan(const DistributedArray<double>& src, const RegularSection& s
 
 int main(int argc, char** argv) {
   const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
   const i64 p = 32;
   const int repeats = 10;
   const SpmdExecutor exec(p);
 
-  std::cout << "Ablation E: communication-plan construction for a redistribution\n"
+  std::cout << "Ablation E: communication plans for a redistribution\n"
             << "dst(cyclic(8)) <- src(cyclic(3)), strided sections, p = " << p << "\n\n";
 
-  TextTable table({"Elements", "Naive owner-scan (us)", "Access-sequence (us)",
-                   "Speedup"});
+  TextTable build_table({"Elements", "Naive owner-scan (us)", "Access-sequence (us)",
+                         "Compressed (us)", "Naive/compressed"});
+  TextTable exec_table({"Elements", "Legacy exec (us)", "Compressed exec (us)",
+                        "Cached replay (us)", "Legacy/compressed", "Plan bytes legacy",
+                        "Plan bytes compressed"});
   for (const i64 n : {1'000, 10'000, 100'000}) {
     DistributedArray<double> src(BlockCyclic(p, 3), 2 * n + 10);
     DistributedArray<double> dst(BlockCyclic(p, 8), 3 * n + 20);
     const RegularSection ssec{0, 2 * n - 1, 2};
     const RegularSection dsec{10, 10 + 3 * (n - 1), 3};
 
-    // Verify both builders agree.
-    const CommPlan a = naive_plan(src, ssec, dst, dsec, exec);
-    const CommPlan b = build_copy_plan(src, ssec, dst, dsec, exec);
+    // Verify all three builders agree channel-by-channel.
+    const LegacyCommPlan a = naive_plan(src, ssec, dst, dsec, exec);
+    const LegacyCommPlan b = build_legacy_copy_plan(src, ssec, dst, dsec, exec);
+    const CommPlan c = build_copy_plan(src, ssec, dst, dsec, exec);
     for (i64 m = 0; m < p; ++m)
       for (i64 q = 0; q < p; ++q)
-        if (a.items(m, q).size() != b.items(m, q).size()) {
+        if (a.items(m, q).size() != b.items(m, q).size() ||
+            static_cast<i64>(a.items(m, q).size()) != c.channel_size(m, q)) {
           std::cerr << "VERIFICATION FAILED at n=" << n << "\n";
           return 1;
         }
 
     const double naive_us = time_best_us(repeats, [&] {
-      const CommPlan plan = naive_plan(src, ssec, dst, dsec, exec);
+      const LegacyCommPlan plan = naive_plan(src, ssec, dst, dsec, exec);
       do_not_optimize(plan.pairwise.data());
     });
     const double fast_us = time_best_us(repeats, [&] {
-      const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
+      const LegacyCommPlan plan = build_legacy_copy_plan(src, ssec, dst, dsec, exec);
       do_not_optimize(plan.pairwise.data());
     });
-    table.add_row({TextTable::num(n), TextTable::fixed(naive_us, 1),
-                   TextTable::fixed(fast_us, 1), TextTable::fixed(naive_us / fast_us, 1)});
+    const double compressed_us = time_best_us(repeats, [&] {
+      const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
+      do_not_optimize(plan.channels.data());
+    });
+    build_table.add_row({TextTable::num(n), TextTable::fixed(naive_us, 1),
+                         TextTable::fixed(fast_us, 1), TextTable::fixed(compressed_us, 1),
+                         TextTable::fixed(naive_us / compressed_us, 1)});
+
+    // Execution: legacy per-item replay vs compressed gap-stepping replay
+    // vs the full cached path (hash lookup + replay).
+    const double legacy_exec_us = time_best_us(repeats, [&] {
+      execute_legacy_copy_plan(b, src, dst, exec);
+      do_not_optimize(dst.local(0).data());
+    });
+    execute_copy_plan(c, src, dst, exec);  // warm the arena
+    const double compressed_exec_us = time_best_us(repeats, [&] {
+      execute_copy_plan(c, src, dst, exec);
+      do_not_optimize(dst.local(0).data());
+    });
+    PlanCache cache(16);
+    const auto cached = cached_copy_plan(src, ssec, dst, dsec, exec, cache);
+    execute_copy_plan(*cached, src, dst, exec);  // warm the arena
+    const double cached_us = time_best_us(repeats, [&] {
+      const auto plan = cached_copy_plan(src, ssec, dst, dsec, exec, cache);
+      execute_copy_plan(*plan, src, dst, exec);
+      do_not_optimize(dst.local(0).data());
+    });
+    exec_table.add_row({TextTable::num(n), TextTable::fixed(legacy_exec_us, 1),
+                        TextTable::fixed(compressed_exec_us, 1),
+                        TextTable::fixed(cached_us, 1),
+                        TextTable::fixed(legacy_exec_us / compressed_exec_us, 1),
+                        TextTable::num(static_cast<i64>(b.plan_bytes())),
+                        TextTable::num(static_cast<i64>(c.plan_bytes()))});
   }
-  emit(table, csv);
+  std::cout << "construction:\n";
+  emit(build_table, csv);
+  std::cout << "\nexecution:\n";
+  emit(exec_table, csv);
+  if (json) {
+    JsonWriter w("BENCH_ablation_commplan.json");
+    w.add_table("construction", build_table);
+    w.add_table("execution", exec_table);
+    w.write();
+  }
   std::cout << "\n(The naive scan repeats the whole section on every rank; the\n"
-               " access-sequence build touches each element exactly once machine-wide.)\n";
+               " access-sequence build touches each element exactly once machine-wide;\n"
+               " the compressed plan replays periodic gap tables with no per-element\n"
+               " address solves and no steady-state allocations.)\n";
   return 0;
 }

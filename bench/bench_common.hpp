@@ -5,8 +5,16 @@
 // reproduce that: each rank's computation is timed separately (best of R
 // repetitions to suppress additive noise) and the maximum over ranks is
 // reported, in microseconds.
+//
+// Output plumbing: every harness prints an aligned table by default,
+// `--csv` switches to CSV on stdout, and `--json` additionally writes the
+// table as a JSON array of row objects to a file (BENCH_<name>.json by
+// default) so results land in the perf-trajectory record.
 #pragma once
 
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,11 +43,99 @@ inline bool want_csv(int argc, char** argv) {
   return false;
 }
 
+/// True when the harness should also write its table(s) as JSON.
+inline bool want_json(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") return true;
+  return false;
+}
+
 inline void emit(const TextTable& table, bool csv) {
   if (csv)
     table.print_csv(std::cout);
   else
     table.print(std::cout);
 }
+
+namespace detail {
+
+/// True when the cell prints as a bare JSON number (strtod consumes it
+/// entirely and it is finite).
+inline bool is_numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  (void)v;
+  return end == s.c_str() + s.size();
+}
+
+inline void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace detail
+
+/// Append one table to a JSON document as an array of {header: cell}
+/// objects under `label`. Call json_begin / json_end around the tables.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  void add_table(const std::string& label, const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+    labels_.push_back(label);
+    headers_.push_back(header);
+    tables_.push_back(rows);
+  }
+
+  void add_table(const std::string& label, const TextTable& table) {
+    add_table(label, table.header(), table.cells());
+  }
+
+  /// Write {"label": [ {col: val, ...}, ... ], ...} to the path.
+  void write() const {
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "cannot write " << path_ << "\n";
+      return;
+    }
+    os << "{\n";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      os << "  ";
+      detail::write_json_string(os, labels_[t]);
+      os << ": [\n";
+      for (std::size_t r = 0; r < tables_[t].size(); ++r) {
+        os << "    {";
+        for (std::size_t c = 0; c < headers_[t].size(); ++c) {
+          if (c > 0) os << ", ";
+          detail::write_json_string(os, headers_[t][c]);
+          os << ": ";
+          const std::string& cell = tables_[t][r][c];
+          if (detail::is_numeric_cell(cell))
+            os << cell;
+          else
+            detail::write_json_string(os, cell);
+        }
+        os << "}" << (r + 1 < tables_[t].size() ? "," : "") << "\n";
+      }
+      os << "  ]" << (t + 1 < tables_.size() ? "," : "") << "\n";
+    }
+    os << "}\n";
+    std::cout << "wrote " << path_ << "\n";
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<std::string>> headers_;
+  std::vector<std::vector<std::vector<std::string>>> tables_;
+};
 
 }  // namespace cyclick::bench

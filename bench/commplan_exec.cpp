@@ -1,0 +1,171 @@
+// Communication-plan execution benchmark (the perf-trajectory smoke run).
+//
+// Configuration fixed to the ablation-E redistribution: p = 32,
+// dst(cyclic(8)) <- src(cyclic(3)), n = 100k strided sections. Reports,
+// for the seed per-item plan vs the compressed periodic plan:
+//
+//   * steady-state plan execution time (prebuilt plan, warm arena),
+//   * cached replay time (hash lookup + execution, the copy_section path),
+//   * heap allocations per steady-state execution (counted with a global
+//     operator new override — the compressed path must report 0),
+//   * plan memory (per-item items vs run descriptors + gap tables),
+//   * plan-cache hit/miss counters over the replay loop.
+//
+// `--csv` prints machine-readable rows; `--json` writes
+// BENCH_commplan.json for the perf trajectory.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+#include "cyclick/runtime/section_ops.hpp"
+
+// --- global allocation counter -------------------------------------------
+// Counts every operator new in the process; the bench reads the delta
+// around execution calls. Plain (non-aligned) forms only: the containers
+// under measurement all use default-aligned allocations.
+
+namespace {
+std::atomic<long long> g_alloc_calls{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace cyclick;
+using namespace cyclick::bench;
+
+long long allocs_during(int rounds, const std::function<void()>& fn) {
+  const long long before = g_alloc_calls.load(std::memory_order_relaxed);
+  for (int r = 0; r < rounds; ++r) fn();
+  const long long after = g_alloc_calls.load(std::memory_order_relaxed);
+  return (after - before) / rounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const i64 p = 32;
+  const i64 n = 100'000;
+  const int repeats = 10;
+  const SpmdExecutor exec(p);
+
+  std::cout << "Communication-plan execution: p = " << p
+            << ", dst(cyclic(8)) <- src(cyclic(3)), n = " << n << "\n\n";
+
+  DistributedArray<double> src(BlockCyclic(p, 3), 2 * n + 10);
+  DistributedArray<double> dst_legacy(BlockCyclic(p, 8), 3 * n + 20);
+  DistributedArray<double> dst_fast(BlockCyclic(p, 8), 3 * n + 20);
+  const RegularSection ssec{0, 2 * n - 1, 2};
+  const RegularSection dsec{10, 10 + 3 * (n - 1), 3};
+  {
+    std::vector<double> image(static_cast<std::size_t>(src.size()));
+    for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<double>(i) * 0.5;
+    src.scatter(image);
+  }
+
+  // Seed implementation: per-item plan, modular address solve per element.
+  const LegacyCommPlan legacy = build_legacy_copy_plan(src, ssec, dst_legacy, dsec, exec);
+  // Compressed periodic plan, executed through the reusable arena.
+  const CommPlan fast = build_copy_plan(src, ssec, dst_fast, dsec, exec);
+
+  // Correctness gate before timing anything.
+  execute_legacy_copy_plan(legacy, src, dst_legacy, exec);
+  execute_copy_plan(fast, src, dst_fast, exec);
+  if (dst_legacy.gather() != dst_fast.gather()) {
+    std::cerr << "VERIFICATION FAILED: compressed execution differs from seed\n";
+    return 1;
+  }
+
+  const double legacy_us = time_best_us(repeats, [&] {
+    execute_legacy_copy_plan(legacy, src, dst_legacy, exec);
+    do_not_optimize(dst_legacy.local(0).data());
+  });
+  const double fast_us = time_best_us(repeats, [&] {
+    execute_copy_plan(fast, src, dst_fast, exec);
+    do_not_optimize(dst_fast.local(0).data());
+  });
+
+  // Cached replay: what copy_section does in a solver sweep after the
+  // first iteration — one hash lookup plus the compressed execution.
+  PlanCache cache(16);
+  {
+    const auto plan = cached_copy_plan(src, ssec, dst_fast, dsec, exec, cache);
+    execute_copy_plan(*plan, src, dst_fast, exec);  // warm the arena
+  }
+  const double cached_us = time_best_us(repeats, [&] {
+    const auto plan = cached_copy_plan(src, ssec, dst_fast, dsec, exec, cache);
+    execute_copy_plan(*plan, src, dst_fast, exec);
+    do_not_optimize(dst_fast.local(0).data());
+  });
+  const PlanCache::Stats stats = cache.stats();
+
+  const long long legacy_allocs = allocs_during(5, [&] {
+    execute_legacy_copy_plan(legacy, src, dst_legacy, exec);
+  });
+  const long long fast_allocs = allocs_during(5, [&] {
+    execute_copy_plan(fast, src, dst_fast, exec);
+  });
+
+  const auto legacy_bytes = static_cast<i64>(legacy.plan_bytes());
+  const auto fast_bytes = static_cast<i64>(fast.plan_bytes());
+
+  TextTable table({"Metric", "Value"});
+  table.add_row({"legacy_exec_us", TextTable::fixed(legacy_us, 1)});
+  table.add_row({"compressed_exec_us", TextTable::fixed(fast_us, 1)});
+  table.add_row({"cached_replay_us", TextTable::fixed(cached_us, 1)});
+  table.add_row({"exec_speedup", TextTable::fixed(legacy_us / fast_us, 2)});
+  table.add_row({"cached_speedup", TextTable::fixed(legacy_us / cached_us, 2)});
+  table.add_row({"legacy_allocs_per_exec", TextTable::num(legacy_allocs)});
+  table.add_row({"compressed_allocs_per_exec", TextTable::num(fast_allocs)});
+  table.add_row({"legacy_plan_bytes", TextTable::num(legacy_bytes)});
+  table.add_row({"compressed_plan_bytes", TextTable::num(fast_bytes)});
+  table.add_row({"plan_bytes_ratio",
+                 TextTable::fixed(static_cast<double>(legacy_bytes) /
+                                      static_cast<double>(fast_bytes), 1)});
+  table.add_row({"scratch_bytes", TextTable::num(static_cast<i64>(fast.scratch_bytes()))});
+  table.add_row({"plan_messages", TextTable::num(fast.message_count())});
+  table.add_row({"plan_remote_elements", TextTable::num(fast.remote_elements())});
+  table.add_row({"cache_hits", TextTable::num(stats.hits)});
+  table.add_row({"cache_misses", TextTable::num(stats.misses)});
+  emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_commplan.json");
+    w.add_table("commplan_exec", table);
+    w.write();
+  }
+
+  // Hard gates mirroring the PR's acceptance criteria, so CI smoke runs
+  // catch regressions: >= 2x cached execution speedup, zero steady-state
+  // allocations, >= 10x plan-memory compression.
+  bool ok = true;
+  if (legacy_us < 2.0 * cached_us) {
+    std::cerr << "GATE FAILED: cached replay not >= 2x faster than seed execution\n";
+    ok = false;
+  }
+  if (fast_allocs != 0) {
+    std::cerr << "GATE FAILED: compressed execution allocates in steady state\n";
+    ok = false;
+  }
+  if (fast_bytes * 10 > legacy_bytes) {
+    std::cerr << "GATE FAILED: compressed plan not >= 10x smaller than per-item plan\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

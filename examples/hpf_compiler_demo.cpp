@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   for (i64 m = 0; m < 4; ++m) {
     std::cout << "  recv rank " << m << ":";
     for (i64 q = 0; q < 4; ++q)
-      std::cout << " " << plan.items(m, q).size() << (q == m ? "(self)" : "");
+      std::cout << " " << plan.channel_size(m, q) << (q == m ? "(self)" : "");
     std::cout << "\n";
   }
   return 0;

@@ -297,14 +297,16 @@ Machine::Value Machine::eval1(const Expr& e, const DistributedArray<double>& dst
       Value v;
       v.temp = std::make_unique<DistributedArray<double>>(dst.dist(), dst.size(),
                                                           dst.alignment());
+      // One cached plan serves both the trace diagnostics and the copy;
+      // repeated statements with the same shape replay it from the cache.
+      const auto plan = cached_copy_plan(src, ssec, *v.temp, dsec, exec_ctx);
       if (tracing_) {
-        const CommPlan plan = build_copy_plan(src, ssec, *v.temp, dsec, exec_ctx);
         trace("  copy " + e.section.array + ssec.to_string() + " -> temp@" +
-              dsec.to_string() + "  [messages=" + std::to_string(plan.message_count()) +
-              ", remote=" + std::to_string(plan.remote_elements()) + "/" +
+              dsec.to_string() + "  [messages=" + std::to_string(plan->message_count()) +
+              ", remote=" + std::to_string(plan->remote_elements()) + "/" +
               std::to_string(ssec.size()) + "]");
       }
-      copy_section(src, ssec, *v.temp, dsec, exec_ctx);
+      execute_copy_plan(*plan, src, *v.temp, exec_ctx);
       return v;
     }
     case Expr::Kind::kRamp: {

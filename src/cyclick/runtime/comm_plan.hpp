@@ -1,0 +1,504 @@
+// Communication plans for dst(dsec) = src(ssec) over distributed arrays.
+//
+// The paper's Theorem 3 says a processor's access sequence is periodic with
+// at most k distinct gaps; the same holds for the per-channel streams of a
+// cyclic(k) redistribution (Chatterjee et al., PPoPP'93). The plan
+// representation exploits that: instead of one {src_global, dst_local} item
+// per element (O(|section|) space, a modular solve per element at execution
+// time), each sender->receiver channel stores one run descriptor
+//
+//   (src_local_start, dst_local_start, count, repeating gap tables)
+//
+// where the gap tables hold the shortest period of the local-address delta
+// streams on both sides. Plan size is O(p^2 + sum of channel periods) —
+// O(p^2 + k)-shaped in practice — and pack/unpack become tight gap-stepping
+// loops with no owner_of / local_address calls.
+//
+// Construction walks each receiver's owned destination elements once with
+// the table-free LocalAccessIterator and resolves the matching source
+// owner with an *owner-run* cursor: the source cell moves linearly in the
+// section position t, so divisions happen once per source-block crossing,
+// not once per element.
+//
+// Execution is zero-copy: values are packed directly into per-channel
+// byte buffers (the Transport wire format) owned by the plan's scratch
+// arena and reused across executions, so steady-state execution performs
+// no heap allocations. The pre-existing per-item representation is kept as
+// LegacyCommPlan for differential testing and as the benchmarks' baseline.
+//
+// Concurrency: a built plan is immutable except for the scratch arena.
+// Within one execution the arena is touched per-channel (each channel by
+// exactly one sender in phase 1 and one receiver in phase 2, with a
+// barrier between), so the threaded executor is safe; two *concurrent
+// executions of the same plan object* would race on the arena.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cyclick/core/iterator.hpp"
+#include "cyclick/runtime/distributed_array.hpp"
+#include "cyclick/runtime/spmd.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick {
+
+/// Visit every element of `sec` (array index space) owned by `rank`,
+/// passing (t, local_addr) where t is the position within the section and
+/// local_addr the element's packed local address. Enumeration is in
+/// ascending template-cell order (ownership enumeration; statement-order
+/// semantics are the caller's concern). Returns the visit count.
+template <typename T, typename Body>
+i64 for_each_owned(const DistributedArray<T>& arr, const RegularSection& sec, i64 rank,
+                   Body&& body) {
+  if (sec.empty()) return 0;
+  CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                      sec.last() < arr.size(),
+                  "section must lie within the array");
+  const AffineAlignment& al = arr.alignment();
+  const BlockCyclic& dist = arr.dist();
+  const RegularSection image = al.image(sec).ascending();
+  // Hoist the per-rank layout lookup out of the loop: rank() queries are
+  // per-element, but the layout object itself is loop-invariant.
+  const PackedLayout* layout = arr.packed_layout_or_null(rank);
+  i64 count = 0;
+  LocalAccessIterator it(dist, image.lower, image.stride, rank);
+  for (; !it.done() && it.global() <= image.upper; it.advance()) {
+    const i64 cell = it.global();
+    const auto idx = al.index_of_cell(cell);
+    CYCLICK_ASSERT(idx.has_value());
+    const i64 t = (*idx - sec.lower) / sec.stride;
+    const i64 local = layout ? layout->rank(cell) : it.local();
+    body(t, local);
+    ++count;
+  }
+  return count;
+}
+
+/// Owner-run cursor: maps a section position t to the owning rank (and
+/// packed local address) of `arr`'s element `sec.element(t)`. The template
+/// cell is linear in t, so consecutive positions resolve against a cached
+/// owner block; the floor-division re-seek runs once per block crossing,
+/// not once per element (the "owner-run enumeration" of the plan builder).
+class OwnerCursor {
+ public:
+  template <typename T>
+  OwnerCursor(const DistributedArray<T>& arr, const RegularSection& sec)
+      : dist_(arr.dist()),
+        slope_(arr.alignment().a * sec.stride),
+        base_(arr.alignment().a * sec.lower + arr.alignment().b) {
+    if (!arr.alignment().is_identity()) {
+      layouts_.reserve(static_cast<std::size_t>(dist_.procs()));
+      for (i64 m = 0; m < dist_.procs(); ++m)
+        layouts_.push_back(arr.packed_layout_or_null(m));
+    }
+  }
+
+  struct Hit {
+    i64 owner;
+    i64 local;
+  };
+
+  /// Owning rank of position t (no local-address work).
+  i64 owner_at(i64 t) {
+    seek(base_ + slope_ * t);
+    return owner_;
+  }
+
+  /// Owning rank and packed local address of position t.
+  Hit at(i64 t) {
+    const i64 c = base_ + slope_ * t;
+    seek(c);
+    const i64 local = layouts_.empty()
+                          ? row_base_ + (c - blk_lo_)
+                          : layouts_[static_cast<std::size_t>(owner_)]->rank(c);
+    return {owner_, local};
+  }
+
+ private:
+  void seek(i64 c) {
+    if (c >= blk_lo_ && c < blk_hi_) return;
+    const i64 row = floor_div(c, dist_.row_length());
+    const i64 x = c - row * dist_.row_length();
+    owner_ = x / dist_.block_size();
+    blk_lo_ = row * dist_.row_length() + owner_ * dist_.block_size();
+    blk_hi_ = blk_lo_ + dist_.block_size();
+    row_base_ = row * dist_.block_size();
+  }
+
+  BlockCyclic dist_;
+  i64 slope_;
+  i64 base_;
+  i64 owner_ = 0;
+  i64 blk_lo_ = 1, blk_hi_ = 0;  // empty range: the first query always seeks
+  i64 row_base_ = 0;
+  std::vector<const PackedLayout*> layouts_;  // empty for identity alignment
+};
+
+namespace detail {
+
+/// Per-channel accumulator used during plan construction: records the two
+/// start addresses and the local-address delta streams, which finalization
+/// compresses to their shortest period.
+struct ChannelAccum {
+  i64 count = 0;
+  i64 src_start = 0, dst_start = 0;
+  i64 prev_src = 0, prev_dst = 0;
+  std::vector<i64> src_deltas, dst_deltas;
+
+  void append(i64 sla, i64 la) {
+    if (count == 0) {
+      src_start = sla;
+      dst_start = la;
+    } else {
+      src_deltas.push_back(sla - prev_src);
+      dst_deltas.push_back(la - prev_dst);
+    }
+    prev_src = sla;
+    prev_dst = la;
+    ++count;
+  }
+};
+
+/// Smallest pi >= 1 such that (a[i], b[i]) == (a[i-pi], b[i-pi]) for all
+/// i >= pi (KMP border period over the paired delta stream); 0 for empty
+/// streams. The streams need not be a whole number of periods long.
+i64 smallest_gap_period(std::span<const i64> a, std::span<const i64> b);
+
+/// Pack `count` values from `local` into `out`, stepping src addresses by
+/// the repeating gap table.
+template <typename T>
+void pack_channel(i64 count, i64 start, const i64* gaps, i64 period,
+                  const T* local, T* out) {
+  i64 a = start;
+  out[0] = local[a];
+  i64 gi = 0;
+  for (i64 i = 1; i < count; ++i) {
+    a += gaps[gi];
+    if (++gi == period) gi = 0;
+    out[i] = local[a];
+  }
+}
+
+/// Unpack `count` values from `in` into `local`, stepping dst addresses by
+/// the repeating gap table.
+template <typename T>
+void unpack_channel(i64 count, i64 start, const i64* gaps, i64 period,
+                    const T* in, T* local) {
+  i64 a = start;
+  local[a] = in[0];
+  i64 gi = 0;
+  for (i64 i = 1; i < count; ++i) {
+    a += gaps[gi];
+    if (++gi == period) gi = 0;
+    local[a] = in[i];
+  }
+}
+
+}  // namespace detail
+
+/// Compressed periodic communication plan. One Channel per (receiver m,
+/// sender q) pair; gap tables for all channels are pooled in two flat
+/// arrays (src side used by pack, dst side by unpack). Message and element
+/// statistics are computed once at build time.
+struct CommPlan {
+  struct Channel {
+    i64 count = 0;      ///< elements on this channel
+    i64 src_start = 0;  ///< first packed local address on the sender
+    i64 dst_start = 0;  ///< first packed local address on the receiver
+    i64 period = 0;     ///< gap-table length (0 iff count <= 1)
+    i64 gap_begin = 0;  ///< slice start in the pooled gap arrays
+  };
+
+  i64 ranks = 0;
+  std::vector<Channel> channels;  ///< [receiver * ranks + sender]
+  std::vector<i64> src_gaps;      ///< pooled sender-side gap tables
+  std::vector<i64> dst_gaps;      ///< pooled receiver-side gap tables
+
+  [[nodiscard]] const Channel& channel(i64 receiver, i64 sender) const {
+    return channels[static_cast<std::size_t>(receiver * ranks + sender)];
+  }
+  /// Elements on channel (receiver, sender).
+  [[nodiscard]] i64 channel_size(i64 receiver, i64 sender) const {
+    return channel(receiver, sender).count;
+  }
+  /// Number of nonempty sender->receiver channels with sender != receiver.
+  [[nodiscard]] i64 message_count() const noexcept { return message_count_; }
+  /// Total elements crossing rank boundaries.
+  [[nodiscard]] i64 remote_elements() const noexcept { return remote_elements_; }
+  /// Total elements moved (equals the section size).
+  [[nodiscard]] i64 total_elements() const noexcept { return total_elements_; }
+
+  /// Heap bytes held by the plan's descriptors and gap tables (the scratch
+  /// arena, an execution buffer equivalent to the wire payloads any
+  /// executor must materialize, is reported separately).
+  [[nodiscard]] std::size_t plan_bytes() const noexcept;
+  /// Heap bytes currently held by the scratch arena.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept;
+
+  /// Build-time finalization: compress the accumulated delta streams into
+  /// pooled gap tables and precompute the statistics.
+  void adopt_channels(std::vector<detail::ChannelAccum>&& accum);
+
+  /// Reusable per-channel pack buffer (execution arena). Mutable so that
+  /// executing a shared immutable plan can reuse buffers across calls.
+  [[nodiscard]] std::vector<std::byte>& scratch(i64 receiver, i64 sender) const {
+    return scratch_[static_cast<std::size_t>(receiver * ranks + sender)];
+  }
+
+ private:
+  i64 message_count_ = 0;
+  i64 remote_elements_ = 0;
+  i64 total_elements_ = 0;
+  mutable std::vector<std::vector<std::byte>> scratch_;  ///< [m * ranks + q]
+};
+
+/// Build the compressed plan for dst(dsec) = src(ssec) (sizes must match).
+/// Each receiver enumerates its destination elements with the table-free
+/// iterator; the matching source owner and address come from the owner-run
+/// cursor — no per-element owner_of / local_address calls anywhere.
+template <typename T>
+CommPlan build_copy_plan(const DistributedArray<T>& src, const RegularSection& ssec,
+                         DistributedArray<T>& dst, const RegularSection& dsec,
+                         const SpmdExecutor& exec) {
+  CYCLICK_REQUIRE(ssec.size() == dsec.size(), "section size mismatch in copy");
+  CYCLICK_REQUIRE(exec.ranks() == dst.dist().procs(), "executor/destination rank mismatch");
+  CYCLICK_REQUIRE(exec.ranks() == src.dist().procs(), "executor/source rank mismatch");
+  const i64 p = exec.ranks();
+  std::vector<detail::ChannelAccum> accum(static_cast<std::size_t>(p * p));
+  if (!dsec.empty()) {
+    exec.run([&](i64 m) {
+      OwnerCursor cur(src, ssec);
+      detail::ChannelAccum* row = accum.data() + m * p;
+      for_each_owned(dst, dsec, m, [&](i64 t, i64 la) {
+        const auto hit = cur.at(t);
+        row[hit.owner].append(hit.local, la);
+      });
+    });
+  }
+  CommPlan plan;
+  plan.ranks = p;
+  plan.adopt_channels(std::move(accum));
+  return plan;
+}
+
+/// Execute a compressed plan: senders pack values straight into the plan's
+/// per-channel byte buffers, then receivers unpack — two barrier-separated
+/// SPMD phases, mirroring a message-passing implementation. Steady-state
+/// calls perform no heap allocations (the arena is reused).
+template <typename T>
+void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
+                       DistributedArray<T>& dst, const SpmdExecutor& exec) {
+  static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  const i64 p = plan.ranks;
+
+  // Context structs keep the SPMD lambdas at one captured reference so the
+  // std::function wrapper stays within its small-buffer storage (zero
+  // allocations per call in steady state).
+  struct Ctx {
+    const CommPlan& plan;
+    const DistributedArray<T>& src;
+    DistributedArray<T>& dst;
+    i64 p;
+  };
+  Ctx ctx{plan, src, dst, p};
+
+  // Phase 1: every sender q packs, for every receiver m, the requested
+  // values out of its own local buffer into the channel's arena buffer.
+  exec.run([&ctx](i64 q) {
+    const T* local = ctx.src.local(q).data();
+    for (i64 m = 0; m < ctx.p; ++m) {
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::pack_channel<T>(ch.count, ch.src_start,
+                              ctx.plan.src_gaps.data() + ch.gap_begin, ch.period, local,
+                              reinterpret_cast<T*>(buf.data()));
+    }
+  });
+
+  // Phase 2: every receiver m unpacks into its own local buffer.
+  exec.run([&ctx](i64 m) {
+    T* local = ctx.dst.local(m).data();
+    for (i64 q = 0; q < ctx.p; ++q) {
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      detail::unpack_channel<T>(ch.count, ch.dst_start,
+                                ctx.plan.dst_gaps.data() + ch.gap_begin, ch.period,
+                                reinterpret_cast<const T*>(buf.data()), local);
+    }
+  });
+}
+
+/// Execute a compressed plan with the data movement routed through a
+/// Transport: every remote channel becomes one message whose payload is
+/// packed *directly* in wire format (no intermediate value vector); the
+/// self channel stages through the plan arena so the pack phase completes
+/// before any destination write (alias safety). Identical results to
+/// execute_copy_plan; only the movement mechanism differs — this is the
+/// entry point an MPI port would rebind.
+template <typename T>
+void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src,
+                            DistributedArray<T>& dst, const SpmdExecutor& exec,
+                            Transport& transport) {
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  CYCLICK_REQUIRE(transport.ranks() == exec.ranks(), "transport/executor rank mismatch");
+  const i64 p = plan.ranks;
+
+  struct Ctx {
+    const CommPlan& plan;
+    const DistributedArray<T>& src;
+    DistributedArray<T>& dst;
+    Transport& transport;
+    i64 p;
+  };
+  Ctx ctx{plan, src, dst, transport, p};
+
+  // Phase 1: senders pack per-receiver messages straight into transport
+  // payloads and post them (one message per nonempty remote channel).
+  exec.run([&ctx](i64 q) {
+    const T* local = ctx.src.local(q).data();
+    for (i64 m = 0; m < ctx.p; ++m) {
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      const i64* gaps = ctx.plan.src_gaps.data() + ch.gap_begin;
+      if (m == q) {
+        std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+        detail::pack_channel<T>(ch.count, ch.src_start, gaps, ch.period, local,
+                                reinterpret_cast<T*>(buf.data()));
+        continue;
+      }
+      send_packed<T>(ctx.transport, q, m, ch.count, [&](std::span<T> out) {
+        detail::pack_channel<T>(ch.count, ch.src_start, gaps, ch.period, local, out.data());
+      });
+    }
+  });
+
+  // Phase 2: receivers drain their channels and store, then satisfy their
+  // self channel from the arena.
+  exec.run([&ctx](i64 m) {
+    T* local = ctx.dst.local(m).data();
+    for (i64 q = 0; q < ctx.p; ++q) {
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      const i64* gaps = ctx.plan.dst_gaps.data() + ch.gap_begin;
+      if (q == m) {
+        const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+        detail::unpack_channel<T>(ch.count, ch.dst_start, gaps, ch.period,
+                                  reinterpret_cast<const T*>(buf.data()), local);
+        continue;
+      }
+      const std::vector<std::byte> payload = ctx.transport.recv(m, q);
+      CYCLICK_ASSERT(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::unpack_channel<T>(ch.count, ch.dst_start, gaps, ch.period,
+                                reinterpret_cast<const T*>(payload.data()), local);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Legacy per-item representation. Kept verbatim as the differential-testing
+// reference and the benchmarks' baseline; new code should use CommPlan.
+// ---------------------------------------------------------------------------
+
+/// Per-element communication plan (the pre-compression representation):
+/// one {src_global, dst_local} pair per element, with the source local
+/// address recomputed (a modular solve) on every execution.
+struct LegacyCommPlan {
+  struct Item {
+    i64 src_global;  ///< src array index to read
+    i64 dst_local;   ///< packed local address on the receiver to write
+  };
+  i64 ranks = 0;
+  std::vector<std::vector<Item>> pairwise;  ///< [receiver * ranks + sender]
+
+  [[nodiscard]] const std::vector<Item>& items(i64 receiver, i64 sender) const {
+    return pairwise[static_cast<std::size_t>(receiver * ranks + sender)];
+  }
+  /// Number of nonempty sender->receiver channels with sender != receiver.
+  [[nodiscard]] i64 message_count() const {
+    i64 c = 0;
+    for (i64 m = 0; m < ranks; ++m)
+      for (i64 q = 0; q < ranks; ++q)
+        if (q != m && !items(m, q).empty()) ++c;
+    return c;
+  }
+  /// Total elements crossing rank boundaries.
+  [[nodiscard]] i64 remote_elements() const {
+    i64 c = 0;
+    for (i64 m = 0; m < ranks; ++m)
+      for (i64 q = 0; q < ranks; ++q)
+        if (q != m) c += static_cast<i64>(items(m, q).size());
+    return c;
+  }
+  /// Heap bytes held by the per-item representation.
+  [[nodiscard]] std::size_t plan_bytes() const {
+    std::size_t bytes = pairwise.capacity() * sizeof(std::vector<Item>);
+    for (const auto& v : pairwise) bytes += v.capacity() * sizeof(Item);
+    return bytes;
+  }
+};
+
+/// Build the per-item plan (legacy path: per-element owner_of on the
+/// source side).
+template <typename T>
+LegacyCommPlan build_legacy_copy_plan(const DistributedArray<T>& src,
+                                      const RegularSection& ssec, DistributedArray<T>& dst,
+                                      const RegularSection& dsec, const SpmdExecutor& exec) {
+  CYCLICK_REQUIRE(ssec.size() == dsec.size(), "section size mismatch in copy");
+  CYCLICK_REQUIRE(exec.ranks() == dst.dist().procs(), "executor/destination rank mismatch");
+  CYCLICK_REQUIRE(exec.ranks() == src.dist().procs(), "executor/source rank mismatch");
+  LegacyCommPlan plan;
+  plan.ranks = exec.ranks();
+  plan.pairwise.resize(static_cast<std::size_t>(plan.ranks * plan.ranks));
+  exec.run([&](i64 rank) {
+    for_each_owned(dst, dsec, rank, [&](i64 t, i64 la) {
+      const i64 g = ssec.element(t);
+      const i64 q = src.owner_of(g);
+      plan.pairwise[static_cast<std::size_t>(rank * plan.ranks + q)].push_back({g, la});
+    });
+  });
+  return plan;
+}
+
+/// Execute a per-item plan (legacy path: a modular local_address solve per
+/// element, plus per-call payload allocation).
+template <typename T>
+void execute_legacy_copy_plan(const LegacyCommPlan& plan, const DistributedArray<T>& src,
+                              DistributedArray<T>& dst, const SpmdExecutor& exec) {
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  const i64 p = plan.ranks;
+  std::vector<std::vector<T>> payload(static_cast<std::size_t>(p * p));
+
+  exec.run([&](i64 q) {
+    auto local = src.local(q);
+    for (i64 m = 0; m < p; ++m) {
+      const auto& items = plan.items(m, q);
+      auto& buf = payload[static_cast<std::size_t>(m * p + q)];
+      buf.reserve(items.size());
+      for (const LegacyCommPlan::Item& it : items) {
+        CYCLICK_ASSERT(src.owner_of(it.src_global) == q);
+        buf.push_back(local[static_cast<std::size_t>(src.local_address(it.src_global))]);
+      }
+    }
+  });
+
+  exec.run([&](i64 m) {
+    auto local = dst.local(m);
+    for (i64 q = 0; q < p; ++q) {
+      const auto& items = plan.items(m, q);
+      const auto& buf = payload[static_cast<std::size_t>(m * p + q)];
+      for (std::size_t i = 0; i < items.size(); ++i)
+        local[static_cast<std::size_t>(items[i].dst_local)] = buf[i];
+    }
+  });
+}
+
+}  // namespace cyclick

@@ -101,6 +101,16 @@ class DistributedArray {
     return layouts_[static_cast<std::size_t>(rank)];
   }
 
+  /// The packed layout of `rank`, or nullptr under identity alignment
+  /// (where the distribution's O(1) local_index applies instead). Lets
+  /// enumeration loops hoist the layout lookup out of their element walk
+  /// without branching on the alignment kind at every element.
+  [[nodiscard]] const PackedLayout* packed_layout_or_null(i64 rank) const {
+    CYCLICK_REQUIRE(rank >= 0 && rank < dist_.procs(), "rank out of range");
+    if (align_.is_identity()) return nullptr;
+    return &layouts_[static_cast<std::size_t>(rank)];
+  }
+
  private:
   void check_index(i64 i) const {
     CYCLICK_REQUIRE(i >= 0 && i < n_, "array index out of range");

@@ -1,0 +1,164 @@
+// Keyed cache of compressed communication plans.
+//
+// A plan for dst(dsec) = src(ssec) depends only on the two mappings
+// (distribution + alignment + array extent), the two sections, and the
+// rank count — not on the array contents or element type (plans hold
+// element-granular addresses). Iterative solvers therefore hit the same
+// key every sweep; caching turns the per-sweep O(|section|) plan build
+// into a hash lookup. copy_section consults the process-wide cache, so
+// cshift / eoshift / DSL statement loops replay plans automatically.
+//
+// Sharing caveat: cached plans are immutable except for their scratch
+// arena, which one execution at a time may use (see comm_plan.hpp).
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cyclick/runtime/comm_plan.hpp"
+
+namespace cyclick {
+
+/// Everything a copy plan's shape depends on.
+struct PlanKey {
+  i64 ranks;
+  i64 src_procs, src_block, src_align_a, src_align_b, src_size;
+  i64 dst_procs, dst_block, dst_align_a, dst_align_b, dst_size;
+  i64 ssec_lower, ssec_upper, ssec_stride;
+  i64 dsec_lower, dsec_upper, dsec_stride;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept {
+    // FNV-1a over the key's fields.
+    u64 h = 1469598103934665603ULL;
+    const auto mix = [&h](i64 v) {
+      h ^= static_cast<u64>(v);
+      h *= 1099511628211ULL;
+    };
+    mix(k.ranks);
+    mix(k.src_procs); mix(k.src_block); mix(k.src_align_a); mix(k.src_align_b);
+    mix(k.src_size);
+    mix(k.dst_procs); mix(k.dst_block); mix(k.dst_align_a); mix(k.dst_align_b);
+    mix(k.dst_size);
+    mix(k.ssec_lower); mix(k.ssec_upper); mix(k.ssec_stride);
+    mix(k.dsec_lower); mix(k.dsec_upper); mix(k.dsec_stride);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <typename T>
+PlanKey make_plan_key(const DistributedArray<T>& src, const RegularSection& ssec,
+                      const DistributedArray<T>& dst, const RegularSection& dsec,
+                      const SpmdExecutor& exec) {
+  return PlanKey{exec.ranks(),
+                 src.dist().procs(), src.dist().block_size(),
+                 src.alignment().a, src.alignment().b, src.size(),
+                 dst.dist().procs(), dst.dist().block_size(),
+                 dst.alignment().a, dst.alignment().b, dst.size(),
+                 ssec.lower, ssec.upper, ssec.stride,
+                 dsec.lower, dsec.upper, dsec.stride};
+}
+
+/// Bounded LRU cache PlanKey -> shared immutable CommPlan, with hit / miss
+/// / eviction counters for the bench harness. Thread-safe; evicted plans
+/// stay alive for as long as callers hold their shared_ptr.
+class PlanCache {
+ public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+    std::size_t size = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = 128) : capacity_(capacity) {
+    CYCLICK_REQUIRE(capacity >= 1, "plan cache needs capacity >= 1");
+  }
+
+  /// Look up a plan; counts a hit (and refreshes recency) or a miss.
+  [[nodiscard]] std::shared_ptr<const CommPlan> find(const PlanKey& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert (or refresh) a plan, evicting the least recently used entry
+  /// when over capacity.
+  void insert(const PlanKey& key, std::shared_ptr<const CommPlan> plan) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  [[nodiscard]] Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {hits_, misses_, evictions_, map_.size()};
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = evictions_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The process-wide cache copy_section consults.
+  static PlanCache& global() {
+    static PlanCache cache;
+    return cache;
+  }
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const CommPlan>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  i64 evictions_ = 0;
+};
+
+/// Cache-aware plan lookup: returns the shared plan for dst(dsec) =
+/// src(ssec), building (and inserting) it on a miss.
+template <typename T>
+std::shared_ptr<const CommPlan> cached_copy_plan(const DistributedArray<T>& src,
+                                                 const RegularSection& ssec,
+                                                 DistributedArray<T>& dst,
+                                                 const RegularSection& dsec,
+                                                 const SpmdExecutor& exec,
+                                                 PlanCache& cache = PlanCache::global()) {
+  const PlanKey key = make_plan_key(src, ssec, dst, dsec, exec);
+  if (auto hit = cache.find(key)) return hit;
+  auto plan = std::make_shared<const CommPlan>(build_copy_plan(src, ssec, dst, dsec, exec));
+  cache.insert(key, plan);
+  return plan;
+}
+
+}  // namespace cyclick

@@ -3,6 +3,11 @@
 // communication plans — the operations an HPF-like compiler lowers array
 // assignment statements into, all driven by the paper's access-sequence
 // machinery rather than per-element owner computations.
+//
+// The communication-plan machinery itself (compressed periodic plans, the
+// legacy per-item representation, pack/unpack execution) lives in
+// comm_plan.hpp; the plan cache in plan_cache.hpp. This header provides
+// the statement-level entry points.
 #pragma once
 
 #include <algorithm>
@@ -12,42 +17,13 @@
 #include <vector>
 
 #include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/runtime/comm_plan.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
+#include "cyclick/runtime/plan_cache.hpp"
 #include "cyclick/runtime/spmd.hpp"
 #include "cyclick/runtime/transport.hpp"
 
 namespace cyclick {
-
-/// Visit every element of `sec` (array index space) owned by `rank`,
-/// passing (t, local_addr) where t is the position within the section and
-/// local_addr the element's packed local address. Enumeration is in
-/// ascending template-cell order (ownership enumeration; statement-order
-/// semantics are the caller's concern). Returns the visit count.
-template <typename T, typename Body>
-i64 for_each_owned(const DistributedArray<T>& arr, const RegularSection& sec, i64 rank,
-                   Body&& body) {
-  if (sec.empty()) return 0;
-  CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
-                      sec.last() < arr.size(),
-                  "section must lie within the array");
-  const AffineAlignment& al = arr.alignment();
-  const BlockCyclic& dist = arr.dist();
-  const RegularSection image = al.image(sec).ascending();
-  i64 count = 0;
-  LocalAccessIterator it(dist, image.lower, image.stride, rank);
-  for (; !it.done() && it.global() <= image.upper; it.advance()) {
-    const i64 cell = it.global();
-    const auto idx = al.index_of_cell(cell);
-    CYCLICK_ASSERT(idx.has_value());
-    const i64 t = (*idx - sec.lower) / sec.stride;
-    const i64 local = al.is_identity()
-                          ? it.local()
-                          : arr.packed_layout(rank).rank(cell);
-    body(t, local);
-    ++count;
-  }
-  return count;
-}
 
 /// A(sec) = value, executed SPMD.
 template <typename T>
@@ -103,155 +79,15 @@ T reduce_section(const DistributedArray<T>& arr, const RegularSection& sec, T in
   return out;
 }
 
-/// Communication plan for dst(dsec) = src(ssec): which elements each
-/// receiver pulls from each sender, with the destination local address
-/// precomputed. Built once, executable repeatedly (e.g. iterative solvers).
-struct CommPlan {
-  struct Item {
-    i64 src_global;  ///< src array index to read
-    i64 dst_local;   ///< packed local address on the receiver to write
-  };
-  i64 ranks = 0;
-  std::vector<std::vector<Item>> pairwise;  ///< [receiver * ranks + sender]
-
-  [[nodiscard]] const std::vector<Item>& items(i64 receiver, i64 sender) const {
-    return pairwise[static_cast<std::size_t>(receiver * ranks + sender)];
-  }
-  /// Number of nonempty sender->receiver channels with sender != receiver.
-  [[nodiscard]] i64 message_count() const {
-    i64 c = 0;
-    for (i64 m = 0; m < ranks; ++m)
-      for (i64 q = 0; q < ranks; ++q)
-        if (q != m && !items(m, q).empty()) ++c;
-    return c;
-  }
-  /// Total elements crossing rank boundaries.
-  [[nodiscard]] i64 remote_elements() const {
-    i64 c = 0;
-    for (i64 m = 0; m < ranks; ++m)
-      for (i64 q = 0; q < ranks; ++q)
-        if (q != m) c += static_cast<i64>(items(m, q).size());
-    return c;
-  }
-};
-
-/// Build the plan for dst(dsec) = src(ssec) (sizes must match). Receivers
-/// enumerate their destination elements with the table-free iterator and
-/// compute the owning sender of the matching source element.
-template <typename T>
-CommPlan build_copy_plan(const DistributedArray<T>& src, const RegularSection& ssec,
-                         DistributedArray<T>& dst, const RegularSection& dsec,
-                         const SpmdExecutor& exec) {
-  CYCLICK_REQUIRE(ssec.size() == dsec.size(), "section size mismatch in copy");
-  CYCLICK_REQUIRE(exec.ranks() == dst.dist().procs(), "executor/destination rank mismatch");
-  CYCLICK_REQUIRE(exec.ranks() == src.dist().procs(), "executor/source rank mismatch");
-  CommPlan plan;
-  plan.ranks = exec.ranks();
-  plan.pairwise.resize(static_cast<std::size_t>(plan.ranks * plan.ranks));
-  exec.run([&](i64 rank) {
-    for_each_owned(dst, dsec, rank, [&](i64 t, i64 la) {
-      const i64 g = ssec.element(t);
-      const i64 q = src.owner_of(g);
-      plan.pairwise[static_cast<std::size_t>(rank * plan.ranks + q)].push_back({g, la});
-    });
-  });
-  return plan;
-}
-
-/// Execute a copy plan: senders pack values from their local memory, then
-/// receivers store them — two barrier-separated SPMD phases, mirroring a
-/// message-passing implementation.
-template <typename T>
-void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
-                       DistributedArray<T>& dst, const SpmdExecutor& exec) {
-  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
-  const i64 p = plan.ranks;
-  std::vector<std::vector<T>> payload(static_cast<std::size_t>(p * p));
-
-  // Phase 1: every sender q packs, for every receiver m, the requested
-  // values out of its own local buffer.
-  exec.run([&](i64 q) {
-    auto local = src.local(q);
-    for (i64 m = 0; m < p; ++m) {
-      const auto& items = plan.items(m, q);
-      auto& buf = payload[static_cast<std::size_t>(m * p + q)];
-      buf.reserve(items.size());
-      for (const CommPlan::Item& it : items) {
-        CYCLICK_ASSERT(src.owner_of(it.src_global) == q);
-        buf.push_back(local[static_cast<std::size_t>(src.local_address(it.src_global))]);
-      }
-    }
-  });
-
-  // Phase 2: every receiver m unpacks into its own local buffer.
-  exec.run([&](i64 m) {
-    auto local = dst.local(m);
-    for (i64 q = 0; q < p; ++q) {
-      const auto& items = plan.items(m, q);
-      const auto& buf = payload[static_cast<std::size_t>(m * p + q)];
-      for (std::size_t i = 0; i < items.size(); ++i)
-        local[static_cast<std::size_t>(items[i].dst_local)] = buf[i];
-    }
-  });
-}
-
-/// Execute a copy plan with the data movement routed through a Transport:
-/// every remote pair becomes one message of raw values (self-pairs copy
-/// locally). Identical results to execute_copy_plan; only the movement
-/// mechanism differs — this is the entry point an MPI port would rebind.
-template <typename T>
-void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src,
-                            DistributedArray<T>& dst, const SpmdExecutor& exec,
-                            Transport& transport) {
-  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
-  CYCLICK_REQUIRE(transport.ranks() == exec.ranks(), "transport/executor rank mismatch");
-  const i64 p = plan.ranks;
-
-  // Phase 1: every sender packs per-receiver messages from its local memory
-  // and posts them (one message per nonempty remote channel).
-  exec.run([&](i64 q) {
-    auto local = src.local(q);
-    for (i64 m = 0; m < p; ++m) {
-      if (m == q) continue;
-      const auto& items = plan.items(m, q);
-      if (items.empty()) continue;
-      std::vector<T> buf;
-      buf.reserve(items.size());
-      for (const CommPlan::Item& it : items)
-        buf.push_back(local[static_cast<std::size_t>(src.local_address(it.src_global))]);
-      send_values<T>(transport, q, m, buf);
-    }
-  });
-
-  // Phase 2: receivers drain their channels and store, then satisfy their
-  // self-pair locally.
-  exec.run([&](i64 m) {
-    auto local = dst.local(m);
-    for (i64 q = 0; q < p; ++q) {
-      const auto& items = plan.items(m, q);
-      if (items.empty()) continue;
-      if (q == m) {
-        auto src_local = src.local(m);
-        for (const CommPlan::Item& it : items)
-          local[static_cast<std::size_t>(it.dst_local)] =
-              src_local[static_cast<std::size_t>(src.local_address(it.src_global))];
-        continue;
-      }
-      const std::vector<T> buf = recv_values<T>(transport, m, q);
-      CYCLICK_ASSERT(buf.size() == items.size());
-      for (std::size_t i = 0; i < items.size(); ++i)
-        local[static_cast<std::size_t>(items[i].dst_local)] = buf[i];
-    }
-  });
-}
-
-/// dst(dsec) = src(ssec) in one call.
+/// dst(dsec) = src(ssec) in one call. Consults the process-wide plan
+/// cache, so repeated copies with the same shape (iterative solvers,
+/// shift intrinsics in a sweep loop) build their plan once and replay it.
 template <typename T>
 void copy_section(const DistributedArray<T>& src, const RegularSection& ssec,
                   DistributedArray<T>& dst, const RegularSection& dsec,
                   const SpmdExecutor& exec) {
-  const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
-  execute_copy_plan(plan, src, dst, exec);
+  const auto plan = cached_copy_plan(src, ssec, dst, dsec, exec);
+  execute_copy_plan(*plan, src, dst, exec);
 }
 
 /// Index-free redistribution: dst(dsec) = src(ssec) where *no index
@@ -285,12 +121,23 @@ void symmetric_copy_section(const DistributedArray<T>& src, const RegularSection
   };
 
   // Phase 1: every sender q walks its source elements in t order and
-  // appends the *value only* to the buffer of the receiving rank.
+  // appends the *value only* to the buffer of the receiving rank. The
+  // destination owner comes from the owner-run cursor (divisions only at
+  // block crossings), and a first counting pass sizes every per-receiver
+  // buffer exactly before the fill — no push_back growth reallocations.
   std::vector<std::vector<T>> wire(static_cast<std::size_t>(p * p));  // [m*p + q]
   exec.run([&](i64 q) {
     auto local = src.local(q);
-    for (const auto& [t, la] : owned_in_t_order(src, ssec, q)) {
-      const i64 m = dst.owner_of(dsec.element(t));
+    const auto items = owned_in_t_order(src, ssec, q);
+    OwnerCursor dst_owner(dst, dsec);
+    std::vector<i64> counts(static_cast<std::size_t>(p), 0);
+    for (const auto& [t, la] : items) ++counts[static_cast<std::size_t>(dst_owner.owner_at(t))];
+    for (i64 m = 0; m < p; ++m)
+      if (counts[static_cast<std::size_t>(m)] > 0)
+        wire[static_cast<std::size_t>(m * p + q)].reserve(
+            static_cast<std::size_t>(counts[static_cast<std::size_t>(m)]));
+    for (const auto& [t, la] : items) {
+      const i64 m = dst_owner.owner_at(t);
       wire[static_cast<std::size_t>(m * p + q)].push_back(
           local[static_cast<std::size_t>(la)]);
     }
@@ -300,9 +147,10 @@ void symmetric_copy_section(const DistributedArray<T>& src, const RegularSection
   // derives the sender, and consumes that sender's stream in order.
   exec.run([&](i64 m) {
     auto local = dst.local(m);
+    OwnerCursor src_owner(src, ssec);
     std::vector<std::size_t> cursor(static_cast<std::size_t>(p), 0);
     for (const auto& [t, la] : owned_in_t_order(dst, dsec, m)) {
-      const i64 q = src.owner_of(ssec.element(t));
+      const i64 q = src_owner.owner_at(t);
       auto& stream = wire[static_cast<std::size_t>(m * p + q)];
       auto& pos = cursor[static_cast<std::size_t>(q)];
       CYCLICK_ASSERT(pos < stream.size());

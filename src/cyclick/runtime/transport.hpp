@@ -111,6 +111,22 @@ void send_values(Transport& transport, i64 from, i64 to, std::span<const T> valu
   transport.send(from, to, std::move(payload));
 }
 
+/// Zero-copy typed send: allocates the wire payload once and hands `fill`
+/// a typed span over it, so producers pack values directly into the bytes
+/// that go on the wire — no intermediate value vector, no second memcpy.
+/// (The heap buffer backing a vector<std::byte> is max-aligned, so the
+/// typed view is valid for any trivially copyable T.)
+template <typename T, typename Fill>
+void send_packed(Transport& transport, i64 from, i64 to, i64 count, Fill&& fill) {
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(count >= 0, "negative payload element count");
+  std::vector<std::byte> payload(static_cast<std::size_t>(count) * sizeof(T));
+  if (count > 0)
+    std::forward<Fill>(fill)(
+        std::span<T>(reinterpret_cast<T*>(payload.data()), static_cast<std::size_t>(count)));
+  transport.send(from, to, std::move(payload));
+}
+
 /// Typed convenience: receive a vector of trivially copyable values.
 template <typename T>
 std::vector<T> recv_values(Transport& transport, i64 to, i64 from) {

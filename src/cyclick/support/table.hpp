@@ -28,6 +28,10 @@ class TextTable {
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return header_.size(); }
 
+  /// Raw cell access for alternative emitters (e.g. the bench JSON writer).
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
   /// Format helpers for numeric cells.
   static std::string num(i64 v);
   static std::string fixed(double v, int decimals);

@@ -146,8 +146,9 @@ TEST(SectionOps, CommPlanAccountsEveryElement) {
   const CommPlan plan = build_copy_plan(a, ssec, b, dsec, exec);
   i64 total = 0;
   for (i64 m = 0; m < 4; ++m)
-    for (i64 q = 0; q < 4; ++q) total += static_cast<i64>(plan.items(m, q).size());
+    for (i64 q = 0; q < 4; ++q) total += plan.channel_size(m, q);
   EXPECT_EQ(total, ssec.size());
+  EXPECT_EQ(plan.total_elements(), ssec.size());
   EXPECT_EQ(plan.remote_elements() <= total, true);
   EXPECT_GE(plan.message_count(), 1);  // redistribution must communicate
 }
