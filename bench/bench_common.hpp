@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/report.hpp"
 #include "cyclick/support/table.hpp"
 #include "cyclick/support/timer.hpp"
 #include "cyclick/support/types.hpp"
@@ -35,6 +37,35 @@ double max_over_ranks_us(i64 p, int repeats, Fn&& fn) {
   }
   return worst;
 }
+
+/// As above, but each rank's best time is also recorded into the process
+/// telemetry registry under `name` (per-rank histogram rows), so `--metrics`
+/// runs expose the full per-rank distribution, not just the maximum.
+template <typename Fn>
+double max_over_ranks_us(const char* name, i64 p, int repeats, Fn&& fn) {
+  double worst = 0.0;
+  for (i64 m = 0; m < p; ++m) {
+    const double t = time_best_us(repeats, [&] { fn(m); });
+    if (obs::enabled())
+      obs::Registry::global().histogram(name).record_us(m, static_cast<i64>(t));
+    if (t > worst) worst = t;
+  }
+  return worst;
+}
+
+/// Scan argv for the shared telemetry flags (--metrics[=json],
+/// --trace=FILE.json) and enable collection when any is present. Call
+/// emit_obs(opts) once the harness is done measuring.
+inline obs::CliOptions obs_options(int argc, char** argv) {
+  obs::CliOptions opt;
+  for (int i = 1; i < argc; ++i) obs::parse_cli_flag(argv[i], opt);
+  if (opt.any()) obs::set_enabled(true);
+  return opt;
+}
+
+/// Emit the telemetry report / trace requested by obs_options (stderr, so
+/// stdout stays parseable as a table or CSV).
+inline void emit_obs(const obs::CliOptions& opt) { obs::emit_cli_outputs(opt, std::cerr); }
 
 /// True when the harness should emit CSV instead of an aligned table.
 inline bool want_csv(int argc, char** argv) {

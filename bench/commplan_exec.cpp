@@ -61,6 +61,7 @@ long long allocs_during(int rounds, const std::function<void()>& fn) {
 int main(int argc, char** argv) {
   const bool csv = want_csv(argc, argv);
   const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
   const i64 p = 32;
   const i64 n = 100'000;
   const int repeats = 10;
@@ -150,6 +151,7 @@ int main(int argc, char** argv) {
     w.add_table("commplan_exec", table);
     w.write();
   }
+  emit_obs(obs_opt);
 
   // Hard gates mirroring the PR's acceptance criteria, so CI smoke runs
   // catch regressions: >= 2x cached execution speedup, zero steady-state

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   using namespace cyclick;
   using namespace cyclick::bench;
   const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
 
   const i64 p = 32;
   const i64 s = 7;
@@ -32,10 +34,10 @@ int main(int argc, char** argv) {
       }
     }
     ks.push_back(k);
-    lat.push_back(max_over_ranks_us(p, repeats, [&](i64 m) {
+    lat.push_back(max_over_ranks_us("figure7.lattice_us", p, repeats, [&](i64 m) {
       do_not_optimize(compute_access_pattern(dist, 0, s, m).gaps.data());
     }));
-    sort.push_back(max_over_ranks_us(p, repeats, [&](i64 m) {
+    sort.push_back(max_over_ranks_us("figure7.sorting_us", p, repeats, [&](i64 m) {
       do_not_optimize(chatterjee_access_pattern(dist, 0, s, m).gaps.data());
     }));
   }
@@ -45,6 +47,12 @@ int main(int argc, char** argv) {
     table.add_row({TextTable::num(ks[i]), TextTable::fixed(lat[i], 2),
                    TextTable::fixed(sort[i], 2), TextTable::fixed(sort[i] / lat[i], 2)});
   emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_figure7.json");
+    w.add_table("figure7_series", table);
+    w.write();
+  }
+  emit_obs(obs_opt);
 
   if (!csv) {
     // ASCII plot: one row per k, bar length proportional to time.

@@ -3,8 +3,16 @@
 // min(log s, log p) part of the complexity), the incremental residue scan
 // (the O(k) part), single iterator advances (the O(1) table-free step), and
 // the distribution's O(1) index algebra.
+//
+// `--json` additionally writes the measured runs to BENCH_micro.json (the
+// same row-object format the table harnesses emit), via a reporter that
+// captures runs on their way to the console.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "cyclick/core/iterator.hpp"
 #include "cyclick/support/residue_scan.hpp"
 
@@ -67,6 +75,33 @@ void BM_Owner(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Console reporter that also captures each run's name / time / throughput,
+/// so the harness can re-emit them through the shared JsonWriter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::vector<std::string> row;
+      row.push_back(run.benchmark_name());
+      row.push_back(TextTable::fixed(run.GetAdjustedRealTime(), 2));
+      row.push_back(TextTable::fixed(run.GetAdjustedCPUTime(), 2));
+      row.push_back(std::to_string(run.iterations));
+      const auto items = run.counters.find("items_per_second");
+      row.push_back(items != run.counters.end()
+                        ? TextTable::fixed(static_cast<double>(items->second.value), 0)
+                        : std::string("0"));
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
 
 BENCHMARK(BM_ExtendedEuclid)->Arg(7)->Arg(99)->Arg(1 << 20);
@@ -75,4 +110,25 @@ BENCHMARK(BM_IteratorAdvance)->Arg(8)->Arg(256);
 BENCHMARK(BM_LocalIndex);
 BENCHMARK(BM_Owner);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our flag out before google-benchmark sees the argument vector.
+  const bool json = cyclick::bench::want_json(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i)
+    if (std::string(argv[i]) != "--json") args.push_back(argv[i]);
+  int nargs = static_cast<int>(args.size());
+
+  benchmark::Initialize(&nargs, args.data());
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json) {
+    cyclick::bench::JsonWriter w("BENCH_micro.json");
+    w.add_table("micro_primitives",
+                {"name", "real_time_ns", "cpu_time_ns", "iterations", "items_per_second"},
+                reporter.rows());
+    w.write();
+  }
+  return 0;
+}

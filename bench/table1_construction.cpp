@@ -39,6 +39,8 @@ i64 resolve_stride(const StrideCase& c, i64 k, i64 pk) {
 
 int main(int argc, char** argv) {
   const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
   const i64 p = 32;
   const int repeats = 200;
   const StrideCase strides[] = {
@@ -66,11 +68,11 @@ int main(int argc, char** argv) {
         }
       }
 
-      const double lattice_us = max_over_ranks_us(p, repeats, [&](i64 m) {
+      const double lattice_us = max_over_ranks_us("table1.lattice_us", p, repeats, [&](i64 m) {
         const AccessPattern pat = compute_access_pattern(dist, 0, s, m);
         do_not_optimize(pat.gaps.data());
       });
-      const double sorting_us = max_over_ranks_us(p, repeats, [&](i64 m) {
+      const double sorting_us = max_over_ranks_us("table1.sorting_us", p, repeats, [&](i64 m) {
         const AccessPattern pat = chatterjee_access_pattern(dist, 0, s, m);
         do_not_optimize(pat.gaps.data());
       });
@@ -80,6 +82,12 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_table1.json");
+    w.add_table("table1_construction", table);
+    w.write();
+  }
+  emit_obs(obs_opt);
   std::cout << "\n(Lat = lattice algorithm of this paper; Sort = Chatterjee et al.;"
                "\n paper ran on an iPSC/860, so absolute values differ — compare shapes:"
                "\n Sort/Lat ratio should grow with k and exceed ~4x by k = 512.)\n";

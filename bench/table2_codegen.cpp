@@ -34,6 +34,8 @@ struct Config {
 
 int main(int argc, char** argv) {
   const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
   const i64 p = 32;
   const int repeats = 15;
 
@@ -112,6 +114,12 @@ int main(int argc, char** argv) {
     }
   }
   emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_table2.json");
+    w.add_table("table2_codegen", table);
+    w.write();
+  }
+  emit_obs(obs_opt);
   std::cout << "\n(Compare shapes with the paper's Table 2: the mod-based 8(a) is the\n"
                " clear loser; 8(d)'s two-table lookup is the fastest.)\n";
   return 0;

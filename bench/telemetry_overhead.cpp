@@ -1,0 +1,114 @@
+// Telemetry overhead gate: times the instrumented addresser-construction
+// hot loop (the code path carrying CYCLICK_COUNT / CYCLICK_TIME_SCOPE) with
+// collection *disabled* — the default — and compares against a baseline
+// from a -DCYCLICK_NO_TELEMETRY=ON build of the same source.
+//
+//   telemetry_overhead [--json]                 measure, write BENCH_telemetry_overhead.json
+//   telemetry_overhead --baseline=FILE.json     additionally compare against FILE
+//                                               (a previous --json output) and exit
+//                                               nonzero if slower by more than the
+//                                               tolerance (default 1%)
+//   telemetry_overhead --tolerance=0.05         override the tolerance
+//
+// CI builds the tree twice (telemetry compiled in but disabled vs compiled
+// out), runs the NO_TELEMETRY binary with --json to produce the baseline,
+// then runs this build with --baseline= pointing at it: disabled telemetry
+// must cost no more than a never-taken branch per probe.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace {
+
+using namespace cyclick;
+using namespace cyclick::bench;
+
+/// One pass of the instrumented hot loop: build gap tables across the
+/// paper's parameter grid. Returns a sink value so nothing folds away.
+i64 hot_loop(i64 p) {
+  i64 sink = 0;
+  for (i64 k = 4; k <= 256; k *= 4) {
+    const BlockCyclic dist(p, k);
+    for (const i64 s : {i64{7}, i64{99}, k + 1, p * k - 1}) {
+      for (i64 m = 0; m < p; ++m) {
+        const AccessPattern pat = compute_access_pattern(dist, 0, s, m);
+        sink += pat.length;
+        do_not_optimize(pat.gaps.data());
+      }
+    }
+  }
+  return sink;
+}
+
+/// Pull the first "us": <number> out of a previous --json output. The file
+/// is our own JsonWriter's format, so a string scan is sufficient.
+double baseline_us_from(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "telemetry_overhead: cannot open baseline " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::size_t key = text.find("\"us\":");
+  if (key == std::string::npos) {
+    std::cerr << "telemetry_overhead: no \"us\" field in " << path << "\n";
+    std::exit(2);
+  }
+  return std::strtod(text.c_str() + key + 5, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  std::string baseline_path;
+  double tolerance = 0.01;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) baseline_path = arg.substr(11);
+    if (arg.rfind("--tolerance=", 0) == 0) tolerance = std::strtod(arg.c_str() + 12, nullptr);
+  }
+
+  const i64 p = 32;
+  const int repeats = 40;
+
+  std::cout << "Telemetry overhead: addresser construction sweep, p = " << p
+            << ", telemetry "
+            << (obs::compiled_in() ? "compiled in (disabled)" : "compiled out")
+            << ", best of " << repeats << "\n\n";
+  CYCLICK_REQUIRE(!obs::enabled(), "gate must measure the disabled state");
+
+  // Warm up (first call initializes metric statics when compiled in).
+  do_not_optimize(hot_loop(p));
+  const double us = time_best_us(repeats, [&] { do_not_optimize(hot_loop(p)); });
+
+  TextTable table({"metric", "us", "telemetry"});
+  table.add_row({"addresser_sweep", TextTable::fixed(us, 2),
+                 obs::compiled_in() ? "disabled" : "compiled_out"});
+  emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_telemetry_overhead.json");
+    w.add_table("telemetry_overhead", table);
+    w.write();
+  }
+
+  if (!baseline_path.empty()) {
+    const double base = baseline_us_from(baseline_path);
+    const double ratio = us / base;
+    std::cout << "baseline " << base << " us, current " << us << " us, ratio "
+              << TextTable::fixed(ratio, 4) << " (tolerance " << tolerance << ")\n";
+    if (ratio > 1.0 + tolerance) {
+      std::cerr << "GATE FAILED: disabled telemetry is " << TextTable::fixed(ratio, 4)
+                << "x the telemetry-free baseline (allowed 1 + " << tolerance << ")\n";
+      return 1;
+    }
+  }
+  return 0;
+}

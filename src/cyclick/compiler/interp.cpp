@@ -5,16 +5,41 @@
 
 #include "cyclick/compiler/parser.hpp"
 #include "cyclick/core/aligned.hpp"
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/intrinsics.hpp"
 #include "cyclick/runtime/section_ops.hpp"
 
 namespace cyclick::dsl {
+namespace {
+
+// Per-statement-kind trace labels (string literals: TraceEvent stores the
+// pointer, so span names must have static lifetime).
+constexpr const char* stmt_label(const ProcsDecl&) { return "dsl.procs"; }
+constexpr const char* stmt_label(const TemplateDecl&) { return "dsl.template"; }
+constexpr const char* stmt_label(const DistributeDecl&) { return "dsl.distribute"; }
+constexpr const char* stmt_label(const ArrayDecl&) { return "dsl.array"; }
+constexpr const char* stmt_label(const AssignStmt&) { return "dsl.assign"; }
+constexpr const char* stmt_label(const ScalarAssignStmt&) { return "dsl.scalar_assign"; }
+constexpr const char* stmt_label(const PrintStmt&) { return "dsl.print"; }
+constexpr const char* stmt_label(const ExplainStmt&) { return "dsl.explain"; }
+constexpr const char* stmt_label(const RedistributeStmt&) { return "dsl.redistribute"; }
+constexpr const char* stmt_label(const WhereStmt&) { return "dsl.where"; }
+constexpr const char* stmt_label(const RepeatStmt&) { return "dsl.repeat"; }
+
+}  // namespace
 
 void Machine::run_source(std::string_view source) { run(parse(source)); }
 
 void Machine::run(const Program& program) {
   for (const Statement& stmt : program.statements)
-    std::visit([this](const auto& s) { exec(s); }, stmt);
+    std::visit(
+        [this](const auto& s) {
+          CYCLICK_COUNT("dsl.statements", 0, 1);
+          CYCLICK_SPAN(stmt_label(s), obs::kMainTid);
+          exec(s);
+        },
+        stmt);
 }
 
 const DistributedArray<double>& Machine::array(const std::string& name) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cyclick/obs/metrics.hpp"
 #include "cyclick/support/residue_scan.hpp"
 
 namespace cyclick {
@@ -25,6 +26,8 @@ std::optional<StartInfo> find_start(const BlockCyclic& dist, i64 lower, i64 stri
     ++length;
   });
   if (stats) stats->equations_solved += length;
+  CYCLICK_COUNT("addresser.start_solves", proc, 1);
+  CYCLICK_COUNT("addresser.equations_solved", proc, length);
   if (length == 0) return std::nullopt;
   return StartInfo{lower + best_j * stride, length};
 }
@@ -52,6 +55,8 @@ AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 str
                                      WorkStats* stats) {
   CYCLICK_REQUIRE(stride > 0, "compute_access_pattern requires a positive stride;"
                               " use compute_access_pattern_signed for s < 0");
+  CYCLICK_COUNT("addresser.tables_built", proc, 1);
+  CYCLICK_TIME_SCOPE("addresser.build_us", proc);
   AccessPattern pat;
   pat.proc = proc;
 
@@ -70,6 +75,7 @@ AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 str
     // Lines 15-17: a single offset repeats every lcm(s, pk)/s steps; the
     // local gap is (s/d) rows of k cells.
     pat.gaps.assign(1, k * (stride / d));
+    CYCLICK_COUNT("addresser.table_cells", proc, 1);
     return pat;
   }
 
@@ -78,6 +84,7 @@ AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 str
   // the basis exists).
   const auto basis = select_rl_basis(dist.procs(), k, stride);
   CYCLICK_ASSERT(basis.has_value());
+  CYCLICK_COUNT("addresser.basis_searches", proc, 1);
   if (stats) stats->equations_solved += (k - 1) / basis->d;
 
   const i64 br = basis->r.v.b, ar = basis->r.v.a;
@@ -110,6 +117,7 @@ AccessPattern compute_access_pattern(const BlockCyclic& dist, i64 lower, i64 str
     }
     ++i;
   }
+  CYCLICK_COUNT("addresser.table_cells", proc, pat.length);
   return pat;
 }
 

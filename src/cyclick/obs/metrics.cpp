@@ -1,0 +1,149 @@
+#include "cyclick/obs/metrics.hpp"
+
+namespace cyclick::obs {
+
+i64 now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+      .count();
+}
+
+Counter::Counter(std::string name) : name_(std::move(name)) {}
+
+i64 Counter::total() const noexcept {
+  i64 sum = 0;
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+#endif
+  return sum;
+}
+
+std::vector<i64> Counter::per_rank(i64 ranks) const {
+  const i64 n = ranks < kRankSlots ? ranks : kRankSlots;
+  std::vector<i64> out(static_cast<std::size_t>(n < 0 ? 0 : n), 0);
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (std::size_t r = 0; r < out.size(); ++r)
+    out[r] = slots_[r].v.load(std::memory_order_relaxed);
+#endif
+  return out;
+}
+
+void Counter::reset() noexcept {
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+#endif
+}
+
+Histogram::Histogram(std::string name) : name_(std::move(name)) {}
+
+std::pair<double, double> Histogram::bucket_bounds(i64 b) noexcept {
+  if (b <= 0) return {0.0, 0.0};
+  const double lo = static_cast<double>(u64{1} << (b - 1));
+  const double hi = b >= 63 ? lo * 2.0 : static_cast<double>((u64{1} << b) - 1);
+  return {lo, hi};
+}
+
+std::vector<i64> Histogram::merged_buckets() const {
+  std::vector<i64> merged(static_cast<std::size_t>(kHistogramBuckets), 0);
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (const Row& row : rows_)
+    for (std::size_t b = 0; b < merged.size(); ++b)
+      merged[b] += row.buckets[b].load(std::memory_order_relaxed);
+#endif
+  return merged;
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  const std::vector<i64> merged = merged_buckets();
+  i64 count = 0;
+  i64 sum_ns = 0;
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (const Row& row : rows_) {
+    count += row.count.load(std::memory_order_relaxed);
+    sum_ns += row.sum_ns.load(std::memory_order_relaxed);
+  }
+#endif
+  s.count = count;
+  s.sum_us = static_cast<double>(sum_ns) * 1e-3;
+  s.mean_us = count > 0 ? s.sum_us / static_cast<double>(count) : 0.0;
+  if (count == 0) return s;
+
+  // Quantile estimate: find the bucket where the cumulative count crosses
+  // q * count, then interpolate linearly across the bucket's value range.
+  const auto quantile_us = [&](double q) -> double {
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (i64 b = 0; b < kHistogramBuckets; ++b) {
+      const double in_bucket = static_cast<double>(merged[static_cast<std::size_t>(b)]);
+      if (in_bucket == 0.0) continue;
+      if (cum + in_bucket >= target) {
+        const auto [lo, hi] = bucket_bounds(b);
+        const double frac = (target - cum) / in_bucket;
+        return (lo + (hi - lo) * frac) * 1e-3;  // ns -> us
+      }
+      cum += in_bucket;
+    }
+    return bucket_bounds(kHistogramBuckets - 1).second * 1e-3;
+  };
+  s.p50_us = quantile_us(0.50);
+  s.p90_us = quantile_us(0.90);
+  s.p99_us = quantile_us(0.99);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+#if !defined(CYCLICK_NO_TELEMETRY)
+  for (Row& row : rows_) {
+    row.count.store(0, std::memory_order_relaxed);
+    row.sum_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : row.buckets) b.store(0, std::memory_order_relaxed);
+  }
+#endif
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_)
+    if (c->name() == name) return *c;
+  counters_.push_back(std::make_unique<Counter>(std::string(name)));
+  return *counters_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_)
+    if (h->name() == name) return *h;
+  histograms_.push_back(std::make_unique<Histogram>(std::string(name)));
+  return *histograms_.back();
+}
+
+std::vector<const Counter*> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Histogram*> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& h : histograms_) out.push_back(h.get());
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& h : histograms_) h->reset();
+}
+
+}  // namespace cyclick::obs

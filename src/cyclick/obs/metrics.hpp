@@ -1,0 +1,254 @@
+// Process-wide runtime telemetry: named per-rank counters and microsecond
+// histograms.
+//
+// Design constraints, in order:
+//   1. Zero cost when compiled out: -DCYCLICK_NO_TELEMETRY turns every
+//      recording macro and inline hook into nothing.
+//   2. Near-zero cost when compiled in but disabled (the default): each
+//      hook is one relaxed atomic load and a never-taken branch. The
+//      bench/telemetry_overhead gate holds this to <= 1% on the addresser
+//      construction hot loop.
+//   3. No locks on the enabled hot path: every metric owns a fixed array
+//      of cache-line-padded per-rank slots updated with relaxed atomic
+//      adds; readers merge the slots. The simulated machines are small
+//      (tens to a few hundred ranks), so a fixed power-of-two slot count
+//      covers them one-to-one; larger rank ids fold modulo the slot count
+//      — totals stay exact (atomic adds still serialize), only the
+//      per-rank attribution folds.
+//
+// Metric handles are created (or found) by name through Registry::global()
+// under a mutex; call sites cache the returned reference in a
+// function-local static so the name lookup happens once per process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::obs {
+
+/// Per-metric rank slots. Power of two; rank ids fold modulo this.
+inline constexpr i64 kRankSlots = 256;
+
+/// Histogram bucket count: bucket b holds values whose nanosecond
+/// magnitude has bit-width b (bucket 0 is exactly zero).
+inline constexpr i64 kHistogramBuckets = 64;
+
+#if defined(CYCLICK_NO_TELEMETRY)
+[[nodiscard]] constexpr bool compiled_in() noexcept { return false; }
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+[[nodiscard]] constexpr bool compiled_in() noexcept { return true; }
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// The single runtime switch all recording hooks check.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+[[nodiscard]] inline std::size_t rank_slot(i64 rank) noexcept {
+  return static_cast<std::size_t>(static_cast<u64>(rank) &
+                                  static_cast<u64>(kRankSlots - 1));
+}
+
+/// Monotonic nanoseconds since process start (what spans and timers use).
+[[nodiscard]] i64 now_ns() noexcept;
+
+/// Named monotonically increasing count with per-rank slots.
+class Counter {
+ public:
+  explicit Counter(std::string name);
+
+  /// Hot path. Does NOT check enabled(); the macros below do, so that the
+  /// disabled cost is exactly one branch.
+  void add(i64 rank, i64 n = 1) noexcept {
+#if !defined(CYCLICK_NO_TELEMETRY)
+    slots_[rank_slot(rank)].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)rank;
+    (void)n;
+#endif
+  }
+
+  /// Merge all rank slots (exact regardless of rank folding).
+  [[nodiscard]] i64 total() const noexcept;
+
+  /// Per-slot values for the first `ranks` slots (per-rank breakdown for
+  /// machines with ranks <= kRankSlots).
+  [[nodiscard]] std::vector<i64> per_rank(i64 ranks) const;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<i64> v{0};
+  };
+  std::string name_;
+#if !defined(CYCLICK_NO_TELEMETRY)
+  std::vector<Slot> slots_{static_cast<std::size_t>(kRankSlots)};
+#endif
+};
+
+/// Named microsecond histogram: power-of-two nanosecond buckets plus
+/// count/sum, all with per-rank slots merged on read. Quantiles are
+/// estimated by linear interpolation inside the containing bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::string name);
+
+  /// Hot path; unchecked like Counter::add.
+  void record_us(i64 rank, double us) noexcept {
+#if !defined(CYCLICK_NO_TELEMETRY)
+    const i64 ns = us <= 0.0 ? 0 : static_cast<i64>(us * 1e3);
+    Row& row = rows_[rank_slot(rank)];
+    row.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    row.count.fetch_add(1, std::memory_order_relaxed);
+    row.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+#else
+    (void)rank;
+    (void)us;
+#endif
+  }
+
+  struct Summary {
+    i64 count = 0;
+    double sum_us = 0.0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+  };
+  [[nodiscard]] Summary summary() const;
+
+  /// Merged bucket counts (index = nanosecond bit-width), for tests.
+  [[nodiscard]] std::vector<i64> merged_buckets() const;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] static i64 bucket_of(i64 ns) noexcept {
+    i64 b = 0;
+    for (u64 v = static_cast<u64>(ns < 0 ? 0 : ns); v != 0; v >>= 1) ++b;
+    return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+  }
+  /// Inclusive nanosecond value range covered by a bucket.
+  [[nodiscard]] static std::pair<double, double> bucket_bounds(i64 b) noexcept;
+
+ private:
+  struct Row {
+    std::atomic<i64> count{0};
+    std::atomic<i64> sum_ns{0};
+    std::atomic<i64> buckets[static_cast<std::size_t>(kHistogramBuckets)]{};
+  };
+  std::string name_;
+#if !defined(CYCLICK_NO_TELEMETRY)
+  std::vector<Row> rows_{static_cast<std::size_t>(kRankSlots)};
+#endif
+};
+
+/// Process-wide directory of metrics. Creation/lookup is mutex-protected
+/// (cold: call sites cache references); recording never touches the
+/// registry. Handles are stable for the life of the process — reset()
+/// zeroes values but never invalidates references.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Snapshot of registered metrics in registration order.
+  [[nodiscard]] std::vector<const Counter*> counters() const;
+  [[nodiscard]] std::vector<const Histogram*> histograms() const;
+
+  /// Zero every metric (bench/test isolation). References stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Times a scope into a registry histogram; reads the clock only when
+/// telemetry is enabled at construction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram& hist, i64 rank) noexcept {
+#if !defined(CYCLICK_NO_TELEMETRY)
+    if (enabled()) {
+      hist_ = &hist;
+      rank_ = rank;
+      start_ns_ = now_ns();
+    }
+#else
+    (void)hist;
+    (void)rank;
+#endif
+  }
+  ~ScopedTimer() {
+#if !defined(CYCLICK_NO_TELEMETRY)
+    if (hist_ != nullptr)
+      hist_->record_us(rank_, static_cast<double>(now_ns() - start_ns_) * 1e-3);
+#endif
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#if !defined(CYCLICK_NO_TELEMETRY)
+  Histogram* hist_ = nullptr;
+  i64 rank_ = 0;
+  i64 start_ns_ = 0;
+#endif
+};
+
+}  // namespace cyclick::obs
+
+#define CYCLICK_OBS_CAT2(a, b) a##b
+#define CYCLICK_OBS_CAT(a, b) CYCLICK_OBS_CAT2(a, b)
+
+// Recording macros: one relaxed load + branch when disabled; nothing at
+// all under CYCLICK_NO_TELEMETRY. The metric name must be a constant
+// expression (it is looked up once via a function-local static).
+#if defined(CYCLICK_NO_TELEMETRY)
+#define CYCLICK_COUNT(name, rank, n) \
+  do {                               \
+  } while (false)
+#define CYCLICK_TIME_SCOPE(name, rank) \
+  do {                                 \
+  } while (false)
+#else
+#define CYCLICK_COUNT(name, rank, n)                               \
+  do {                                                             \
+    if (::cyclick::obs::enabled()) {                               \
+      static ::cyclick::obs::Counter& cyclick_obs_counter_ =       \
+          ::cyclick::obs::Registry::global().counter(name);        \
+      cyclick_obs_counter_.add((rank), (n));                       \
+    }                                                              \
+  } while (false)
+// Declares a block-scoped timer; use at most once per line.
+#define CYCLICK_TIME_SCOPE(name, rank)                                        \
+  static ::cyclick::obs::Histogram& CYCLICK_OBS_CAT(cyclick_obs_hist_,        \
+                                                    __LINE__) =               \
+      ::cyclick::obs::Registry::global().histogram(name);                     \
+  ::cyclick::obs::ScopedTimer CYCLICK_OBS_CAT(cyclick_obs_timer_, __LINE__)(  \
+      CYCLICK_OBS_CAT(cyclick_obs_hist_, __LINE__), (rank))
+#endif

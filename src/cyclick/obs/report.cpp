@@ -1,0 +1,145 @@
+#include "cyclick/obs/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+
+namespace cyclick::obs {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void render_text_report(std::ostream& os, Registry& registry, TraceSink& sink) {
+  os << "== cyclick telemetry ==\n";
+  if (!compiled_in()) {
+    os << "(compiled out: CYCLICK_NO_TELEMETRY)\n";
+    return;
+  }
+
+  os << "counters:\n";
+  bool any = false;
+  for (const Counter* c : registry.counters()) {
+    const i64 total = c->total();
+    if (total == 0) continue;
+    any = true;
+    os << "  " << std::left << std::setw(32) << c->name() << std::right
+       << std::setw(14) << total << "\n";
+  }
+  if (!any) os << "  (none)\n";
+
+  os << "histograms (us):\n";
+  any = false;
+  for (const Histogram* h : registry.histograms()) {
+    const Histogram::Summary s = h->summary();
+    if (s.count == 0) continue;
+    any = true;
+    os << "  " << std::left << std::setw(32) << h->name() << std::right
+       << " count " << std::setw(8) << s.count << "  mean " << std::setw(10)
+       << std::fixed << std::setprecision(2) << s.mean_us << "  p50 "
+       << std::setw(10) << s.p50_us << "  p90 " << std::setw(10) << s.p90_us
+       << "  p99 " << std::setw(10) << s.p99_us << "\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+  if (!any) os << "  (none)\n";
+
+  os << "spans:\n";
+  const auto totals = sink.span_totals();
+  for (const SpanTotal& t : totals)
+    os << "  " << std::left << std::setw(32) << t.name << std::right
+       << " count " << std::setw(8) << t.count << "  total_us " << std::setw(12)
+       << std::fixed << std::setprecision(1) << t.total_us << "\n";
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
+  if (totals.empty()) os << "  (none)\n";
+  if (sink.dropped_count() > 0)
+    os << "trace: " << sink.dropped_count() << " spans dropped (ring full; "
+       << "raise TraceSink::set_capacity)\n";
+}
+
+void render_json_report(std::ostream& os, Registry& registry, TraceSink& sink) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter* c : registry.counters()) {
+    const i64 total = c->total();
+    if (total == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_json_string(os, c->name());
+    os << ": " << total;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Histogram* h : registry.histograms()) {
+    const Histogram::Summary s = h->summary();
+    if (s.count == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_json_string(os, h->name());
+    os << ": {\"count\": " << s.count << ", \"sum_us\": " << s.sum_us
+       << ", \"mean_us\": " << s.mean_us << ", \"p50_us\": " << s.p50_us
+       << ", \"p90_us\": " << s.p90_us << ", \"p99_us\": " << s.p99_us << "}";
+  }
+  os << "\n  },\n  \"spans\": {";
+  first = true;
+  for (const SpanTotal& t : sink.span_totals()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_json_string(os, t.name);
+    os << ": {\"count\": " << t.count << ", \"total_us\": " << t.total_us << "}";
+  }
+  os << "\n  },\n  \"trace\": {\"events\": " << sink.event_count()
+     << ", \"dropped\": " << sink.dropped_count() << "}\n}\n";
+}
+
+bool parse_cli_flag(std::string_view arg, CliOptions& opts) {
+  if (arg == "--metrics") {
+    opts.metrics = true;
+    return true;
+  }
+  if (arg == "--metrics=json") {
+    opts.metrics = true;
+    opts.metrics_json = true;
+    return true;
+  }
+  if (arg.rfind("--trace=", 0) == 0) {
+    opts.trace_path = std::string(arg.substr(8));
+    return true;
+  }
+  return false;
+}
+
+void emit_cli_outputs(const CliOptions& opts, std::ostream& os) {
+  if (opts.metrics) {
+    if (opts.metrics_json)
+      render_json_report(os);
+    else
+      render_text_report(os);
+  }
+  if (!opts.trace_path.empty()) {
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file " << opts.trace_path << "\n";
+      return;
+    }
+    TraceSink::global().write_chrome_trace(out);
+    // Keep stderr pure JSON in --metrics=json mode (CI captures it).
+    if (!opts.metrics_json) std::cerr << "wrote " << opts.trace_path << "\n";
+  }
+}
+
+}  // namespace cyclick::obs

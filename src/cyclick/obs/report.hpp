@@ -1,0 +1,43 @@
+// Human- and machine-readable summaries of the telemetry registry and the
+// trace sink: counters, histogram quantiles, and per-name span totals.
+// This is what `hpfc --metrics` / `amtool --metrics` print and what the
+// benches dump next to their measurement JSON.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/trace.hpp"
+
+namespace cyclick::obs {
+
+/// Aligned text report: one line per counter (total), histogram (count,
+/// mean, p50/p90/p99) and span name (count, total us).
+void render_text_report(std::ostream& os,
+                        Registry& registry = Registry::global(),
+                        TraceSink& sink = TraceSink::global());
+
+/// The same content as one JSON object:
+/// {"counters":{...},"histograms":{...},"spans":{...},"trace":{...}}.
+void render_json_report(std::ostream& os,
+                        Registry& registry = Registry::global(),
+                        TraceSink& sink = TraceSink::global());
+
+/// Shared CLI argument handling for the user surfaces (hpfc, amtool,
+/// benches): recognizes --metrics, --metrics=json and --trace=FILE.
+struct CliOptions {
+  bool metrics = false;      ///< print a report when done
+  bool metrics_json = false; ///< ... as JSON instead of text
+  std::string trace_path;    ///< write a chrome trace here when non-empty
+  [[nodiscard]] bool any() const noexcept { return metrics || !trace_path.empty(); }
+};
+
+/// True when `arg` is a telemetry flag (and was folded into `opts`).
+bool parse_cli_flag(std::string_view arg, CliOptions& opts);
+
+/// Emit whatever `opts` asked for: report to `os`, trace to opts.trace_path
+/// (logs the written path to std::cerr). No-op when !opts.any().
+void emit_cli_outputs(const CliOptions& opts, std::ostream& os);
+
+}  // namespace cyclick::obs

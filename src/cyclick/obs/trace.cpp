@@ -1,0 +1,152 @@
+#include "cyclick/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace cyclick::obs {
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::set_capacity(i64 events_per_rank) {
+  CYCLICK_REQUIRE(events_per_rank >= 1, "trace capacity must be positive");
+  CYCLICK_REQUIRE(event_count() == 0 && dropped_count() == 0,
+                  "trace capacity must be set while the sink is empty");
+  clear();  // release any previously sized (empty) rings
+  capacity_ = events_per_rank;
+}
+
+TraceSink::Ring* TraceSink::ring_for(i64 tid) noexcept {
+  std::atomic<Ring*>& slot = rings_[rank_slot(tid)];
+  Ring* ring = slot.load(std::memory_order_acquire);
+  if (ring != nullptr) return ring;
+  auto fresh = std::make_unique<Ring>(capacity_);
+  if (slot.compare_exchange_strong(ring, fresh.get(), std::memory_order_acq_rel))
+    return fresh.release();
+  return ring;  // another thread won the race; ours is freed
+}
+
+void TraceSink::complete(const char* name, i64 tid, i64 begin_ns,
+                         i64 end_ns) noexcept {
+  Ring* ring = ring_for(tid);
+  const i64 idx = ring->next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= static_cast<i64>(ring->events.size())) return;  // counted as dropped
+  ring->events[static_cast<std::size_t>(idx)] =
+      TraceEvent{name, tid, begin_ns, end_ns - begin_ns};
+}
+
+i64 TraceSink::event_count() const noexcept {
+  i64 n = 0;
+  for (const auto& slot : rings_) {
+    const Ring* ring = slot.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const i64 claimed = ring->next.load(std::memory_order_relaxed);
+    n += claimed < static_cast<i64>(ring->events.size())
+             ? claimed
+             : static_cast<i64>(ring->events.size());
+  }
+  return n;
+}
+
+i64 TraceSink::dropped_count() const noexcept {
+  i64 n = 0;
+  for (const auto& slot : rings_) {
+    const Ring* ring = slot.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const i64 claimed = ring->next.load(std::memory_order_relaxed);
+    const i64 cap = static_cast<i64>(ring->events.size());
+    if (claimed > cap) n += claimed - cap;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const auto& slot : rings_) {
+    const Ring* ring = slot.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const i64 claimed = ring->next.load(std::memory_order_relaxed);
+    const i64 n = claimed < static_cast<i64>(ring->events.size())
+                      ? claimed
+                      : static_cast<i64>(ring->events.size());
+    for (i64 i = 0; i < n; ++i) {
+      const TraceEvent& ev = ring->events[static_cast<std::size_t>(i)];
+      if (ev.name != nullptr) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+std::vector<SpanTotal> TraceSink::span_totals() const {
+  std::map<std::string, SpanTotal> by_name;
+  for (const TraceEvent& ev : snapshot()) {
+    SpanTotal& tot = by_name[ev.name];
+    if (tot.name.empty()) tot.name = ev.name;
+    ++tot.count;
+    tot.total_us += static_cast<double>(ev.dur_ns) * 1e-3;
+  }
+  std::vector<SpanTotal> out;
+  out.reserve(by_name.size());
+  for (auto& [name, tot] : by_name) out.push_back(std::move(tot));
+  std::sort(out.begin(), out.end(),
+            [](const SpanTotal& a, const SpanTotal& b) { return a.total_us > b.total_us; });
+  return out;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // One metadata event per distinct tid names the chrome "thread" rows.
+  std::set<i64> tids;
+  for (const TraceEvent& ev : events) tids.insert(ev.tid);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const i64 tid : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":"
+       << (tid == kMainTid ? "\"driver\"" : "\"rank " + std::to_string(tid) + "\"")
+       << "}}";
+  }
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"X\",\"cat\":\"cyclick\",\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"pid\":0,\"tid\":" << ev.tid
+       << ",\"ts\":" << static_cast<double>(ev.ts_ns) * 1e-3
+       << ",\"dur\":" << static_cast<double>(ev.dur_ns) * 1e-3 << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceSink::clear() {
+  for (auto& slot : rings_) {
+    Ring* ring = slot.exchange(nullptr, std::memory_order_acq_rel);
+    delete ring;
+  }
+}
+
+}  // namespace cyclick::obs

@@ -1,0 +1,130 @@
+// Phase spans and chrome://tracing export.
+//
+// CYCLICK_SPAN("plan_build", rank) opens an RAII span; its destructor
+// appends one complete event (name, tid = rank, begin, duration) to a
+// per-rank-slot ring in the process-wide TraceSink. Rings are append-only
+// up to a fixed capacity (earliest events win — a trace of an iterative
+// program must keep the one-time setup phases); overflow is counted, not
+// silently discarded. Writers are lock-free: each event claims its index
+// with a relaxed fetch_add, and rank slots shard contention the same way
+// metric slots do.
+//
+// Export (write_chrome_trace) produces the chrome://tracing /
+// ui.perfetto.dev JSON object format: one "X" (complete) event per span,
+// one process, one chrome "thread" per rank. Export is intended for
+// quiescent sinks (after SpmdExecutor::run has joined all rank threads);
+// exporting concurrently with active spans may miss in-flight events.
+//
+// Span names must be string literals (the sink stores the pointer).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cyclick/obs/metrics.hpp"
+
+namespace cyclick::obs {
+
+/// tid used for spans recorded by the driving thread rather than a
+/// particular rank (DSL statements, whole SPMD phases).
+inline constexpr i64 kMainTid = -1;
+
+/// One completed span.
+struct TraceEvent {
+  const char* name = nullptr;
+  i64 tid = 0;     ///< rank, or kMainTid
+  i64 ts_ns = 0;   ///< begin, nanoseconds since process start
+  i64 dur_ns = 0;  ///< duration in nanoseconds
+};
+
+/// Aggregated per-name span totals (the report's "spans" section).
+struct SpanTotal {
+  std::string name;
+  i64 count = 0;
+  double total_us = 0.0;
+};
+
+class TraceSink {
+ public:
+  static TraceSink& global();
+
+  /// Events kept per rank slot. Must be called while the sink is empty
+  /// (before the first span or after clear()).
+  void set_capacity(i64 events_per_rank);
+  [[nodiscard]] i64 capacity() const noexcept { return capacity_; }
+
+  /// Append a completed span. Lock-free; drops (and counts) once the
+  /// rank slot's ring is full.
+  void complete(const char* name, i64 tid, i64 begin_ns, i64 end_ns) noexcept;
+
+  /// Total events currently recorded / dropped across all rank slots.
+  [[nodiscard]] i64 event_count() const noexcept;
+  [[nodiscard]] i64 dropped_count() const noexcept;
+
+  /// All recorded events, ordered by begin timestamp.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Per-name count and total duration, ordered by total descending.
+  [[nodiscard]] std::vector<SpanTotal> span_totals() const;
+
+  /// Write the chrome://tracing JSON object format.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Drop all recorded events (bench/test isolation).
+  void clear();
+
+ private:
+  struct Ring {
+    explicit Ring(i64 capacity) : events(static_cast<std::size_t>(capacity)) {}
+    std::vector<TraceEvent> events;
+    std::atomic<i64> next{0};  ///< claimed indices; may exceed events.size()
+  };
+
+  Ring* ring_for(i64 tid) noexcept;
+
+  i64 capacity_ = 1 << 15;
+  std::array<std::atomic<Ring*>, static_cast<std::size_t>(kRankSlots)> rings_{};
+};
+
+#if defined(CYCLICK_NO_TELEMETRY)
+class SpanRecorder {
+ public:
+  constexpr SpanRecorder(const char*, i64) noexcept {}
+};
+#else
+/// RAII span: reads the clock only when telemetry is enabled at entry.
+class SpanRecorder {
+ public:
+  SpanRecorder(const char* name, i64 tid) noexcept {
+    if (enabled()) {
+      name_ = name;
+      tid_ = tid;
+      begin_ns_ = now_ns();
+    }
+  }
+  ~SpanRecorder() {
+    if (name_ != nullptr)
+      TraceSink::global().complete(name_, tid_, begin_ns_, now_ns());
+  }
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  i64 tid_ = 0;
+  i64 begin_ns_ = 0;
+};
+#endif
+
+}  // namespace cyclick::obs
+
+/// Open a span covering the rest of the enclosing scope. `name` must be a
+/// string literal; `rank` becomes the chrome-trace thread id (use
+/// cyclick::obs::kMainTid for driver-side work).
+#define CYCLICK_SPAN(name, rank)                                          \
+  ::cyclick::obs::SpanRecorder CYCLICK_OBS_CAT(cyclick_obs_span_,         \
+                                               __LINE__)((name), (rank))

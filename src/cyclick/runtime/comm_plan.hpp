@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "cyclick/core/iterator.hpp"
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
 #include "cyclick/runtime/spmd.hpp"
 #include "cyclick/runtime/transport.hpp"
@@ -267,9 +269,12 @@ CommPlan build_copy_plan(const DistributedArray<T>& src, const RegularSection& s
   CYCLICK_REQUIRE(exec.ranks() == dst.dist().procs(), "executor/destination rank mismatch");
   CYCLICK_REQUIRE(exec.ranks() == src.dist().procs(), "executor/source rank mismatch");
   const i64 p = exec.ranks();
+  CYCLICK_COUNT("commplan.builds", 0, 1);
+  CYCLICK_TIME_SCOPE("commplan.build_us", 0);
   std::vector<detail::ChannelAccum> accum(static_cast<std::size_t>(p * p));
   if (!dsec.empty()) {
     exec.run([&](i64 m) {
+      CYCLICK_SPAN("plan_build", m);
       OwnerCursor cur(src, ssec);
       detail::ChannelAccum* row = accum.data() + m * p;
       for_each_owned(dst, dsec, m, [&](i64 t, i64 la) {
@@ -306,9 +311,12 @@ void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
   };
   Ctx ctx{plan, src, dst, p};
 
+  CYCLICK_COUNT("commplan.execs", 0, 1);
+
   // Phase 1: every sender q packs, for every receiver m, the requested
   // values out of its own local buffer into the channel's arena buffer.
   exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
     const T* local = ctx.src.local(q).data();
     for (i64 m = 0; m < ctx.p; ++m) {
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
@@ -321,12 +329,16 @@ void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
     }
   });
 
-  // Phase 2: every receiver m unpacks into its own local buffer.
+  // Phase 2: every receiver m unpacks into its own local buffer. The byte
+  // counter attributes channel payloads to the receiving rank, so
+  // `--metrics` reports plan traffic even on this transport-less path.
   exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
     T* local = ctx.dst.local(m).data();
     for (i64 q = 0; q < ctx.p; ++q) {
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
       if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
       const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
       detail::unpack_channel<T>(ch.count, ch.dst_start,
                                 ctx.plan.dst_gaps.data() + ch.gap_begin, ch.period,
@@ -359,10 +371,12 @@ void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src
     i64 p;
   };
   Ctx ctx{plan, src, dst, transport, p};
+  CYCLICK_COUNT("commplan.execs", 0, 1);
 
   // Phase 1: senders pack per-receiver messages straight into transport
   // payloads and post them (one message per nonempty remote channel).
   exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
     const T* local = ctx.src.local(q).data();
     for (i64 m = 0; m < ctx.p; ++m) {
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
@@ -384,10 +398,12 @@ void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src
   // Phase 2: receivers drain their channels and store, then satisfy their
   // self channel from the arena.
   exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
     T* local = ctx.dst.local(m).data();
     for (i64 q = 0; q < ctx.p; ++q) {
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
       if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
       const i64* gaps = ctx.plan.dst_gaps.data() + ch.gap_begin;
       if (q == m) {
         const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cyclick/obs/metrics.hpp"
 #include "cyclick/runtime/comm_plan.hpp"
 
 namespace cyclick {
@@ -82,14 +83,18 @@ class PlanCache {
   }
 
   /// Look up a plan; counts a hit (and refreshes recency) or a miss.
+  /// Instance counters feed stats(); the process-wide telemetry registry
+  /// sees the same increments so `--metrics` aggregates across caches.
   [[nodiscard]] std::shared_ptr<const CommPlan> find(const PlanKey& key) {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
+      CYCLICK_COUNT("plancache.misses", 0, 1);
       return nullptr;
     }
     ++hits_;
+    CYCLICK_COUNT("plancache.hits", 0, 1);
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
   }
@@ -110,6 +115,7 @@ class PlanCache {
       map_.erase(lru_.back().first);
       lru_.pop_back();
       ++evictions_;
+      CYCLICK_COUNT("plancache.evictions", 0, 1);
     }
   }
 

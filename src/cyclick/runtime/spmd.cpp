@@ -4,6 +4,9 @@
 #include <thread>
 #include <vector>
 
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/trace.hpp"
+
 namespace cyclick {
 
 SpmdExecutor::SpmdExecutor(i64 ranks, Mode mode) : ranks_(ranks), mode_(mode) {
@@ -11,8 +14,18 @@ SpmdExecutor::SpmdExecutor(i64 ranks, Mode mode) : ranks_(ranks), mode_(mode) {
 }
 
 void SpmdExecutor::run(const std::function<void(i64)>& fn) const {
+  // Every run() is one barrier-delimited phase; telemetry records the
+  // phase count, the whole-phase span on the driver row, and a per-rank
+  // histogram of rank-function times (all behind a single disabled-state
+  // branch each).
+  CYCLICK_COUNT("spmd.phases", 0, 1);
+  CYCLICK_SPAN("spmd.phase", obs::kMainTid);
+
   if (mode_ == Mode::kSequential || ranks_ == 1) {
-    for (i64 r = 0; r < ranks_; ++r) fn(r);
+    for (i64 r = 0; r < ranks_; ++r) {
+      CYCLICK_TIME_SCOPE("spmd.rank_us", r);
+      fn(r);
+    }
     return;
   }
 
@@ -21,12 +34,17 @@ void SpmdExecutor::run(const std::function<void(i64)>& fn) const {
   // over a Transport), and multiplexing ranks onto fewer OS threads would
   // deadlock such protocols. Simulated machines are small (tens to a few
   // hundred ranks), so per-rank threads are cheap.
+  //
+  // Exception contract: every thread is always joined; if several rank
+  // functions throw, the first exception *in rank order* propagates (the
+  // rest are dropped).
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(ranks_));
   for (i64 r = 0; r < ranks_; ++r) {
     pool.emplace_back([&, r] {
       try {
+        CYCLICK_TIME_SCOPE("spmd.rank_us", r);
         fn(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();

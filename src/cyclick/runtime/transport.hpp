@@ -20,9 +20,17 @@
 #include <span>
 #include <vector>
 
+#include "cyclick/obs/metrics.hpp"
 #include "cyclick/support/types.hpp"
 
 namespace cyclick {
+
+/// Cumulative per-channel traffic (telemetry; zeros when telemetry is
+/// disabled or compiled out).
+struct ChannelStats {
+  i64 messages = 0;
+  i64 bytes = 0;
+};
 
 /// Abstract point-to-point byte transport with per-channel FIFO order.
 class Transport {
@@ -52,11 +60,20 @@ class InProcessTransport final : public Transport {
   [[nodiscard]] i64 ranks() const override { return ranks_; }
 
   void send(i64 from, i64 to, std::vector<std::byte> payload) override {
+    const i64 bytes = static_cast<i64>(payload.size());
     Channel& ch = channel(from, to);
     {
       const std::lock_guard<std::mutex> lock(ch.mu);
       ch.queue.push_back(std::move(payload));
+      if (obs::enabled()) {
+        // Plain i64s guarded by the channel mutex we already hold; the
+        // registry counters attribute traffic to the sending rank.
+        ++ch.stats.messages;
+        ch.stats.bytes += bytes;
+      }
     }
+    CYCLICK_COUNT("transport.messages", from, 1);
+    CYCLICK_COUNT("transport.bytes", from, bytes);
     ch.cv.notify_all();
   }
 
@@ -85,11 +102,20 @@ class InProcessTransport final : public Transport {
     return n;
   }
 
+  /// Cumulative traffic on channel (from -> to) since construction.
+  /// Counts accrue only while telemetry is enabled.
+  [[nodiscard]] ChannelStats channel_stats(i64 from, i64 to) {
+    Channel& ch = channel(from, to);
+    const std::lock_guard<std::mutex> lock(ch.mu);
+    return ch.stats;
+  }
+
  private:
   struct Channel {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::vector<std::byte>> queue;
+    ChannelStats stats;
   };
 
   Channel& channel(i64 from, i64 to) {

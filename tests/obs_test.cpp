@@ -1,0 +1,253 @@
+// Tests for the telemetry subsystem: registry merge correctness under
+// concurrent per-rank updates, histogram quantile math, chrome-trace JSON
+// schema, and the disabled-mode contract (no metric may move while the
+// runtime switch is off).
+//
+// Telemetry state is process-global; every test starts from a clean slate
+// (registry reset + trace clear) and restores the disabled default on exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/report.hpp"
+#include "cyclick/obs/trace.hpp"
+
+namespace cyclick::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+    set_enabled(false);
+    Registry::global().reset();
+    TraceSink::global().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset();
+    TraceSink::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterMergesConcurrentPerRankUpdates) {
+  set_enabled(true);
+  Counter& c = Registry::global().counter("obs_test.concurrent");
+  const i64 ranks = 8;
+  const i64 per_rank = 10'000;
+  std::vector<std::thread> pool;
+  for (i64 r = 0; r < ranks; ++r)
+    pool.emplace_back([&c, r] {
+      for (i64 i = 0; i < per_rank; ++i) CYCLICK_COUNT("obs_test.concurrent", r, 1);
+      c.add(r, 0);  // exercise the direct handle too
+    });
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(c.total(), ranks * per_rank);
+  const std::vector<i64> by_rank = c.per_rank(ranks);
+  ASSERT_EQ(by_rank.size(), static_cast<std::size_t>(ranks));
+  for (i64 r = 0; r < ranks; ++r) EXPECT_EQ(by_rank[static_cast<std::size_t>(r)], per_rank);
+}
+
+TEST_F(ObsTest, CounterTotalsExactUnderRankFolding) {
+  set_enabled(true);
+  Counter& c = Registry::global().counter("obs_test.folding");
+  // Rank ids beyond the slot count fold modulo kRankSlots: attribution
+  // lands in slot (rank mod kRankSlots), and the total stays exact.
+  c.add(3, 10);
+  c.add(kRankSlots + 3, 7);
+  c.add(5 * kRankSlots + 3, 1);
+  EXPECT_EQ(c.total(), 18);
+  EXPECT_EQ(c.per_rank(4).at(3), 18);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableDeduplicatedHandles) {
+  Counter& a = Registry::global().counter("obs_test.same");
+  Counter& b = Registry::global().counter("obs_test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(0, 2);
+  Registry::global().reset();
+  EXPECT_EQ(a.total(), 0);  // reset zeroes, reference stays valid
+  a.add(1, 5);
+  EXPECT_EQ(b.total(), 5);
+}
+
+TEST_F(ObsTest, HistogramQuantilesLandInTheRightBuckets) {
+  set_enabled(true);
+  Histogram& h = Registry::global().histogram("obs_test.quantiles");
+  // 90 fast samples (~10us) and 10 slow ones (~1000us): the median must
+  // report from the fast bucket and p99 from the slow one. Quantiles are
+  // interpolated within power-of-two nanosecond buckets, so assert against
+  // the containing bucket's bounds, not exact values.
+  for (int i = 0; i < 90; ++i) h.record_us(0, 10.0);
+  for (int i = 0; i < 10; ++i) h.record_us(1, 1000.0);
+
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_NEAR(s.sum_us, 90 * 10.0 + 10 * 1000.0, 1e-9);  // sums are exact
+  EXPECT_NEAR(s.mean_us, s.sum_us / 100.0, 1e-9);
+
+  const auto [fast_lo, fast_hi] = Histogram::bucket_bounds(Histogram::bucket_of(10'000));
+  const auto [slow_lo, slow_hi] = Histogram::bucket_bounds(Histogram::bucket_of(1'000'000));
+  EXPECT_GE(s.p50_us * 1e3, fast_lo);
+  EXPECT_LE(s.p50_us * 1e3, fast_hi);
+  EXPECT_GE(s.p90_us * 1e3, fast_lo);  // rank 90 of 100 is still a fast sample
+  EXPECT_GE(s.p99_us * 1e3, slow_lo);
+  EXPECT_LE(s.p99_us * 1e3, slow_hi);
+  EXPECT_LE(s.p50_us, s.p90_us);
+  EXPECT_LE(s.p90_us, s.p99_us);
+}
+
+TEST_F(ObsTest, HistogramBucketMathCoversEdges) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(-5), 0);  // clamped, never out of range
+  EXPECT_EQ(Histogram::bucket_of(INT64_MAX), kHistogramBuckets - 1);
+  // Bounds are doubles; stay below 2^52 so the cast back is exact.
+  for (i64 b = 1; b < 52; ++b) {
+    const auto [lo, hi] = Histogram::bucket_bounds(b);
+    EXPECT_EQ(Histogram::bucket_of(static_cast<i64>(lo)), b);
+    EXPECT_EQ(Histogram::bucket_of(static_cast<i64>(hi)), b);
+  }
+}
+
+TEST_F(ObsTest, DisabledModeLeavesEveryMetricUntouched) {
+  // Materialize handles first so the assertion below observes the same
+  // objects the macros would write through.
+  Counter& c = Registry::global().counter("obs_test.disabled_counter");
+  Histogram& h = Registry::global().histogram("obs_test.disabled_hist");
+  ASSERT_FALSE(enabled());
+
+  CYCLICK_COUNT("obs_test.disabled_counter", 0, 5);
+  { CYCLICK_TIME_SCOPE("obs_test.disabled_hist", 0); }
+  { CYCLICK_SPAN("obs_test.disabled_span", 0); }
+
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(h.summary().count, 0);
+  EXPECT_EQ(TraceSink::global().event_count(), 0);
+  EXPECT_EQ(TraceSink::global().dropped_count(), 0);
+}
+
+TEST_F(ObsTest, SpansRecordConcurrentlyAndAggregate) {
+  set_enabled(true);
+  const i64 ranks = 6;
+  std::vector<std::thread> pool;
+  for (i64 r = 0; r < ranks; ++r)
+    pool.emplace_back([r] {
+      for (int i = 0; i < 50; ++i) CYCLICK_SPAN("obs_test.span", r);
+    });
+  for (auto& t : pool) t.join();
+  { CYCLICK_SPAN("obs_test.other", kMainTid); }
+
+  EXPECT_EQ(TraceSink::global().event_count(), ranks * 50 + 1);
+  EXPECT_EQ(TraceSink::global().dropped_count(), 0);
+
+  const auto totals = TraceSink::global().span_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  const auto span = std::find_if(totals.begin(), totals.end(),
+                                 [](const SpanTotal& t) { return t.name == "obs_test.span"; });
+  ASSERT_NE(span, totals.end());
+  EXPECT_EQ(span->count, ranks * 50);
+
+  // Snapshot is sorted by begin timestamp.
+  const auto events = TraceSink::global().snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(ranks * 50 + 1));
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+}
+
+TEST_F(ObsTest, RingOverflowKeepsEarliestEventsAndCounts) {
+  TraceSink::global().set_capacity(4);
+  set_enabled(true);
+  for (int i = 0; i < 10; ++i) CYCLICK_SPAN("obs_test.first_four", 2);
+  { CYCLICK_SPAN("obs_test.late", 2); }
+
+  EXPECT_EQ(TraceSink::global().event_count(), 4);
+  EXPECT_EQ(TraceSink::global().dropped_count(), 7);
+  for (const TraceEvent& e : TraceSink::global().snapshot())
+    EXPECT_STREQ(e.name, "obs_test.first_four");  // earliest events win
+
+  TraceSink::global().clear();
+  TraceSink::global().set_capacity(1 << 15);
+}
+
+TEST_F(ObsTest, ChromeTraceExportMatchesSchema) {
+  set_enabled(true);
+  { CYCLICK_SPAN("obs_test.alpha", 0); }
+  { CYCLICK_SPAN("obs_test.beta", 3); }
+  { CYCLICK_SPAN("obs_test.driver", kMainTid); }
+
+  std::ostringstream os;
+  TraceSink::global().write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Structural sanity: brackets and braces balance and quotes pair up.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+
+  // Schema: the envelope, one thread-name metadata record per tid, and one
+  // complete ("X") event per span with the fields chrome://tracing needs.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\",\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"driver\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+}
+
+TEST_F(ObsTest, CliFlagParsing) {
+  CliOptions opt;
+  EXPECT_FALSE(opt.any());
+  EXPECT_TRUE(parse_cli_flag("--metrics", opt));
+  EXPECT_TRUE(opt.metrics);
+  EXPECT_FALSE(opt.metrics_json);
+  EXPECT_TRUE(parse_cli_flag("--metrics=json", opt));
+  EXPECT_TRUE(opt.metrics_json);
+  EXPECT_TRUE(parse_cli_flag("--trace=/tmp/out.json", opt));
+  EXPECT_EQ(opt.trace_path, "/tmp/out.json");
+  EXPECT_TRUE(opt.any());
+  EXPECT_FALSE(parse_cli_flag("--tracey", opt));
+  EXPECT_FALSE(parse_cli_flag("-t", opt));
+  EXPECT_FALSE(parse_cli_flag("program.hpf", opt));
+}
+
+TEST_F(ObsTest, ReportsRenderCountersHistogramsAndSpans) {
+  set_enabled(true);
+  Registry::global().counter("obs_test.report_counter").add(0, 42);
+  Registry::global().histogram("obs_test.report_hist").record_us(0, 25.0);
+  { CYCLICK_SPAN("obs_test.report_span", 1); }
+
+  std::ostringstream text_os;
+  render_text_report(text_os);
+  const std::string text = text_os.str();
+  EXPECT_NE(text.find("obs_test.report_counter"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.report_hist"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.report_span"), std::string::npos);
+
+  std::ostringstream json_os;
+  render_json_report(json_os);
+  const std::string json = json_os.str();
+  EXPECT_NE(json.find("\"obs_test.report_counter\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace cyclick::obs

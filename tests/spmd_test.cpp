@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "cyclick/runtime/spmd.hpp"
@@ -47,6 +50,34 @@ TEST(SpmdExecutor, ExceptionsPropagate) {
     if (r == 3) throw std::runtime_error("rank failure");
   }),
                std::runtime_error);
+}
+
+TEST(SpmdExecutor, FirstRankExceptionWinsAndAllThreadsJoin) {
+  // Exception contract under kThreads: when several ranks throw, run()
+  // still joins every thread (no rank's side effect is lost) and the
+  // exception that propagates is the throwing rank with the *lowest id*,
+  // regardless of which thread fails first in wall-clock order.
+  const SpmdExecutor exec(8, SpmdExecutor::Mode::kThreads);
+  std::vector<std::atomic<int>> ran(8);
+  try {
+    exec.run([&](i64 r) {
+      ran[static_cast<std::size_t>(r)].fetch_add(1);
+      // Rank 6 throws immediately; rank 2 throws after a delay. Rank order
+      // must still pick rank 2's exception.
+      if (r == 6) throw std::runtime_error("rank 6 failed");
+      if (r == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        throw std::logic_error("rank 2 failed");
+      }
+    });
+    FAIL() << "run() must propagate a rank exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 failed");  // lowest throwing rank wins
+  } catch (const std::runtime_error&) {
+    FAIL() << "rank 6's exception propagated ahead of rank 2's";
+  }
+  // Every thread was started and joined: each rank ran exactly once.
+  for (const auto& h : ran) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(SpmdExecutor, RejectsBadRankCount) {

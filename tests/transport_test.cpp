@@ -64,6 +64,46 @@ TEST(Transport, SinglePhaseRingUnderThreads) {
     EXPECT_EQ(got[static_cast<std::size_t>(r)], (r + p - 1) % p);
 }
 
+TEST(Transport, ReadyAndFifoUnderThreadedInterleaving) {
+  // Interleaved multi-message exchange under the threaded executor: every
+  // rank sends three tagged messages to each other rank (interleaving the
+  // destinations), then drains each incoming channel. Checks the two
+  // ordering guarantees the engines rely on: ready() is a reliable
+  // has-a-message probe once the sender's phase is done, and messages on
+  // one channel arrive in send order even when sends to different
+  // destinations interleave.
+  const i64 p = 4;
+  const i64 burst = 3;
+  InProcessTransport tr(p);
+  const SpmdExecutor exec(p, SpmdExecutor::Mode::kThreads);
+
+  // Phase 1: interleaved sends — for seq = 0..2, send to every peer.
+  exec.run([&](i64 r) {
+    for (i64 seq = 0; seq < burst; ++seq)
+      for (i64 to = 0; to < p; ++to)
+        if (to != r) send_values<i64>(tr, r, to, std::vector<i64>{r, to, seq});
+  });
+
+  // Phase 2 (after the executor barrier): every channel must report ready,
+  // and draining must observe seq in send order.
+  std::vector<int> ok(static_cast<std::size_t>(p), 0);
+  exec.run([&](i64 r) {
+    bool good = true;
+    for (i64 from = 0; from < p; ++from) {
+      if (from == r) continue;
+      good = good && tr.ready(r, from);
+      for (i64 seq = 0; seq < burst; ++seq) {
+        const auto msg = recv_values<i64>(tr, r, from);
+        good = good && msg == (std::vector<i64>{from, r, seq});
+      }
+      good = good && !tr.ready(r, from);  // channel fully drained
+    }
+    ok[static_cast<std::size_t>(r)] = good ? 1 : 0;
+  });
+  for (i64 r = 0; r < p; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  EXPECT_EQ(tr.in_flight(), 0);
+}
+
 TEST(Transport, RankBoundsChecked) {
   InProcessTransport tr(2);
   EXPECT_THROW(tr.send(2, 0, {}), precondition_error);

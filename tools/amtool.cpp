@@ -8,18 +8,22 @@
 //   amtool layout -p P -k K -s S -u U [-l L] [-m M]   Figure 1/2/6 style rendering
 //   amtool stats  -p P -k K -s S [-l L]          gap histogram + Theorem-3 summary
 //
-// All subcommands accept any subset of processors via -m (default: all).
+// All subcommands accept any subset of processors via -m (default: all),
+// plus --metrics[=json] (telemetry report on stderr) and --trace=FILE.json
+// (chrome://tracing export).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <map>
+#include <vector>
 
 #include "cyclick/codegen/node_loop.hpp"
 #include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/layout_render.hpp"
 #include "cyclick/lattice/lattice.hpp"
+#include "cyclick/obs/report.hpp"
 
 namespace {
 
@@ -187,18 +191,32 @@ int cmd_layout(const BlockCyclic& dist, const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string cmd = argv[1];
-  const Options opt = parse_options(argc, argv);
+  // Telemetry flags are boolean/valued in one token; strip them before the
+  // pairwise flag-value option parse below.
+  obs::CliOptions obs_opt;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i >= 1 && obs::parse_cli_flag(argv[i], obs_opt)) continue;
+    args.push_back(argv[i]);
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) usage();
+  if (obs_opt.any()) obs::set_enabled(true);
+  const std::string cmd = args[1];
+  const Options opt = parse_options(nargs, args.data());
   try {
     const BlockCyclic dist(opt.p, opt.k);
-    if (cmd == "table") return cmd_table(dist, opt);
-    if (cmd == "basis") return cmd_basis(dist, opt);
-    if (cmd == "walk") return cmd_walk(dist, opt);
-    if (cmd == "owners") return cmd_owners(dist, opt);
-    if (cmd == "layout") return cmd_layout(dist, opt);
-    if (cmd == "stats") return cmd_stats(dist, opt);
-    usage();
+    int rc = 2;
+    if (cmd == "table") rc = cmd_table(dist, opt);
+    else if (cmd == "basis") rc = cmd_basis(dist, opt);
+    else if (cmd == "walk") rc = cmd_walk(dist, opt);
+    else if (cmd == "owners") rc = cmd_owners(dist, opt);
+    else if (cmd == "layout") rc = cmd_layout(dist, opt);
+    else if (cmd == "stats") rc = cmd_stats(dist, opt);
+    else usage();
+    obs::emit_cli_outputs(obs_opt, std::cerr);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "amtool: " << e.what() << "\n";
     return 1;

@@ -5,6 +5,9 @@
 //   hpfc -t program.hpf       execute with the threaded SPMD executor
 //   hpfc -v program.hpf       also print the lowering trace (one line per
 //                             runtime operation each statement lowers to)
+//   hpfc --metrics[=json]     print a telemetry report (counters, span
+//                             totals, histograms) to stderr after the run
+//   hpfc --trace=FILE.json    write a chrome://tracing trace of the run
 //
 // Prints the program's `print`/`explain` output; compile and runtime
 // errors carry source line numbers.
@@ -14,12 +17,14 @@
 #include <string>
 
 #include "cyclick/compiler/interp.hpp"
+#include "cyclick/obs/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace cyclick;
 
   bool threaded = false;
   bool verbose = false;
+  obs::CliOptions obs_opt;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -27,17 +32,22 @@ int main(int argc, char** argv) {
       threaded = true;
     } else if (arg == "-v") {
       verbose = true;
+    } else if (obs::parse_cli_flag(arg, obs_opt)) {
+      // handled
     } else if (path.empty()) {
       path = arg;
     } else {
-      std::cerr << "usage: hpfc [-t] [-v] <program.hpf | ->\n";
+      std::cerr << "usage: hpfc [-t] [-v] [--metrics[=json]] [--trace=FILE.json]"
+                   " <program.hpf | ->\n";
       return 2;
     }
   }
   if (path.empty()) {
-    std::cerr << "usage: hpfc [-t] [-v] <program.hpf | ->\n";
+    std::cerr << "usage: hpfc [-t] [-v] [--metrics[=json]] [--trace=FILE.json]"
+                 " <program.hpf | ->\n";
     return 2;
   }
+  if (obs_opt.any()) obs::set_enabled(true);
 
   std::string source;
   if (path == "-") {
@@ -62,6 +72,7 @@ int main(int argc, char** argv) {
     machine.run_source(source);
     std::cout << machine.output();
     if (verbose) std::cerr << "--- lowering trace ---\n" << machine.trace_log();
+    obs::emit_cli_outputs(obs_opt, std::cerr);
     return 0;
   } catch (const dsl_error& e) {
     std::cerr << "hpfc: " << e.what() << "\n";
