@@ -1,0 +1,135 @@
+// AddressEngine dispatch benchmark: for one section shape per strategy
+// class, compare the engine's classified traversal (run_section_auto — the
+// loop shape the dispatch layer picks) against the forced general-lattice
+// walk (per-element nav through the full offset tables, the shape every
+// section would get without classification).
+//
+// The fill workload writes one value per owned element; timing is the
+// paper's max-over-ranks discipline. `--json` writes
+// BENCH_engine_dispatch.json; the CI perf-smoke gate asserts the dense-runs
+// row's speedup there.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/core/engine.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace {
+
+using namespace cyclick;
+using namespace cyclick::bench;
+
+struct Config {
+  const char* label;
+  i64 p, k, s, accesses;
+};
+
+// The general-lattice node code, applied unconditionally: find the start,
+// then one table-nav step (delta / dglobal / next_offset) per element. The
+// full tables cover the degenerate classes too (identity next, fixed
+// steps), so this is exactly what every class would cost without dispatch.
+i64 run_forced_general(const BlockCyclic& dist, const RegularSection& sec, i64 proc,
+                       std::span<double> local, double value) {
+  const RegularSection asc = sec.ascending();
+  const auto si = find_start(dist, asc.lower, asc.stride, proc);
+  if (!si || si->start_global > asc.upper) return 0;
+  const auto t = AddressEngine::global().tables(dist, asc.stride);
+  i64 g = si->start_global;
+  i64 la = dist.local_index(g);
+  i64 q = dist.block_offset(g);
+  i64 count = 0;
+  while (g <= asc.upper) {
+    local[static_cast<std::size_t>(la)] = value;
+    ++count;
+    la += t->offsets.delta[static_cast<std::size_t>(q)];
+    g += t->dglobal[static_cast<std::size_t>(q)];
+    q = t->offsets.next_offset[static_cast<std::size_t>(q)];
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
+  const int repeats = 7;
+
+  // One representative shape per strategy class (section lower 0, the
+  // access count fixed so every row does comparable work).
+  const Config configs[] = {
+      {"trivial-local", 1, 64, 3, 500'000},
+      {"dense-runs", 16, 64, 1, 2'000'000},
+      {"pure-cyclic", 16, 1, 3, 1'000'000},
+      {"fixed-step", 16, 8, 16, 1'000'000},
+      {"hiranandani", 16, 64, 35, 500'000},
+      {"general-lattice", 16, 64, 67, 250'000},
+  };
+
+  std::cout << "AddressEngine dispatch vs forced general-lattice walk "
+               "(fill workload, max over ranks, best of "
+            << repeats << ")\n\n";
+
+  TextTable table({"label", "p", "k", "s", "n", "strategy", "engine_us", "general_us",
+                   "speedup"});
+  bool ok = true;
+  for (const Config& c : configs) {
+    const BlockCyclic dist(c.p, c.k);
+    const RegularSection sec{0, (c.accesses - 1) * c.s, c.s};
+    const AddressStrategy strategy = AddressEngine::classify(dist, c.s);
+    if (std::string(address_strategy_name(strategy)) != c.label) {
+      std::cerr << "CONFIG ERROR: " << c.label << " classified as "
+                << address_strategy_name(strategy) << "\n";
+      ok = false;
+      continue;
+    }
+    const i64 size = sec.last() + 1;
+    std::vector<std::vector<double>> engine_mem, general_mem;
+    for (i64 m = 0; m < c.p; ++m) {
+      const auto cap = static_cast<std::size_t>(dist.local_size(m, size));
+      engine_mem.emplace_back(cap, 0.0);
+      general_mem.emplace_back(cap, 0.0);
+    }
+
+    // Correctness gate before timing: identical visit counts and buffers.
+    for (i64 m = 0; m < c.p; ++m) {
+      auto& em = engine_mem[static_cast<std::size_t>(m)];
+      auto& gm = general_mem[static_cast<std::size_t>(m)];
+      const i64 ne = run_section_auto(dist, sec, m, std::span<double>(em),
+                                      [](double& x) { x = 1.0; });
+      const i64 ng = run_forced_general(dist, sec, m, std::span<double>(gm), 1.0);
+      if (ne != ng || em != gm) {
+        std::cerr << "VERIFICATION FAILED: " << c.label << " rank " << m
+                  << " (engine " << ne << " vs general " << ng << ")\n";
+        ok = false;
+      }
+    }
+
+    const double engine_us = max_over_ranks_us(c.p, repeats, [&](i64 m) {
+      auto& mem = engine_mem[static_cast<std::size_t>(m)];
+      run_section_auto(dist, sec, m, std::span<double>(mem), [](double& x) { x += 1.0; });
+      do_not_optimize(mem.data());
+    });
+    const double general_us = max_over_ranks_us(c.p, repeats, [&](i64 m) {
+      auto& mem = general_mem[static_cast<std::size_t>(m)];
+      run_forced_general(dist, sec, m, std::span<double>(mem), 2.0);
+      do_not_optimize(mem.data());
+    });
+
+    table.add_row({c.label, TextTable::num(c.p), TextTable::num(c.k), TextTable::num(c.s),
+                   TextTable::num(c.accesses), address_strategy_name(strategy),
+                   TextTable::fixed(engine_us, 1), TextTable::fixed(general_us, 1),
+                   TextTable::fixed(general_us / engine_us, 2)});
+  }
+
+  emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_engine_dispatch.json");
+    w.add_table("engine_dispatch", table);
+    w.write();
+  }
+  emit_obs(obs_opt);
+  return ok ? 0 : 1;
+}

@@ -1,49 +1,29 @@
 // High-level per-processor traversal driver: combines the table (or
 // table-free) machinery with bounds handling, hiding the choice of node-code
 // shape from the runtime. This is the "compiler-emitted loop" a downstream
-// HPF-like system would generate around a statement body.
+// HPF-like system would generate around a statement body. All entry points
+// route through the AddressEngine so strategy selection (dense runs, fixed
+// step, nav tables) happens in one place.
 #pragma once
 
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "cyclick/codegen/nodecode.hpp"
+#include "cyclick/core/engine.hpp"
 #include "cyclick/core/iterator.hpp"
-#include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/distribution.hpp"
 #include "cyclick/hpf/section.hpp"
 
 namespace cyclick {
 
 /// Visit every on-`proc` element of the bounded section, in traversal order
-/// (descending for negative strides), without building any table: the
-/// table-free R/L enumeration of Section 6.2. The body receives
-/// (global index, local address).
+/// (descending for negative strides), via the engine's classified plan.
+/// The body receives (global index, local address).
 template <typename Body>
 i64 for_each_local_access(const BlockCyclic& dist, const RegularSection& sec, i64 proc,
                           Body&& body) {
-  if (sec.empty()) return 0;
-  const RegularSection asc = sec.ascending();
-  i64 count = 0;
-  if (sec.stride > 0) {
-    LocalAccessIterator it(dist, asc.lower, asc.stride, proc);
-    for (; !it.done() && it.global() <= asc.upper; it.advance()) {
-      body(it.global(), it.local());
-      ++count;
-    }
-    return count;
-  }
-  // Descending traversal: walk ascending, then replay in reverse. The
-  // number of on-proc accesses is bounded by the local size, so buffering
-  // is proportional to the processor's share.
-  std::vector<std::pair<i64, i64>> buffer;  // (global, local)
-  LocalAccessIterator it(dist, asc.lower, asc.stride, proc);
-  for (; !it.done() && it.global() <= asc.upper; it.advance())
-    buffer.emplace_back(it.global(), it.local());
-  for (auto rit = buffer.rbegin(); rit != buffer.rend(); ++rit, ++count)
-    body(rit->first, rit->second);
-  return count;
+  return AddressEngine::global().plan(dist, sec, proc).for_each(std::forward<Body>(body));
 }
 
 /// Table-free node code (the fifth shape, Section 6.2): traverse local
@@ -53,8 +33,8 @@ template <typename T, typename Body>
 i64 run_table_free(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc,
                    std::span<T> local, i64 last, Body&& body) {
   i64 count = 0;
-  for (LocalAccessIterator it(dist, lower, stride, proc); !it.done() && it.local() <= last;
-       it.advance()) {
+  for (LocalAccessIterator it = AddressEngine::global().stream(dist, lower, stride, proc);
+       !it.done() && it.local() <= last; it.advance()) {
     body(local[static_cast<std::size_t>(it.local())]);
     ++count;
   }
@@ -69,15 +49,33 @@ i64 run_section_node_code(CodeShape shape, const BlockCyclic& dist, const Regula
                           i64 proc, std::span<T> local, Body&& body) {
   CYCLICK_REQUIRE(sec.stride > 0, "node-code shapes run over ascending sections");
   if (sec.empty()) return 0;
-  const AccessPattern pattern = compute_access_pattern(dist, sec.lower, sec.stride, proc);
-  if (pattern.empty()) return 0;
+  const SectionPlan plan = AddressEngine::global().plan(dist, sec, proc);
+  if (plan.empty()) return 0;
+  const AccessPattern pattern = plan.make_pattern();
+  CYCLICK_ASSERT(!pattern.empty());
   OffsetTables tables;
-  if (shape == CodeShape::kOffsetIndexed)
-    tables = compute_offset_tables(dist, sec.lower, sec.stride, proc);
-  const auto last_global = find_last(dist, sec, proc);
-  if (!last_global) return 0;
-  const i64 last_local = dist.local_index(*last_global);
-  return run_node_code(shape, local, pattern, tables, last_local, std::forward<Body>(body));
+  if (shape == CodeShape::kOffsetIndexed) tables = plan.offset_tables();
+  return run_node_code(shape, local, pattern, tables, plan.last_local(),
+                       std::forward<Body>(body));
+}
+
+/// Strategy-directed local traversal: let the engine's classification pick
+/// the loop shape — tight contiguous run loops (std::fill-style) when the
+/// plan is dense, the generic enumeration otherwise. Returns the visit
+/// count. The body receives `local_element_ref`.
+template <typename T, typename Body>
+i64 run_section_auto(const BlockCyclic& dist, const RegularSection& sec, i64 proc,
+                     std::span<T> local, Body&& body) {
+  const SectionPlan plan = AddressEngine::global().plan(dist, sec, proc);
+  if (plan.empty()) return 0;
+  if (plan.contiguous()) {
+    return plan.for_each_run([&](i64, i64 la, i64 len) {
+      T* cell = local.data() + la;
+      for (i64 i = 0; i < len; ++i) body(cell[i]);
+    });
+  }
+  return plan.for_each(
+      [&](i64, i64 la) { body(local[static_cast<std::size_t>(la)]); });
 }
 
 }  // namespace cyclick

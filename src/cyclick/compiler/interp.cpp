@@ -5,6 +5,7 @@
 
 #include "cyclick/compiler/parser.hpp"
 #include "cyclick/core/aligned.hpp"
+#include "cyclick/core/engine.hpp"
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/intrinsics.hpp"
@@ -662,14 +663,15 @@ void Machine::exec(const ExplainStmt& s) {
       const DimMapping& dm = arr.mapping().dim(d);
       const RegularSection image = dm.align.image(region[d]).ascending();
       ss << " dim " << d << " " << region[d].to_string() << " over cyclic("
-         << dm.dist.block_size() << ") x " << dm.dist.procs() << ":\n";
+         << dm.dist.block_size() << ") x " << dm.dist.procs() << ", dispatch "
+         << address_strategy_name(AddressEngine::classify(dm.dist, image.stride)) << ":\n";
       for (i64 c = 0; c < dm.dist.procs(); ++c) {
-        const AccessPattern pat =
-            compute_access_pattern(dm.dist, image.lower, image.stride, c);
-        if (pat.empty() || pat.start_global > image.upper) {
+        const SectionPlan plan = AddressEngine::global().plan(dm.dist, image, c);
+        if (plan.empty()) {
           ss << "   coord " << c << ": no elements\n";
           continue;
         }
+        const AccessPattern pat = plan.make_pattern();
         ss << "   coord " << c << ": start cell " << pat.start_global << " local "
            << pat.start_local << ", period " << pat.length << ", AM = [";
         for (std::size_t i = 0; i < pat.gaps.size(); ++i)
@@ -685,7 +687,9 @@ void Machine::exec(const ExplainStmt& s) {
   const BlockCyclic& dist = arr.dist();
   std::ostringstream ss;
   ss << "explain " << s.section.array << sec.to_string() << " on " << dist.procs()
-     << " processors [cyclic(" << dist.block_size() << ")]:\n";
+     << " processors [cyclic(" << dist.block_size() << ")], dispatch "
+     << address_strategy_name(AddressEngine::classify(dist, sec.stride * arr.alignment().a))
+     << ":\n";
   for (i64 m = 0; m < dist.procs(); ++m) {
     const AlignedAccessPattern pat =
         compute_aligned_pattern(dist, arr.alignment(), arr.size(), sec, m);

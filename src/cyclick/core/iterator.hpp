@@ -4,9 +4,12 @@
 // values, every processor can generate its local addresses as needed" —
 // the time/space tradeoff pointed out by Knies, O'Keefe, and MacDonald).
 //
-// Each advance applies Theorem 3: step by R if that stays inside the
-// processor's offset block, otherwise by -L, correcting to R - L when -L
-// undershoots the block. O(1) state, O(1) amortized per element.
+// Each advance applies Theorem 3: ascending, step by R if that stays inside
+// the processor's offset block, otherwise by -L, correcting to R - L when -L
+// undershoots the block. For descending traversals (stride < 0) the same
+// theorem runs backwards: the predecessor of an access differs by -R when
+// that stays in the block, else by +L, correcting to -(R - L) when +L
+// overshoots. O(1) state, O(1) amortized per element either way.
 #pragma once
 
 #include <optional>
@@ -17,10 +20,11 @@
 
 namespace cyclick {
 
-/// Streams the on-processor elements of the unbounded ascending progression
-/// l, l+s, l+2s, ... (s > 0) for one processor, yielding global indices and
-/// packed local addresses in increasing order without materializing the AM
-/// table. The caller decides when to stop (e.g. global() > u).
+/// Streams the on-processor elements of the unbounded progression
+/// l, l+s, l+2s, ... (s != 0) for one processor, yielding global indices
+/// and packed local addresses in traversal order (increasing for s > 0,
+/// decreasing for s < 0) without materializing the AM table. The caller
+/// decides when to stop (e.g. global() > u, or global() < u for s < 0).
 class LocalAccessIterator {
  public:
   /// Positions the iterator at the processor's first access. If the
@@ -28,30 +32,45 @@ class LocalAccessIterator {
   LocalAccessIterator(const BlockCyclic& dist, i64 lower, i64 stride, i64 proc)
       : block_lo_(dist.block_size() * proc),
         block_hi_(dist.block_size() * (proc + 1)) {
-    CYCLICK_REQUIRE(stride > 0, "iterator requires a positive stride");
+    CYCLICK_REQUIRE(stride != 0, "iterator requires a nonzero stride");
     const i64 k = dist.block_size();
-    const auto si = find_start(dist, lower, stride, proc);
-    if (!si) return;
-    done_ = false;
-    global_ = si->start_global;
-    local_ = dist.local_index(global_);
-    offset_ = floor_mod(global_, dist.row_length());
+    const i64 pk = dist.row_length();
+    const i64 mag = stride > 0 ? stride : -stride;
+    descending_ = stride < 0;
 
-    if (const auto basis = select_rl_basis(dist.procs(), k, stride)) {
+    if (!descending_) {
+      const auto si = find_start(dist, lower, mag, proc);
+      if (!si) return;
+      global_ = si->start_global;
+    } else {
+      // The descending progression's first on-proc element is the largest
+      // on-proc value within one full period at or below the lower bound
+      // (same anchor as compute_access_pattern_signed).
+      const i64 d = gcd_i64(mag, pk);
+      const i64 period_values = (pk / d) * mag;  // lcm(|s|, pk)
+      const auto e0 = find_last(dist, {lower - period_values + mag, lower, mag}, proc);
+      if (!e0) return;
+      global_ = *e0;
+    }
+    done_ = false;
+    local_ = dist.local_index(global_);
+    offset_ = floor_mod(global_, pk);
+
+    if (const auto basis = select_rl_basis(dist.procs(), k, mag)) {
       br_ = basis->r.v.b;
       bl_ = basis->l.v.b;
-      value_r_ = basis->r.index * stride;
-      value_l_ = -basis->l.index * stride;  // l.index < 0, so this is positive
+      value_r_ = basis->r.index * mag;
+      value_l_ = -basis->l.index * mag;  // l.index < 0, so this is positive
       gap_r_ = basis->gap_r(k);
       gap_l_ = basis->gap_minus_l(k);
     } else {
-      // Degenerate lattice (gcd(s, pk) >= k): at most one offset per block
+      // Degenerate lattice (gcd(|s|, pk) >= k): at most one offset per block
       // carries elements; successive accesses are a fixed stride of
-      // lcm(s, pk) in value and (s/d)*k in local memory.
-      const i64 d = gcd_i64(stride, dist.row_length());
+      // lcm(|s|, pk) in value and (|s|/d)*k in local memory.
+      const i64 d = gcd_i64(mag, pk);
       fixed_step_ = true;
-      value_r_ = (dist.row_length() / d) * stride;
-      gap_r_ = k * (stride / d);
+      value_r_ = (pk / d) * mag;
+      gap_r_ = k * (mag / d);
       br_ = 0;
     }
   }
@@ -66,28 +85,52 @@ class LocalAccessIterator {
   /// Packed local-memory address of the current access.
   [[nodiscard]] i64 local() const noexcept { return local_; }
 
-  /// Local-memory gap the next advance() will take (an AM table entry).
+  /// Local-memory gap the next advance() will take (an AM table entry;
+  /// negative when the traversal is descending).
   [[nodiscard]] i64 peek_gap() const noexcept {
-    if (fixed_step_) return gap_r_;
-    if (offset_ + br_ < block_hi_) return gap_r_;
-    const i64 o = offset_ - bl_;
-    return o < block_lo_ ? gap_l_ + gap_r_ : gap_l_;
+    if (!descending_) {
+      if (fixed_step_) return gap_r_;
+      if (offset_ + br_ < block_hi_) return gap_r_;
+      const i64 o = offset_ - bl_;
+      return o < block_lo_ ? gap_l_ + gap_r_ : gap_l_;
+    }
+    if (fixed_step_) return -gap_r_;
+    if (offset_ - br_ >= block_lo_) return -gap_r_;
+    const i64 o = offset_ + bl_;
+    return o < block_hi_ ? -gap_l_ : -(gap_l_ + gap_r_);
   }
 
-  /// Move to the processor's next access (Theorem 3).
+  /// Move to the processor's next access in traversal order (Theorem 3,
+  /// run backwards for descending traversals).
   void advance() noexcept {
     if (fixed_step_) {
-      global_ += value_r_;
-      local_ += gap_r_;
+      if (!descending_) {
+        global_ += value_r_;
+        local_ += gap_r_;
+      } else {
+        global_ -= value_r_;
+        local_ -= gap_r_;
+      }
       return;
     }
-    if (offset_ + br_ < block_hi_) {  // Equation 1: step by R
-      step(value_r_, gap_r_, br_);
+    if (!descending_) {
+      if (offset_ + br_ < block_hi_) {  // Equation 1: step by R
+        step(value_r_, gap_r_, br_);
+        return;
+      }
+      step(value_l_, gap_l_, -bl_);     // Equation 2: step by -L
+      if (offset_ < block_lo_) {
+        step(value_r_, gap_r_, br_);    // Equation 3: correct by +R
+      }
       return;
     }
-    step(value_l_, gap_l_, -bl_);     // Equation 2: step by -L
-    if (offset_ < block_lo_) {
-      step(value_r_, gap_r_, br_);    // Equation 3: correct by +R
+    if (offset_ - br_ >= block_lo_) {   // undo Equation 1: step back by R
+      step(-value_r_, -gap_r_, -br_);
+      return;
+    }
+    step(-value_l_, -gap_l_, bl_);      // undo Equation 2: step back by -L
+    if (offset_ >= block_hi_) {
+      step(-value_r_, -gap_r_, -br_);   // undo Equation 3: correct by -R
     }
   }
 
@@ -100,6 +143,7 @@ class LocalAccessIterator {
 
   bool done_ = true;
   bool fixed_step_ = false;
+  bool descending_ = false;
   i64 block_lo_;
   i64 block_hi_;
   i64 global_ = 0;

@@ -63,8 +63,13 @@ class DistMatrix {
 
   static std::vector<i64> owned_indices(const BlockCyclic& dist, i64 n, i64 coord) {
     std::vector<i64> out;
-    LocalAccessIterator it(dist, 0, 1, coord);
-    for (; !it.done() && it.global() < n; it.advance()) out.push_back(it.global());
+    if (n == 0) return out;
+    out.reserve(static_cast<std::size_t>(dist.local_size(coord, n)));
+    // Unit stride classifies as dense runs: whole owned blocks at a time.
+    AddressEngine::global().plan(dist, {0, n - 1, 1}, coord).for_each_run(
+        [&](i64 g0, i64, i64 len) {
+          for (i64 i = 0; i < len; ++i) out.push_back(g0 + i);
+        });
     return out;
   }
 

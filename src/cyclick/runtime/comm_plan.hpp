@@ -15,10 +15,11 @@
 // loops with no owner_of / local_address calls.
 //
 // Construction walks each receiver's owned destination elements once with
-// the table-free LocalAccessIterator and resolves the matching source
-// owner with an *owner-run* cursor: the source cell moves linearly in the
-// section position t, so divisions happen once per source-block crossing,
-// not once per element.
+// an AddressEngine plan (dense unit-stride sections enumerate whole block
+// runs; everything else walks the classified lattice path) and resolves the
+// matching source owner with an *owner-run* cursor: the source cell moves
+// linearly in the section position t, so divisions happen once per
+// source-block crossing, not once per element.
 //
 // Execution is zero-copy: values are packed directly into per-channel
 // byte buffers (the Transport wire format) owned by the plan's scratch
@@ -33,12 +34,13 @@
 // executions of the same plan object* would race on the arena.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
 
-#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/engine.hpp"
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
@@ -46,6 +48,17 @@
 #include "cyclick/runtime/transport.hpp"
 
 namespace cyclick {
+
+/// The engine plan for `rank`'s share of `sec` over `arr`'s template cells
+/// (ascending cell order). Plan globals are template cells; plan locals are
+/// packed addresses only under identity alignment (use index_of_cell /
+/// PackedLayout otherwise, as for_each_owned does).
+template <typename T>
+[[nodiscard]] SectionPlan owned_plan(const DistributedArray<T>& arr, const RegularSection& sec,
+                                     i64 rank) {
+  return AddressEngine::global().plan(arr.dist(), arr.alignment().image(sec).ascending(),
+                                      rank);
+}
 
 /// Visit every element of `sec` (array index space) owned by `rank`,
 /// passing (t, local_addr) where t is the position within the section and
@@ -60,23 +73,26 @@ i64 for_each_owned(const DistributedArray<T>& arr, const RegularSection& sec, i6
                       sec.last() < arr.size(),
                   "section must lie within the array");
   const AffineAlignment& al = arr.alignment();
-  const BlockCyclic& dist = arr.dist();
-  const RegularSection image = al.image(sec).ascending();
   // Hoist the per-rank layout lookup out of the loop: rank() queries are
   // per-element, but the layout object itself is loop-invariant.
   const PackedLayout* layout = arr.packed_layout_or_null(rank);
-  i64 count = 0;
-  LocalAccessIterator it(dist, image.lower, image.stride, rank);
-  for (; !it.done() && it.global() <= image.upper; it.advance()) {
-    const i64 cell = it.global();
+  const SectionPlan plan = owned_plan(arr, sec, rank);
+  if (layout == nullptr && plan.contiguous()) {
+    // Identity alignment + unit stride: t and the local address both move
+    // by a fixed step within each owned block run — no per-element
+    // index_of_cell inversions.
+    const i64 dt = sec.stride > 0 ? 1 : -1;
+    return plan.for_each_run([&](i64 g0, i64 l0, i64 len) {
+      i64 t = (g0 - sec.lower) / sec.stride;
+      for (i64 i = 0; i < len; ++i, t += dt) body(t, l0 + i);
+    });
+  }
+  return plan.for_each([&](i64 cell, i64 la) {
     const auto idx = al.index_of_cell(cell);
     CYCLICK_ASSERT(idx.has_value());
     const i64 t = (*idx - sec.lower) / sec.stride;
-    const i64 local = layout ? layout->rank(cell) : it.local();
-    body(t, local);
-    ++count;
-  }
-  return count;
+    body(t, layout ? layout->rank(cell) : la);
+  });
 }
 
 /// Owner-run cursor: maps a section position t to the owning rank (and
@@ -161,6 +177,19 @@ struct ChannelAccum {
     prev_src = sla;
     prev_dst = la;
     ++count;
+  }
+
+  /// Append n elements whose source and destination addresses are both
+  /// contiguous from (sla, la) — the dense-run build path's bulk insert.
+  void append_run(i64 sla, i64 la, i64 n) {
+    append(sla, la);
+    if (n > 1) {
+      src_deltas.insert(src_deltas.end(), static_cast<std::size_t>(n - 1), 1);
+      dst_deltas.insert(dst_deltas.end(), static_cast<std::size_t>(n - 1), 1);
+      prev_src = sla + n - 1;
+      prev_dst = la + n - 1;
+      count += n - 1;
+    }
   }
 };
 
@@ -272,7 +301,31 @@ CommPlan build_copy_plan(const DistributedArray<T>& src, const RegularSection& s
   CYCLICK_COUNT("commplan.builds", 0, 1);
   CYCLICK_TIME_SCOPE("commplan.build_us", 0);
   std::vector<detail::ChannelAccum> accum(static_cast<std::size_t>(p * p));
-  if (!dsec.empty()) {
+  const bool dense_pair = ssec.stride == 1 && dsec.stride == 1 &&
+                          src.alignment().is_identity() && dst.alignment().is_identity();
+  if (!dsec.empty() && dense_pair) {
+    // Both sides are unit-stride and identity-aligned: every destination
+    // block run maps to a contiguous source span, so channels fill in bulk
+    // run inserts split only at source block crossings — no owner cursor,
+    // no per-element appends.
+    CYCLICK_REQUIRE(dsec.lower >= 0 && dsec.last() < dst.size(),
+                    "section must lie within the array");
+    const BlockCyclic& sd = src.dist();
+    const i64 sk = sd.block_size();
+    exec.run([&](i64 m) {
+      CYCLICK_SPAN("plan_build", m);
+      detail::ChannelAccum* row = accum.data() + m * p;
+      owned_plan(dst, dsec, m).for_each_run([&](i64 g0, i64 l0, i64 len) {
+        i64 emitted = 0;
+        while (emitted < len) {
+          const i64 c = ssec.lower + (g0 - dsec.lower) + emitted;  // source cell
+          const i64 n = std::min(len - emitted, sk - sd.block_offset(c));
+          row[sd.owner(c)].append_run(sd.local_index(c), l0 + emitted, n);
+          emitted += n;
+        }
+      });
+    });
+  } else if (!dsec.empty()) {
     exec.run([&](i64 m) {
       CYCLICK_SPAN("plan_build", m);
       OwnerCursor cur(src, ssec);

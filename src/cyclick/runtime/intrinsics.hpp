@@ -64,6 +64,22 @@ T dot_product(const DistributedArray<T>& a, const RegularSection& asec,
     auto la = a.local(rank);
     auto lb = tb.local(rank);
     T acc{};
+    if (!asec.empty() && a.packed_layout_or_null(rank) == nullptr) {
+      CYCLICK_REQUIRE(asec.lower >= 0 && asec.lower < a.size() && asec.last() >= 0 &&
+                          asec.last() < a.size(),
+                      "section must lie within the array");
+      const SectionPlan plan = owned_plan(a, asec, rank);
+      if (plan.contiguous()) {
+        // Unit-stride identity sections reduce as vectorizable block runs.
+        plan.for_each_run([&](i64, i64 l0, i64 len) {
+          const T* pa = la.data() + l0;
+          const T* pb = lb.data() + l0;
+          for (i64 i = 0; i < len; ++i) acc += pa[i] * pb[i];
+        });
+        partial[static_cast<std::size_t>(rank)] = acc;
+        return;
+      }
+    }
     for_each_owned(a, asec, rank, [&](i64, i64 addr) {
       const auto i = static_cast<std::size_t>(addr);
       acc += la[i] * lb[i];

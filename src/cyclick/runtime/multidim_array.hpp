@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "cyclick/core/iterator.hpp"
+#include "cyclick/core/engine.hpp"
 #include "cyclick/hpf/multidim.hpp"
 #include "cyclick/runtime/spmd.hpp"
 
@@ -106,14 +106,14 @@ inline DimShare dim_share(const DimMapping& dm, const RegularSection& sec, i64 g
                       sec.last() < dm.extent,
                   "region section out of bounds");
   DimShare share;
-  const RegularSection image = dm.align.image(sec).ascending();
-  LocalAccessIterator it(dm.dist, image.lower, image.stride, grid_coord);
-  for (; !it.done() && it.global() <= image.upper; it.advance()) {
-    const auto idx = dm.align.index_of_cell(it.global());
+  const SectionPlan plan =
+      AddressEngine::global().plan(dm.dist, dm.align.image(sec).ascending(), grid_coord);
+  plan.for_each([&](i64 cell, i64 la) {
+    const auto idx = dm.align.index_of_cell(cell);
     CYCLICK_ASSERT(idx.has_value());
     share.index.push_back(*idx);
-    share.local_idx.push_back(dm.dist.local_index(it.global()));
-  }
+    share.local_idx.push_back(la);
+  });
   return share;
 }
 

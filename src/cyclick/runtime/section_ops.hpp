@@ -25,13 +25,27 @@
 
 namespace cyclick {
 
-/// A(sec) = value, executed SPMD.
+/// A(sec) = value, executed SPMD. When the engine classifies the section
+/// as contiguous (unit stride, identity alignment) each owned block run is
+/// one std::fill_n instead of an element walk.
 template <typename T>
 void fill_section(DistributedArray<T>& arr, const RegularSection& sec, const T& value,
                   const SpmdExecutor& exec) {
   CYCLICK_REQUIRE(exec.ranks() == arr.dist().procs(), "executor/array rank mismatch");
   exec.run([&](i64 rank) {
     auto local = arr.local(rank);
+    if (!sec.empty() && arr.packed_layout_or_null(rank) == nullptr) {
+      CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                          sec.last() < arr.size(),
+                      "section must lie within the array");
+      const SectionPlan plan = owned_plan(arr, sec, rank);
+      if (plan.contiguous()) {
+        plan.for_each_run([&](i64, i64 l0, i64 len) {
+          std::fill_n(local.data() + l0, static_cast<std::size_t>(len), value);
+        });
+        return;
+      }
+    }
     for_each_owned(arr, sec, rank,
                    [&](i64, i64 la) { local[static_cast<std::size_t>(la)] = value; });
   });
@@ -79,13 +93,43 @@ T reduce_section(const DistributedArray<T>& arr, const RegularSection& sec, T in
   return out;
 }
 
-/// dst(dsec) = src(ssec) in one call. Consults the process-wide plan
-/// cache, so repeated copies with the same shape (iterative solvers,
+/// dst(dsec) = src(ssec) in one call. When both arrays share the same
+/// mapping and the sections coincide, every element already lives on its
+/// destination rank at the same local address, so the copy is purely
+/// local — no communication plan at all (the engine's dense-run plans turn
+/// it into std::copy_n block runs). Otherwise consults the process-wide
+/// plan cache, so repeated copies with the same shape (iterative solvers,
 /// shift intrinsics in a sweep loop) build their plan once and replay it.
 template <typename T>
 void copy_section(const DistributedArray<T>& src, const RegularSection& ssec,
                   DistributedArray<T>& dst, const RegularSection& dsec,
                   const SpmdExecutor& exec) {
+  if (src.dist() == dst.dist() && src.alignment() == dst.alignment() &&
+      src.size() == dst.size() && ssec == dsec) {
+    CYCLICK_REQUIRE(exec.ranks() == dst.dist().procs(), "executor/array rank mismatch");
+    if (ssec.empty()) return;
+    CYCLICK_COUNT("engine.local_copies", 0, 1);
+    exec.run([&](i64 rank) {
+      auto out = dst.local(rank);
+      auto in = src.local(rank);
+      if (dst.packed_layout_or_null(rank) == nullptr) {
+        CYCLICK_REQUIRE(dsec.lower >= 0 && dsec.lower < dst.size() && dsec.last() >= 0 &&
+                            dsec.last() < dst.size(),
+                        "section must lie within the array");
+        const SectionPlan plan = owned_plan(dst, dsec, rank);
+        if (plan.contiguous()) {
+          plan.for_each_run([&](i64, i64 l0, i64 len) {
+            std::copy_n(in.data() + l0, static_cast<std::size_t>(len), out.data() + l0);
+          });
+          return;
+        }
+      }
+      for_each_owned(dst, dsec, rank, [&](i64, i64 la) {
+        out[static_cast<std::size_t>(la)] = in[static_cast<std::size_t>(la)];
+      });
+    });
+    return;
+  }
   const auto plan = cached_copy_plan(src, ssec, dst, dsec, exec);
   execute_copy_plan(*plan, src, dst, exec);
 }
@@ -107,17 +151,26 @@ void symmetric_copy_section(const DistributedArray<T>& src, const RegularSection
   const i64 p = exec.ranks();
 
   // Enumerate, in ascending t order, the (t, local address) pairs a rank
-  // owns for a section of `arr`. for_each_owned walks ascending template
-  // cells, along which t is strictly monotonic — ascending when the image
-  // stride is positive, descending otherwise — so at most a reversal is
-  // needed.
-  const auto owned_in_t_order = [](const DistributedArray<T>& arr, const RegularSection& sec,
-                                   i64 rank) {
-    std::vector<std::pair<i64, i64>> items;  // (t, local)
-    for_each_owned(arr, sec, rank, [&](i64 t, i64 la) { items.emplace_back(t, la); });
-    if (items.size() > 1 && items.front().first > items.back().first)
-      std::reverse(items.begin(), items.end());
-    return items;
+  // owns for a section of `arr`. A plan over the *unreversed* alignment
+  // image traverses the section positions 0, 1, 2, ... directly (the image
+  // element at position t is the section element at position t, and the
+  // engine walks descending images backwards), so no buffering or reversal
+  // is needed.
+  const auto for_each_owned_t = [](const DistributedArray<T>& arr, const RegularSection& sec,
+                                   i64 rank, auto&& body) {
+    if (sec.empty()) return;
+    CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                        sec.last() < arr.size(),
+                    "section must lie within the array");
+    const AffineAlignment& al = arr.alignment();
+    const PackedLayout* layout = arr.packed_layout_or_null(rank);
+    const SectionPlan plan = AddressEngine::global().plan(arr.dist(), al.image(sec), rank);
+    plan.for_each([&](i64 cell, i64 la) {
+      const auto idx = al.index_of_cell(cell);
+      CYCLICK_ASSERT(idx.has_value());
+      const i64 t = (*idx - sec.lower) / sec.stride;
+      body(t, layout ? layout->rank(cell) : la);
+    });
   };
 
   // Phase 1: every sender q walks its source elements in t order and
@@ -128,19 +181,20 @@ void symmetric_copy_section(const DistributedArray<T>& src, const RegularSection
   std::vector<std::vector<T>> wire(static_cast<std::size_t>(p * p));  // [m*p + q]
   exec.run([&](i64 q) {
     auto local = src.local(q);
-    const auto items = owned_in_t_order(src, ssec, q);
     OwnerCursor dst_owner(dst, dsec);
     std::vector<i64> counts(static_cast<std::size_t>(p), 0);
-    for (const auto& [t, la] : items) ++counts[static_cast<std::size_t>(dst_owner.owner_at(t))];
+    for_each_owned_t(src, ssec, q, [&](i64 t, i64) {
+      ++counts[static_cast<std::size_t>(dst_owner.owner_at(t))];
+    });
     for (i64 m = 0; m < p; ++m)
       if (counts[static_cast<std::size_t>(m)] > 0)
         wire[static_cast<std::size_t>(m * p + q)].reserve(
             static_cast<std::size_t>(counts[static_cast<std::size_t>(m)]));
-    for (const auto& [t, la] : items) {
+    for_each_owned_t(src, ssec, q, [&](i64 t, i64 la) {
       const i64 m = dst_owner.owner_at(t);
       wire[static_cast<std::size_t>(m * p + q)].push_back(
           local[static_cast<std::size_t>(la)]);
-    }
+    });
   });
 
   // Phase 2: every receiver m walks its destination elements in t order,
@@ -149,13 +203,13 @@ void symmetric_copy_section(const DistributedArray<T>& src, const RegularSection
     auto local = dst.local(m);
     OwnerCursor src_owner(src, ssec);
     std::vector<std::size_t> cursor(static_cast<std::size_t>(p), 0);
-    for (const auto& [t, la] : owned_in_t_order(dst, dsec, m)) {
+    for_each_owned_t(dst, dsec, m, [&](i64 t, i64 la) {
       const i64 q = src_owner.owner_at(t);
       auto& stream = wire[static_cast<std::size_t>(m * p + q)];
       auto& pos = cursor[static_cast<std::size_t>(q)];
       CYCLICK_ASSERT(pos < stream.size());
       local[static_cast<std::size_t>(la)] = stream[pos++];
-    }
+    });
     // Every received value must be consumed — the two sides enumerated the
     // same element sets.
     for (i64 q = 0; q < p; ++q)

@@ -1,0 +1,218 @@
+// Tests for the AddressEngine dispatch layer: strategy classification,
+// SectionPlan enumeration against the exhaustive oracle across every
+// strategy class, pattern/offset-table parity with the direct Figure-5
+// entry points, and the proc-independent table cache.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "cyclick/baselines/hiranandani.hpp"
+#include "cyclick/baselines/oracle.hpp"
+#include "cyclick/core/engine.hpp"
+#include "cyclick/core/lattice_addresser.hpp"
+
+namespace cyclick {
+namespace {
+
+std::vector<Access> plan_sequence(const SectionPlan& plan) {
+  std::vector<Access> out;
+  plan.for_each([&](i64 g, i64 la) { out.push_back({g, la}); });
+  return out;
+}
+
+TEST(AddressEngine, ClassifyCoversEveryCondition) {
+  using S = AddressStrategy;
+  // p == 1 wins over everything.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(1, 8), 1), S::kTrivialLocal);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(1, 8), 9), S::kTrivialLocal);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(1, 1), -3), S::kTrivialLocal);
+  // |s| == 1: dense contiguous runs, either direction.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), 1), S::kDenseRuns);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), -1), S::kDenseRuns);
+  // k == 1: pure cyclic.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 1), 3), S::kPureCyclic);
+  // gcd(|s|, pk) >= k: degenerate fixed step.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), 16), S::kFixedStep);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(3, 4), 6), S::kFixedStep);
+  // |s| mod pk < k: the ICS'94 special case.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), 33), S::kHiranandani);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), 34), S::kHiranandani);
+  // Everything else: the general lattice.
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), 9), S::kGeneralLattice);
+  EXPECT_EQ(AddressEngine::classify(BlockCyclic(4, 8), -9), S::kGeneralLattice);
+
+  EXPECT_STREQ(address_strategy_name(S::kDenseRuns), "dense-runs");
+  EXPECT_STREQ(address_strategy_name(S::kGeneralLattice), "general-lattice");
+}
+
+TEST(AddressEngine, PlanMatchesOracleAcrossEveryStrategy) {
+  // A deterministic grid chosen to hit all six classes, both directions,
+  // negative lower bounds, and empty shares.
+  std::set<AddressStrategy> seen;
+  for (i64 p : {1, 2, 4, 5}) {
+    for (i64 k : {1, 3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, -1, 2, 7, -9, 15, 16, 33, -33, 48, 64}) {
+        for (i64 l : {-37, 0, 5}) {
+          const i64 hi = l + 60 * (s > 0 ? s : -s);
+          const RegularSection sec = s > 0 ? RegularSection{l, hi, s}
+                                           : RegularSection{hi, l, s};
+          seen.insert(AddressEngine::classify(dist, s));
+          for (i64 m = 0; m < p; ++m) {
+            const SectionPlan plan = AddressEngine::global().plan(dist, sec, m);
+            const std::vector<Access> want = oracle_local_sequence(dist, sec, m);
+            EXPECT_EQ(plan_sequence(plan), want)
+                << p << " " << k << " " << s << " " << l << " " << m;
+            EXPECT_EQ(plan.empty(), want.empty());
+            if (!want.empty()) {
+              EXPECT_EQ(plan.first_global(), want.front().global);
+              EXPECT_EQ(plan.first_local(), want.front().local);
+              EXPECT_EQ(plan.last_global(), want.back().global);
+              EXPECT_EQ(plan.last_local(), want.back().local);
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u) << "grid must exercise every strategy class";
+}
+
+TEST(AddressEngine, ForEachRunFlattensToAscendingOracle) {
+  for (i64 p : {1, 3, 4}) {
+    for (i64 k : {1, 4, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {1, -1, 2, 9, 16}) {
+        const RegularSection sec = s > 0 ? RegularSection{3, 3 + 50 * s, s}
+                                         : RegularSection{3 + 50 * (-s), 3, s};
+        const RegularSection asc = sec.ascending();
+        for (i64 m = 0; m < p; ++m) {
+          const SectionPlan plan = AddressEngine::global().plan(dist, sec, m);
+          std::vector<Access> got;
+          const i64 n = plan.for_each_run([&](i64 g0, i64 l0, i64 len) {
+            for (i64 i = 0; i < len; ++i) got.push_back({g0 + i, l0 + i});
+          });
+          EXPECT_EQ(n, static_cast<i64>(got.size()));
+          EXPECT_EQ(got, oracle_local_sequence(dist, asc, m))
+              << p << " " << k << " " << s << " " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(AddressEngine, PatternMatchesSignedAndHiranandani) {
+  for (i64 p : {2, 4, 5}) {
+    for (i64 k : {3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {2, 7, 9, 33, -9, -33, 48}) {
+        for (i64 m = 0; m < p; ++m) {
+          const AccessPattern got = AddressEngine::global().pattern(dist, 4, s, m);
+          EXPECT_EQ(got, compute_access_pattern_signed(dist, 4, s, m))
+              << p << " " << k << " " << s << " " << m;
+          if (s > 0 && hiranandani_applicable(dist, s)) {
+            EXPECT_EQ(got, hiranandani_access_pattern(dist, 4, s, m));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AddressEngine, OffsetTablesMatchPerProcConstruction) {
+  for (i64 s : {2, 9, 15, 33, 48}) {
+    const BlockCyclic dist(4, 8);
+    const RegularSection sec{4, 4 + 100 * s, s};
+    for (i64 m = 0; m < 4; ++m) {
+      const SectionPlan plan = AddressEngine::global().plan(dist, sec, m);
+      if (plan.empty()) continue;
+      const OffsetTables got = plan.offset_tables();
+      const OffsetTables want = compute_offset_tables(dist, sec.lower, sec.stride, m);
+      ASSERT_EQ(got.start_offset, want.start_offset) << s << " " << m;
+      // The per-proc tables populate only visited offsets; the full tables
+      // must agree on exactly those slots.
+      i64 q = want.start_offset;
+      do {
+        EXPECT_EQ(got.delta[static_cast<std::size_t>(q)],
+                  want.delta[static_cast<std::size_t>(q)])
+            << s << " " << m << " " << q;
+        EXPECT_EQ(got.next_offset[static_cast<std::size_t>(q)],
+                  want.next_offset[static_cast<std::size_t>(q)])
+            << s << " " << m << " " << q;
+        q = want.next_offset[static_cast<std::size_t>(q)];
+      } while (q != want.start_offset);
+    }
+  }
+}
+
+TEST(AddressEngine, TableCacheSharesAcrossProcsAndStrideSign) {
+  AddressEngine engine(8);
+  const BlockCyclic dist(4, 8);
+  const auto t0 = engine.tables(dist, 9);
+  const auto t1 = engine.tables(dist, 9);
+  EXPECT_EQ(t0.get(), t1.get()) << "same (p, k, s) must share one table object";
+  const auto t2 = engine.tables(dist, -9);
+  EXPECT_EQ(t0.get(), t2.get()) << "tables are keyed by |s|";
+  const auto t3 = engine.tables(dist, 10);
+  EXPECT_NE(t0.get(), t3.get());
+  const auto st = engine.cache_stats();
+  EXPECT_EQ(st.misses, 2);
+  EXPECT_EQ(st.hits, 2);
+  EXPECT_EQ(st.size, 2u);
+
+  // p ranks planning the same section pay one table construction.
+  AddressEngine per_rank(8);
+  for (i64 m = 0; m < 4; ++m) (void)per_rank.plan(dist, {4, 300, 9}, m);
+  EXPECT_EQ(per_rank.cache_stats().misses, 1);
+  EXPECT_EQ(per_rank.cache_stats().hits, 3);
+}
+
+TEST(AddressEngine, TableCacheEvictsLeastRecentlyUsed) {
+  AddressEngine engine(2);
+  const BlockCyclic dist(4, 8);
+  (void)engine.tables(dist, 9);
+  (void)engine.tables(dist, 10);
+  (void)engine.tables(dist, 9);   // refresh 9
+  (void)engine.tables(dist, 11);  // evicts 10
+  (void)engine.tables(dist, 9);   // still cached
+  const auto st = engine.cache_stats();
+  EXPECT_EQ(st.evictions, 1);
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_EQ(st.hits, 2);
+  EXPECT_EQ(st.misses, 3);
+}
+
+TEST(AddressEngine, RandomizedPlanPropertyGrid) {
+  // Randomized (p, k, l, u, s) property check: SectionPlan::for_each must
+  // reproduce the oracle byte for byte, and make_pattern must match
+  // compute_access_pattern_signed, for every strategy class the draw hits.
+  std::mt19937 rng(20250806);
+  std::uniform_int_distribution<i64> pd(1, 8), kd(1, 12), sd(-40, 40), ld(-50, 50),
+      span(0, 150);
+  std::set<AddressStrategy> seen;
+  for (int iter = 0; iter < 300; ++iter) {
+    const i64 p = pd(rng), k = kd(rng);
+    i64 s = sd(rng);
+    if (s == 0) s = 41;
+    const i64 l = ld(rng);
+    const i64 hi = l + span(rng);
+    const RegularSection sec = s > 0 ? RegularSection{l, hi, s} : RegularSection{hi, l, s};
+    const BlockCyclic dist(p, k);
+    seen.insert(AddressEngine::classify(dist, s));
+    for (i64 m = 0; m < p; ++m) {
+      const SectionPlan plan = AddressEngine::global().plan(dist, sec, m);
+      ASSERT_EQ(plan_sequence(plan), oracle_local_sequence(dist, sec, m))
+          << p << " " << k << " " << s << " " << l << " " << hi << " " << m;
+      if (!sec.empty()) {
+        ASSERT_EQ(plan.make_pattern(), compute_access_pattern_signed(dist, sec.lower, s, m))
+            << p << " " << k << " " << s << " " << l << " " << m;
+      }
+    }
+  }
+  EXPECT_GE(seen.size(), 5u) << "random draw should hit most strategy classes";
+}
+
+}  // namespace
+}  // namespace cyclick

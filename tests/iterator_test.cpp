@@ -78,7 +78,53 @@ TEST(LocalAccessIterator, GlobalAndLocalStayConsistent) {
 TEST(LocalAccessIterator, RejectsBadArguments) {
   const BlockCyclic dist(4, 8);
   EXPECT_THROW(LocalAccessIterator(dist, 0, 0, 0), precondition_error);
-  EXPECT_THROW(LocalAccessIterator(dist, 0, -9, 0), precondition_error);
+}
+
+TEST(LocalAccessIterator, DescendingMatchesOracleSequence) {
+  for (i64 p : {1, 2, 4, 5}) {
+    for (i64 k : {1, 3, 8}) {
+      const BlockCyclic dist(p, k);
+      for (i64 s : {-1, -2, -7, -9, -15, -31, -33, -64}) {
+        for (i64 l : {0, 5}) {
+          const RegularSection sec{l + 60 * (-s), l, s};  // descends to l
+          for (i64 m = 0; m < p; ++m) {
+            const std::vector<Access> want = oracle_local_sequence(dist, sec, m);
+            LocalAccessIterator it(dist, sec.lower, s, m);
+            std::vector<Access> got;
+            for (; !it.done() && it.global() >= sec.upper; it.advance())
+              got.push_back({it.global(), it.local()});
+            EXPECT_EQ(got, want) << p << " " << k << " " << s << " " << l << " " << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LocalAccessIterator, DescendingGapMatchesSignedPattern) {
+  const BlockCyclic dist(4, 8);
+  for (i64 s : {-9, -17, -23, -48}) {
+    for (i64 m = 0; m < 4; ++m) {
+      const AccessPattern truth = compute_access_pattern_signed(dist, 100, s, m);
+      LocalAccessIterator it(dist, 100, s, m);
+      if (truth.empty()) {
+        EXPECT_TRUE(it.done()) << s << " " << m;
+        continue;
+      }
+      ASSERT_FALSE(it.done()) << s << " " << m;
+      EXPECT_EQ(it.global(), truth.start_global);
+      EXPECT_EQ(it.local(), truth.start_local);
+      for (i64 step = 0; step < 3 * truth.length; ++step) {
+        const i64 expect_gap = truth.gaps[static_cast<std::size_t>(step % truth.length)];
+        const i64 before = it.local();
+        EXPECT_EQ(it.peek_gap(), expect_gap) << s << " " << m << " " << step;
+        it.advance();
+        EXPECT_EQ(it.local() - before, expect_gap);
+        EXPECT_EQ(dist.owner(it.global()), m);
+        EXPECT_EQ(dist.local_index(it.global()), it.local());
+      }
+    }
+  }
 }
 
 }  // namespace

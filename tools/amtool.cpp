@@ -9,7 +9,8 @@
 //   amtool stats  -p P -k K -s S [-l L]          gap histogram + Theorem-3 summary
 //
 // All subcommands accept any subset of processors via -m (default: all),
-// plus --metrics[=json] (telemetry report on stderr) and --trace=FILE.json
+// plus --strategy (print the AddressEngine dispatch class for (p, k, s)),
+// --metrics[=json] (telemetry report on stderr) and --trace=FILE.json
 // (chrome://tracing export).
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/core/engine.hpp"
 #include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/layout_render.hpp"
 #include "cyclick/lattice/lattice.hpp"
@@ -38,7 +40,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::cerr <<
       "usage: amtool <table|basis|walk|owners|layout|stats> -p <procs> -k <block> -s <stride>\n"
-      "              [-l <lower>] [-u <upper>] [-m <proc>]\n";
+      "              [-l <lower>] [-u <upper>] [-m <proc>] [--strategy]\n";
   std::exit(2);
 }
 
@@ -60,7 +62,7 @@ Options parse_options(int argc, char** argv) {
 }
 
 void print_pattern(const BlockCyclic& dist, const Options& opt, i64 m) {
-  const AccessPattern pat = compute_access_pattern_signed(dist, opt.l, opt.s, m);
+  const AccessPattern pat = AddressEngine::global().pattern(dist, opt.l, opt.s, m);
   std::cout << "proc " << m << ": ";
   if (pat.empty()) {
     std::cout << "no elements\n";
@@ -147,7 +149,7 @@ int cmd_stats(const BlockCyclic& dist, const Options& opt) {
   i64 empty_procs = 0;
   i64 total_period = 0;
   for (i64 m = 0; m < opt.p; ++m) {
-    const AccessPattern pat = compute_access_pattern(dist, opt.l, opt.s, m);
+    const AccessPattern pat = AddressEngine::global().pattern(dist, opt.l, opt.s, m);
     if (pat.empty()) {
       ++empty_procs;
       continue;
@@ -194,9 +196,14 @@ int main(int argc, char** argv) {
   // Telemetry flags are boolean/valued in one token; strip them before the
   // pairwise flag-value option parse below.
   obs::CliOptions obs_opt;
+  bool show_strategy = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
+    if (i >= 1 && std::strcmp(argv[i], "--strategy") == 0) {
+      show_strategy = true;
+      continue;
+    }
     if (i >= 1 && obs::parse_cli_flag(argv[i], obs_opt)) continue;
     args.push_back(argv[i]);
   }
@@ -207,6 +214,10 @@ int main(int argc, char** argv) {
   const Options opt = parse_options(nargs, args.data());
   try {
     const BlockCyclic dist(opt.p, opt.k);
+    if (show_strategy)
+      std::cout << "dispatch: "
+                << address_strategy_name(AddressEngine::classify(dist, opt.s)) << " (p="
+                << opt.p << ", k=" << opt.k << ", s=" << opt.s << ")\n";
     int rc = 2;
     if (cmd == "table") rc = cmd_table(dist, opt);
     else if (cmd == "basis") rc = cmd_basis(dist, opt);
