@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
   const bool csv = want_csv(argc, argv);
   const bool json = want_json(argc, argv);
   const obs::CliOptions obs_opt = obs_options(argc, argv);
-  const int repeats = 7;
+  // Best-of-15: the large-footprint rows (hiranandani at 8.7 MB/rank) are
+  // DRAM-sensitive, and max-over-ranks amplifies a single noisy rank.
+  const int repeats = 15;
 
   // One representative shape per strategy class (section lower 0, the
   // access count fixed so every row does comparable work).

@@ -37,33 +37,34 @@ AccessPattern hiranandani_access_pattern(const BlockCyclic& dist, i64 lower, i64
   // walk can never jump over the processor's k-wide window: after leaving
   // it, the first position at or beyond the window's next periodic image is
   // inside the window. Each access is therefore found in O(1) arithmetic.
+  //
+  // Local addresses are row * k + (offset - block_lo), so a move of t
+  // progression steps that takes the row-offset from o to next_o crosses
+  // (t*stride - (next_o - o)) / pk rows (exact division) and the local gap
+  // is rows * k + (next_o - o) — no per-access local_index divisions. For
+  // the common in-window step (t == 1, offset advance s_off) the gap is the
+  // loop-invariant ((stride - s_off) / pk) * k + s_off.
   const i64 block_lo = k * proc;
   const i64 block_hi = block_lo + k;
+  const i64 gap_in = ((stride - s_off) / pk) * k + s_off;
   pat.gaps.resize(static_cast<std::size_t>(pat.length));
-  i64 v = pat.start_global;
-  i64 o = floor_mod(v, pk);
-  i64 local = pat.start_local;
+  i64 o = floor_mod(pat.start_global, pk);
   for (i64 idx = 0; idx < pat.length; ++idx) {
-    i64 t;       // progression steps to the next on-proc element
-    i64 next_o;  // its offset
     if (o + s_off < block_hi) {
-      t = 1;
-      next_o = o + s_off;
+      pat.gaps[static_cast<std::size_t>(idx)] = gap_in;
+      o += s_off;
     } else {
       // Steps needed to reach the window's next periodic image (it may
       // already be reached when the wrap overshoots, e.g. p == 1).
       i64 extra = ceil_div(block_lo + pk - (o + s_off), s_off);
       if (extra < 0) extra = 0;
-      t = 1 + extra;
-      next_o = o + t * s_off - pk;
+      const i64 t = 1 + extra;
+      const i64 next_o = o + t * s_off - pk;
       CYCLICK_ASSERT(next_o >= block_lo && next_o < block_hi);
+      const i64 adv = next_o - o;
+      pat.gaps[static_cast<std::size_t>(idx)] = ((t * stride - adv) / pk) * k + adv;
+      o = next_o;
     }
-    const i64 next_v = v + t * stride;
-    const i64 next_local = dist.local_index(next_v);
-    pat.gaps[static_cast<std::size_t>(idx)] = next_local - local;
-    v = next_v;
-    o = next_o;
-    local = next_local;
   }
   return pat;
 }

@@ -12,6 +12,7 @@
 #include "cyclick/codegen/nodecode.hpp"
 #include "cyclick/core/engine.hpp"
 #include "cyclick/core/iterator.hpp"
+#include "cyclick/core/kernels.hpp"
 #include "cyclick/hpf/distribution.hpp"
 #include "cyclick/hpf/section.hpp"
 
@@ -68,6 +69,14 @@ i64 run_section_auto(const BlockCyclic& dist, const RegularSection& sec, i64 pro
                      std::span<T> local, Body&& body) {
   const SectionPlan plan = AddressEngine::global().plan(dist, sec, proc);
   if (plan.empty()) return 0;
+  // Kernels visit local addresses in ascending order; descending sections
+  // keep traversal order unless the class is run-copy (whose old contiguous
+  // fast path already ran runs low-to-high).
+  const KernelPlan kp = compile_kernel(plan);
+  if (kp.bulk() && (sec.stride > 0 || kp.cls() == KernelClass::kRunCopy)) {
+    kernel_for_each_local(kp, [&](i64 la) { body(local[static_cast<std::size_t>(la)]); });
+    return kp.count();
+  }
   if (plan.contiguous()) {
     return plan.for_each_run([&](i64, i64 la, i64 len) {
       T* cell = local.data() + la;

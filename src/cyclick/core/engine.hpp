@@ -50,6 +50,8 @@ enum class AddressStrategy {
 
 [[nodiscard]] const char* address_strategy_name(AddressStrategy s) noexcept;
 
+struct PeriodicPattern;  // kernels.hpp: the compiled per-period offset vector
+
 /// Processor- and phase-independent navigation state for one (p, k, |s|)
 /// problem: the full offset tables of Section 6.2 plus the matching
 /// global-index gaps, the inverse offset map for descending traversals, and
@@ -66,6 +68,16 @@ struct EngineTables {
   bool degenerate = false;       ///< gcd(|s|, pk) >= k (includes k == 1)
   i64 fixed_dglobal = 0;         ///< degenerate global step, lcm(|s|, pk)
   i64 fixed_dlocal = 0;          ///< degenerate local step, k * (|s|/d)
+  /// Calibration result: the ICS'94 O(k) pattern construction measured
+  /// faster than the signed Figure-5 path for this (p, k, |s|). Set once at
+  /// table-build time; pattern() consults it so no specialized construction
+  /// is ever promoted when it loses on the actual hardware.
+  bool ics94_pattern_wins = false;
+  /// Kernel-layer cache: one compiled PeriodicPattern per start offset q0
+  /// (kernels.hpp). Lazily sized to `block`; guarded by kernel_mu because
+  /// plans sharing the tables compile kernels concurrently.
+  mutable std::mutex kernel_mu;
+  mutable std::vector<std::shared_ptr<const PeriodicPattern>> kernel_patterns;
 };
 
 /// The engine's answer for one bounded section on one processor: the chosen

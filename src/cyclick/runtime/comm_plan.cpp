@@ -27,8 +27,8 @@ void CommPlan::adopt_channels(std::vector<detail::ChannelAccum>&& accum) {
   CYCLICK_REQUIRE(static_cast<i64>(accum.size()) == ranks * ranks,
                   "channel grid does not match rank count");
   channels.assign(accum.size(), Channel{});
-  src_gaps.clear();
-  dst_gaps.clear();
+  src_off.clear();
+  dst_off.clear();
   message_count_ = 0;
   remote_elements_ = 0;
   total_elements_ = 0;
@@ -41,12 +41,27 @@ void CommPlan::adopt_channels(std::vector<detail::ChannelAccum>&& accum) {
       if (acc.count == 0) continue;
       ch.src_start = acc.src_start;
       ch.dst_start = acc.dst_start;
-      ch.gap_begin = static_cast<i64>(src_gaps.size());
+      ch.gap_begin = static_cast<i64>(src_off.size());
       ch.period = detail::smallest_gap_period(acc.src_deltas, acc.dst_deltas);
-      src_gaps.insert(src_gaps.end(), acc.src_deltas.begin(),
-                      acc.src_deltas.begin() + ch.period);
-      dst_gaps.insert(dst_gaps.end(), acc.dst_deltas.begin(),
-                      acc.dst_deltas.begin() + ch.period);
+      // Store the period as offsets-from-start (prefix sums of the gaps):
+      // element i of the channel then lives at start + (i / P) * advance +
+      // off[i mod P], the shape the kernel gather/scatter replays without a
+      // serially dependent address chain.
+      i64 soff = 0;
+      i64 doff = 0;
+      for (i64 r = 0; r < ch.period; ++r) {
+        src_off.push_back(soff);
+        dst_off.push_back(doff);
+        soff += acc.src_deltas[static_cast<std::size_t>(r)];
+        doff += acc.dst_deltas[static_cast<std::size_t>(r)];
+      }
+      ch.src_advance = soff;
+      ch.dst_advance = doff;
+      // A side is contiguous iff the whole stream steps by one (KMP then
+      // compresses the gaps to the single entry {1}); single-element
+      // channels are trivially contiguous. Those pack/unpack as memcpy.
+      ch.src_contig = acc.count == 1 || (ch.period == 1 && ch.src_advance == 1);
+      ch.dst_contig = acc.count == 1 || (ch.period == 1 && ch.dst_advance == 1);
       // Release the uncompressed deltas eagerly: construction's transient
       // footprint stays bounded by one receiver's share, not the section.
       acc.src_deltas = {};
@@ -58,14 +73,14 @@ void CommPlan::adopt_channels(std::vector<detail::ChannelAccum>&& accum) {
       }
     }
   }
-  src_gaps.shrink_to_fit();
-  dst_gaps.shrink_to_fit();
+  src_off.shrink_to_fit();
+  dst_off.shrink_to_fit();
   scratch_.resize(static_cast<std::size_t>(ranks * ranks));
 }
 
 std::size_t CommPlan::plan_bytes() const noexcept {
   return channels.capacity() * sizeof(Channel) +
-         (src_gaps.capacity() + dst_gaps.capacity()) * sizeof(i64) +
+         (src_off.capacity() + dst_off.capacity()) * sizeof(i64) +
          scratch_.capacity() * sizeof(std::vector<std::byte>);
 }
 

@@ -7,12 +7,14 @@
 // per element (O(|section|) space, a modular solve per element at execution
 // time), each sender->receiver channel stores one run descriptor
 //
-//   (src_local_start, dst_local_start, count, repeating gap tables)
+//   (src_local_start, dst_local_start, count, periodic offset tables)
 //
-// where the gap tables hold the shortest period of the local-address delta
-// streams on both sides. Plan size is O(p^2 + sum of channel periods) —
-// O(p^2 + k)-shaped in practice — and pack/unpack become tight gap-stepping
-// loops with no owner_of / local_address calls.
+// where the offset tables hold the prefix sums of the shortest period of
+// the local-address delta streams on both sides. Plan size is O(p^2 + sum
+// of channel periods) — O(p^2 + k)-shaped in practice — and pack/unpack
+// replay the offsets through the kernel layer's SIMD gather/scatter
+// (core/kernels.hpp): no owner_of / local_address calls, and no serially
+// dependent address chain either.
 //
 // Construction walks each receiver's owned destination elements once with
 // an AddressEngine plan (dense unit-stride sections enumerate whole block
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "cyclick/core/engine.hpp"
+#include "cyclick/core/kernels.hpp"
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
@@ -198,55 +201,70 @@ struct ChannelAccum {
 /// streams. The streams need not be a whole number of periods long.
 i64 smallest_gap_period(std::span<const i64> a, std::span<const i64> b);
 
-/// Pack `count` values from `local` into `out`, stepping src addresses by
-/// the repeating gap table.
+/// Pack `count` values from `local` into `out`. The channel's address
+/// stream is start + j*advance + off[r] (off = prefix sums of the gap
+/// period), so packing is exactly the kernel layer's periodic gather:
+/// contiguous channels memcpy, period-1 channels take the strided SIMD
+/// path, everything else replays the offset vector — the same primitives
+/// section_ops runs on.
 template <typename T>
-void pack_channel(i64 count, i64 start, const i64* gaps, i64 period,
-                  const T* local, T* out) {
-  i64 a = start;
-  out[0] = local[a];
-  i64 gi = 0;
-  for (i64 i = 1; i < count; ++i) {
-    a += gaps[gi];
-    if (++gi == period) gi = 0;
-    out[i] = local[a];
+void pack_channel(i64 count, i64 start, const i64* off, i64 period, i64 advance,
+                  bool contig, const T* local, T* out) {
+  const T* base = local + start;
+  if (contig) {
+    std::memcpy(out, base, static_cast<std::size_t>(count) * sizeof(T));
+    return;
   }
+  if (period == 1) {
+    kernel_gather_strided(base, advance, count, out);
+    return;
+  }
+  kernel_gather_offsets(base, off, period, advance, count, out);
 }
 
-/// Unpack `count` values from `in` into `local`, stepping dst addresses by
-/// the repeating gap table.
+/// Unpack `count` values from `in` into `local` (scatter mirror of
+/// pack_channel, same kernel primitives).
 template <typename T>
-void unpack_channel(i64 count, i64 start, const i64* gaps, i64 period,
-                    const T* in, T* local) {
-  i64 a = start;
-  local[a] = in[0];
-  i64 gi = 0;
-  for (i64 i = 1; i < count; ++i) {
-    a += gaps[gi];
-    if (++gi == period) gi = 0;
-    local[a] = in[i];
+void unpack_channel(i64 count, i64 start, const i64* off, i64 period, i64 advance,
+                    bool contig, const T* in, T* local) {
+  T* base = local + start;
+  if (contig) {
+    std::memcpy(base, in, static_cast<std::size_t>(count) * sizeof(T));
+    return;
   }
+  if (period == 1) {
+    kernel_scatter_strided(base, advance, count, in);
+    return;
+  }
+  kernel_scatter_offsets(base, off, period, advance, count, in);
 }
 
 }  // namespace detail
 
 /// Compressed periodic communication plan. One Channel per (receiver m,
-/// sender q) pair; gap tables for all channels are pooled in two flat
-/// arrays (src side used by pack, dst side by unpack). Message and element
-/// statistics are computed once at build time.
+/// sender q) pair; the periodic address tables for all channels are pooled
+/// in two flat arrays (src side used by pack, dst side by unpack), stored
+/// as per-period *offset vectors* (prefix sums of the gap period) so
+/// pack/unpack replay them with the kernel layer's offset-indexed
+/// gather/scatter instead of a serially dependent gap chain. Message and
+/// element statistics are computed once at build time.
 struct CommPlan {
   struct Channel {
-    i64 count = 0;      ///< elements on this channel
-    i64 src_start = 0;  ///< first packed local address on the sender
-    i64 dst_start = 0;  ///< first packed local address on the receiver
-    i64 period = 0;     ///< gap-table length (0 iff count <= 1)
-    i64 gap_begin = 0;  ///< slice start in the pooled gap arrays
+    i64 count = 0;        ///< elements on this channel
+    i64 src_start = 0;    ///< first packed local address on the sender
+    i64 dst_start = 0;    ///< first packed local address on the receiver
+    i64 period = 0;       ///< offset-table length (0 iff count <= 1)
+    i64 gap_begin = 0;    ///< slice start in the pooled offset arrays
+    i64 src_advance = 0;  ///< sender local-address advance per period
+    i64 dst_advance = 0;  ///< receiver local-address advance per period
+    bool src_contig = false;  ///< sender stream is one contiguous span
+    bool dst_contig = false;  ///< receiver stream is one contiguous span
   };
 
   i64 ranks = 0;
   std::vector<Channel> channels;  ///< [receiver * ranks + sender]
-  std::vector<i64> src_gaps;      ///< pooled sender-side gap tables
-  std::vector<i64> dst_gaps;      ///< pooled receiver-side gap tables
+  std::vector<i64> src_off;       ///< pooled sender-side offset tables
+  std::vector<i64> dst_off;       ///< pooled receiver-side offset tables
 
   [[nodiscard]] const Channel& channel(i64 receiver, i64 sender) const {
     return channels[static_cast<std::size_t>(receiver * ranks + sender)];
@@ -270,7 +288,7 @@ struct CommPlan {
   [[nodiscard]] std::size_t scratch_bytes() const noexcept;
 
   /// Build-time finalization: compress the accumulated delta streams into
-  /// pooled gap tables and precompute the statistics.
+  /// pooled periodic offset tables and precompute the statistics.
   void adopt_channels(std::vector<detail::ChannelAccum>&& accum);
 
   /// Reusable per-channel pack buffer (execution arena). Mutable so that
@@ -377,7 +395,8 @@ void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
       std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
       buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
       detail::pack_channel<T>(ch.count, ch.src_start,
-                              ctx.plan.src_gaps.data() + ch.gap_begin, ch.period, local,
+                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
+                              ch.src_advance, ch.src_contig, local,
                               reinterpret_cast<T*>(buf.data()));
     }
   });
@@ -394,7 +413,8 @@ void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
       CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
       const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
       detail::unpack_channel<T>(ch.count, ch.dst_start,
-                                ctx.plan.dst_gaps.data() + ch.gap_begin, ch.period,
+                                ctx.plan.dst_off.data() + ch.gap_begin, ch.period,
+                                ch.dst_advance, ch.dst_contig,
                                 reinterpret_cast<const T*>(buf.data()), local);
     }
   });
@@ -434,16 +454,17 @@ void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src
     for (i64 m = 0; m < ctx.p; ++m) {
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
       if (ch.count == 0) continue;
-      const i64* gaps = ctx.plan.src_gaps.data() + ch.gap_begin;
+      const i64* off = ctx.plan.src_off.data() + ch.gap_begin;
       if (m == q) {
         std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
         buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
-        detail::pack_channel<T>(ch.count, ch.src_start, gaps, ch.period, local,
-                                reinterpret_cast<T*>(buf.data()));
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
         continue;
       }
       send_packed<T>(ctx.transport, q, m, ch.count, [&](std::span<T> out) {
-        detail::pack_channel<T>(ch.count, ch.src_start, gaps, ch.period, local, out.data());
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, out.data());
       });
     }
   });
@@ -457,17 +478,19 @@ void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src
       const CommPlan::Channel& ch = ctx.plan.channel(m, q);
       if (ch.count == 0) continue;
       CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
-      const i64* gaps = ctx.plan.dst_gaps.data() + ch.gap_begin;
+      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
       if (q == m) {
         const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-        detail::unpack_channel<T>(ch.count, ch.dst_start, gaps, ch.period,
-                                  reinterpret_cast<const T*>(buf.data()), local);
+        detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                  ch.dst_contig, reinterpret_cast<const T*>(buf.data()),
+                                  local);
         continue;
       }
       const std::vector<std::byte> payload = ctx.transport.recv(m, q);
       CYCLICK_ASSERT(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T));
-      detail::unpack_channel<T>(ch.count, ch.dst_start, gaps, ch.period,
-                                reinterpret_cast<const T*>(payload.data()), local);
+      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                ch.dst_contig, reinterpret_cast<const T*>(payload.data()),
+                                local);
     }
   });
 }

@@ -68,15 +68,12 @@ T dot_product(const DistributedArray<T>& a, const RegularSection& asec,
       CYCLICK_REQUIRE(asec.lower >= 0 && asec.lower < a.size() && asec.last() >= 0 &&
                           asec.last() < a.size(),
                       "section must lie within the array");
-      const SectionPlan plan = owned_plan(a, asec, rank);
-      if (plan.contiguous()) {
-        // Unit-stride identity sections reduce as vectorizable block runs.
-        plan.for_each_run([&](i64, i64 l0, i64 len) {
-          const T* pa = la.data() + l0;
-          const T* pb = lb.data() + l0;
-          for (i64 i = 0; i < len; ++i) acc += pa[i] * pb[i];
-        });
-        partial[static_cast<std::size_t>(rank)] = acc;
+      const KernelPlan kp = compile_kernel(owned_plan(a, asec, rank));
+      // Kernels accumulate in ascending address order; for descending
+      // sections only the run-copy class matches the order the fallback
+      // would use (FP sums are order-sensitive).
+      if (kp.bulk() && (asec.stride > 0 || kp.cls() == KernelClass::kRunCopy)) {
+        partial[static_cast<std::size_t>(rank)] = kernel_dot(kp, la.data(), lb.data());
         return;
       }
     }
@@ -99,6 +96,21 @@ i64 count_section(const DistributedArray<T>& arr, const RegularSection& sec, Pre
   exec.run([&](i64 rank) {
     auto local = arr.local(rank);
     i64 c = 0;
+    if (!sec.empty() && arr.packed_layout_or_null(rank) == nullptr) {
+      CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                          sec.last() < arr.size(),
+                      "section must lie within the array");
+      // Counting is order-free, so every kernel class applies regardless of
+      // the section's traversal direction.
+      const KernelPlan kp = compile_kernel(owned_plan(arr, sec, rank));
+      if (kp.bulk()) {
+        kernel_for_each_local(kp, [&](i64 addr) {
+          if (pred(local[static_cast<std::size_t>(addr)])) ++c;
+        });
+        partial[static_cast<std::size_t>(rank)] = c;
+        return;
+      }
+    }
     for_each_owned(arr, sec, rank, [&](i64, i64 addr) {
       if (pred(local[static_cast<std::size_t>(addr)])) ++c;
     });

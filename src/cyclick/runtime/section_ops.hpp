@@ -25,9 +25,10 @@
 
 namespace cyclick {
 
-/// A(sec) = value, executed SPMD. When the engine classifies the section
-/// as contiguous (unit stride, identity alignment) each owned block run is
-/// one std::fill_n instead of an element walk.
+/// A(sec) = value, executed SPMD. Identity-aligned sections run through the
+/// compiled kernel for the section's class: contiguous spans are one
+/// std::fill_n, strided and periodic-gap shapes replay their offset
+/// kernels (core/kernels.hpp) instead of an element-at-a-time table walk.
 template <typename T>
 void fill_section(DistributedArray<T>& arr, const RegularSection& sec, const T& value,
                   const SpmdExecutor& exec) {
@@ -38,11 +39,9 @@ void fill_section(DistributedArray<T>& arr, const RegularSection& sec, const T& 
       CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
                           sec.last() < arr.size(),
                       "section must lie within the array");
-      const SectionPlan plan = owned_plan(arr, sec, rank);
-      if (plan.contiguous()) {
-        plan.for_each_run([&](i64, i64 l0, i64 len) {
-          std::fill_n(local.data() + l0, static_cast<std::size_t>(len), value);
-        });
+      const KernelPlan kp = compile_kernel(owned_plan(arr, sec, rank));
+      if (kp.bulk()) {
+        kernel_fill(kp, local.data(), value);
         return;
       }
     }
@@ -51,13 +50,28 @@ void fill_section(DistributedArray<T>& arr, const RegularSection& sec, const T& 
   });
 }
 
-/// A(sec) = f(A(sec)) elementwise, executed SPMD.
+/// A(sec) = f(A(sec)) elementwise, executed SPMD. Elementwise updates are
+/// order-free, so identity-aligned sections replay the compiled kernel's
+/// ascending address stream.
 template <typename T, typename F>
 void transform_section(DistributedArray<T>& arr, const RegularSection& sec, F&& f,
                        const SpmdExecutor& exec) {
   CYCLICK_REQUIRE(exec.ranks() == arr.dist().procs(), "executor/array rank mismatch");
   exec.run([&](i64 rank) {
     auto local = arr.local(rank);
+    if (!sec.empty() && arr.packed_layout_or_null(rank) == nullptr) {
+      CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                          sec.last() < arr.size(),
+                      "section must lie within the array");
+      const KernelPlan kp = compile_kernel(owned_plan(arr, sec, rank));
+      if (kp.bulk()) {
+        kernel_for_each_local(kp, [&](i64 la) {
+          auto& slot = local[static_cast<std::size_t>(la)];
+          slot = f(slot);
+        });
+        return;
+      }
+    }
     for_each_owned(arr, sec, rank, [&](i64, i64 la) {
       auto& slot = local[static_cast<std::size_t>(la)];
       slot = f(slot);
@@ -76,7 +90,7 @@ T reduce_section(const DistributedArray<T>& arr, const RegularSection& sec, T in
   std::vector<char> seen(static_cast<std::size_t>(exec.ranks()), 0);
   exec.run([&](i64 rank) {
     auto local = arr.local(rank);
-    for_each_owned(arr, sec, rank, [&](i64, i64 la) {
+    const auto fold = [&](i64 la) {
       const T& v = local[static_cast<std::size_t>(la)];
       auto& acc = partial[static_cast<std::size_t>(rank)];
       if (!seen[static_cast<std::size_t>(rank)]) {
@@ -85,7 +99,21 @@ T reduce_section(const DistributedArray<T>& arr, const RegularSection& sec, T in
       } else {
         acc = op(acc, v);
       }
-    });
+    };
+    // Kernel replay is ascending-only, so gate on stride > 0 to keep the
+    // per-rank fold order identical to the traversal order (op need not be
+    // commutative).
+    if (!sec.empty() && sec.stride > 0 && arr.packed_layout_or_null(rank) == nullptr) {
+      CYCLICK_REQUIRE(sec.lower >= 0 && sec.lower < arr.size() && sec.last() >= 0 &&
+                          sec.last() < arr.size(),
+                      "section must lie within the array");
+      const KernelPlan kp = compile_kernel(owned_plan(arr, sec, rank));
+      if (kp.bulk()) {
+        kernel_for_each_local(kp, fold);
+        return;
+      }
+    }
+    for_each_owned(arr, sec, rank, [&](i64, i64 la) { fold(la); });
   });
   T out = init;
   for (i64 r = 0; r < exec.ranks(); ++r)
@@ -116,11 +144,9 @@ void copy_section(const DistributedArray<T>& src, const RegularSection& ssec,
         CYCLICK_REQUIRE(dsec.lower >= 0 && dsec.lower < dst.size() && dsec.last() >= 0 &&
                             dsec.last() < dst.size(),
                         "section must lie within the array");
-        const SectionPlan plan = owned_plan(dst, dsec, rank);
-        if (plan.contiguous()) {
-          plan.for_each_run([&](i64, i64 l0, i64 len) {
-            std::copy_n(in.data() + l0, static_cast<std::size_t>(len), out.data() + l0);
-          });
+        const KernelPlan kp = compile_kernel(owned_plan(dst, dsec, rank));
+        if (kp.bulk()) {
+          kernel_copy_same(kp, in.data(), out.data());
           return;
         }
       }

@@ -216,7 +216,8 @@ int main(int argc, char** argv) {
     const BlockCyclic dist(opt.p, opt.k);
     if (show_strategy)
       std::cout << "dispatch: "
-                << address_strategy_name(AddressEngine::classify(dist, opt.s)) << " (p="
+                << address_strategy_name(AddressEngine::classify(dist, opt.s))
+                << ", kernel: " << kernel_class_name(kernel_class_for(dist, opt.s)) << " (p="
                 << opt.p << ", k=" << opt.k << ", s=" << opt.s << ")\n";
     int rc = 2;
     if (cmd == "table") rc = cmd_table(dist, opt);
