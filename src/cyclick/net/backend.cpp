@@ -1,0 +1,32 @@
+#include "cyclick/net/backend.hpp"
+
+#include <cstdlib>
+
+namespace cyclick::net {
+
+const char* backend_name(Backend b) noexcept {
+  return b == Backend::kProc ? "proc" : "inproc";
+}
+
+std::optional<Backend> parse_backend_name(std::string_view name) noexcept {
+  if (name == "inproc") return Backend::kInProc;
+  if (name == "proc") return Backend::kProc;
+  return std::nullopt;
+}
+
+bool parse_backend_flag(std::string_view arg, Backend& out) {
+  constexpr std::string_view prefix = "--backend=";
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  const auto parsed = parse_backend_name(arg.substr(prefix.size()));
+  CYCLICK_REQUIRE(parsed.has_value(), "--backend must be one of: inproc, proc");
+  out = *parsed;
+  return true;
+}
+
+Backend backend_from_env(Backend fallback) {
+  const char* env = std::getenv("CYCLICK_BACKEND");
+  if (env == nullptr || *env == '\0') return fallback;
+  return parse_backend_name(env).value_or(fallback);
+}
+
+}  // namespace cyclick::net

@@ -1,0 +1,33 @@
+// Execution-backend selection shared by the CLI tools: `inproc` (the
+// single-process transport simulation) or `proc` (one OS process per rank
+// over the socket transport). Tools accept --backend=inproc|proc; the
+// CYCLICK_BACKEND environment variable supplies the default so whole test
+// suites can be flipped without touching command lines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::net {
+
+enum class Backend {
+  kInProc,  ///< shared-address-space machine (InProcessTransport)
+  kProc,    ///< one OS process per rank (SocketTransport + launcher)
+};
+
+[[nodiscard]] const char* backend_name(Backend b) noexcept;
+
+/// "inproc" or "proc" (case-sensitive); nullopt otherwise.
+[[nodiscard]] std::optional<Backend> parse_backend_name(std::string_view name) noexcept;
+
+/// True when `arg` is --backend=<name> (folded into `out`). Throws
+/// precondition_error on an unknown backend name.
+bool parse_backend_flag(std::string_view arg, Backend& out);
+
+/// CYCLICK_BACKEND when set and valid, else `fallback`.
+[[nodiscard]] Backend backend_from_env(Backend fallback);
+
+}  // namespace cyclick::net

@@ -1,0 +1,194 @@
+#include "cyclick/net/launcher.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::net {
+
+namespace {
+
+[[nodiscard]] i64 now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void remove_tree(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+ProcessGroup::ProcessGroup(i64 world) : world_(world) {
+  CYCLICK_REQUIRE(world >= 1, "process group needs at least one rank");
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+                     "/cyclick-net-XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr)
+    throw TransportError(std::string("mkdtemp for rendezvous dir failed: ") +
+                         std::strerror(errno));
+  dir_ = tmpl;
+}
+
+ProcessGroup::~ProcessGroup() {
+  kill_remaining(SIGKILL);
+  for (std::size_t r = 0; r < pids_.size(); ++r) {
+    if (pids_[r] < 0) continue;
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pids_[r]), &status, 0);
+    pids_[r] = -1;
+  }
+  remove_tree(dir_);
+}
+
+void ProcessGroup::spawn(const std::function<int(i64)>& fn) {
+  CYCLICK_REQUIRE(pids_.empty(), "process group already spawned");
+  pids_.assign(static_cast<std::size_t>(world_), -1);
+  for (i64 r = 0; r < world_; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      kill_remaining(SIGKILL);
+      throw TransportError(std::string("fork failed: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: run the rank function and leave via _exit so the parent's
+      // atexit handlers and stdio buffers are never replayed.
+      int code = 1;
+      try {
+        code = fn(r);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "rank %lld: uncaught exception: %s\n",
+                     static_cast<long long>(r), e.what());
+      } catch (...) {
+        std::fprintf(stderr, "rank %lld: uncaught non-standard exception\n",
+                     static_cast<long long>(r));
+      }
+      std::fflush(nullptr);
+      ::_exit(code);
+    }
+    pids_[static_cast<std::size_t>(r)] = pid;
+  }
+}
+
+void ProcessGroup::spawn_exec(const std::vector<std::string>& argv) {
+  CYCLICK_REQUIRE(!argv.empty(), "spawn_exec needs an argv");
+  spawn([&argv, this](i64 r) -> int {
+    ::setenv(kRankEnv, std::to_string(r).c_str(), 1);
+    ::setenv(kWorldEnv, std::to_string(world_).c_str(), 1);
+    ::setenv(kNetDirEnv, dir_.c_str(), 1);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    // Prefer the concrete binary over a PATH search: the launcher re-runs
+    // exactly the image that is already executing.
+    ::execv("/proc/self/exe", cargv.data());
+    ::execvp(argv[0].c_str(), cargv.data());
+    std::fprintf(stderr, "rank %lld: exec %s failed: %s\n", static_cast<long long>(r),
+                 argv[0].c_str(), std::strerror(errno));
+    return 127;
+  });
+}
+
+std::vector<ExitStatus> ProcessGroup::wait_all(i64 timeout_ms) {
+  std::vector<ExitStatus> statuses(pids_.size());
+  for (std::size_t r = 0; r < pids_.size(); ++r) statuses[r].rank = static_cast<i64>(r);
+
+  const i64 deadline = timeout_ms > 0 ? now_ms() + timeout_ms : 0;
+  bool killed = false;
+  std::size_t remaining = 0;
+  for (const i64 pid : pids_)
+    if (pid >= 0) ++remaining;
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t r = 0; r < pids_.size(); ++r) {
+      if (pids_[r] < 0) continue;
+      int status = 0;
+      const pid_t w = ::waitpid(static_cast<pid_t>(pids_[r]), &status, WNOHANG);
+      if (w == 0) continue;
+      progressed = true;
+      --remaining;
+      pids_[r] = -1;
+      if (w < 0) {
+        statuses[r].exit_code = 255;  // lost track of the child entirely
+        continue;
+      }
+      if (WIFEXITED(status)) {
+        statuses[r].exit_code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        statuses[r].signal = WTERMSIG(status);
+      }
+    }
+    if (remaining == 0) break;
+    if (!progressed) {
+      if (deadline > 0 && now_ms() >= deadline && !killed) {
+        // A hung world (deadlocked channel, wedged rank): kill stragglers
+        // so the failure is a reported signal, not a hung parent.
+        kill_remaining(SIGTERM);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        kill_remaining(SIGKILL);
+        killed = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return statuses;
+}
+
+void ProcessGroup::kill_remaining(int sig) {
+  for (const i64 pid : pids_)
+    if (pid >= 0) ::kill(static_cast<pid_t>(pid), sig);
+}
+
+std::string describe_failures(const std::vector<ExitStatus>& statuses) {
+  std::string out;
+  for (const ExitStatus& st : statuses) {
+    if (st.ok()) continue;
+    out += "rank " + std::to_string(st.rank);
+    if (st.signal != 0)
+      out += " killed by signal " + std::to_string(st.signal);
+    else
+      out += " exited with code " + std::to_string(st.exit_code);
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<i64> rank_from_env() {
+  const char* env = std::getenv(kRankEnv);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return static_cast<i64>(std::atoll(env));
+}
+
+i64 world_from_env(i64 fallback) {
+  const char* env = std::getenv(kWorldEnv);
+  if (env == nullptr || *env == '\0') return fallback;
+  return static_cast<i64>(std::atoll(env));
+}
+
+std::string net_dir_from_env() {
+  const char* env = std::getenv(kNetDirEnv);
+  return env != nullptr ? env : "";
+}
+
+}  // namespace cyclick::net

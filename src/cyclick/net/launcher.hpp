@@ -1,0 +1,82 @@
+// Rank launcher for the multi-process backend: forks one OS process per
+// rank, hands each a rendezvous directory for the socket mesh, waits for
+// the world to finish, and aggregates exit codes. Children either run a
+// caller-supplied function (spawn) or re-exec the current binary with
+// CYCLICK_RANK / CYCLICK_WORLD / CYCLICK_NET_DIR set (spawn_exec) so any
+// tool can become rank-aware by checking rank_from_env() at startup.
+//
+// Failure handling: wait_all reaps every child; once the deadline passes
+// (or a child already failed and the rest would block forever on its
+// channels), stragglers are killed (SIGTERM, then SIGKILL) rather than
+// orphaned, and each rank's exit code / fatal signal is reported. The
+// destructor is a last-resort reaper for groups that were never waited.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::net {
+
+/// Environment variables the launcher sets for exec'd rank processes.
+inline constexpr const char* kRankEnv = "CYCLICK_RANK";
+inline constexpr const char* kWorldEnv = "CYCLICK_WORLD";
+inline constexpr const char* kNetDirEnv = "CYCLICK_NET_DIR";
+
+/// One rank process's fate.
+struct ExitStatus {
+  i64 rank = -1;
+  int exit_code = -1;  ///< valid when signal == 0
+  int signal = 0;      ///< nonzero when the child died on a signal
+  [[nodiscard]] bool ok() const noexcept { return signal == 0 && exit_code == 0; }
+};
+
+class ProcessGroup {
+ public:
+  /// Creates a fresh rendezvous directory under TMPDIR.
+  explicit ProcessGroup(i64 world);
+  ~ProcessGroup();  ///< kills and reaps any still-running children, removes the dir
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  [[nodiscard]] i64 world() const noexcept { return world_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Fork one child per rank; each runs fn(rank) and _exits with its
+  /// return value (or 1 on an uncaught exception, which is printed to
+  /// stderr). Call before creating any threads in the parent.
+  void spawn(const std::function<int(i64)>& fn);
+
+  /// Fork+exec `argv` (argv[0] resolved via /proc/self/exe when it is this
+  /// binary's name) once per rank with the rank/world/net-dir environment
+  /// set.
+  void spawn_exec(const std::vector<std::string>& argv);
+
+  /// Wait for every child. Children still running when the deadline
+  /// passes (timeout_ms > 0) are killed — SIGTERM, then SIGKILL — so a
+  /// wedged world reports per-rank signals instead of hanging the parent.
+  /// Returns one status per rank.
+  std::vector<ExitStatus> wait_all(i64 timeout_ms = 30000);
+
+ private:
+  void kill_remaining(int sig);
+
+  i64 world_;
+  std::string dir_;
+  std::vector<i64> pids_;  ///< -1 once reaped
+};
+
+/// Render a failed world's statuses as one diagnostic line per bad rank.
+[[nodiscard]] std::string describe_failures(const std::vector<ExitStatus>& statuses);
+
+/// CYCLICK_RANK if set: this process is a spawned rank.
+[[nodiscard]] std::optional<i64> rank_from_env();
+/// CYCLICK_WORLD, or `fallback` when unset.
+[[nodiscard]] i64 world_from_env(i64 fallback);
+/// CYCLICK_NET_DIR ("" when unset).
+[[nodiscard]] std::string net_dir_from_env();
+
+}  // namespace cyclick::net

@@ -1,0 +1,133 @@
+#include "cyclick/net/socket.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    throw TransportError("socket path too long for sun_path: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+[[nodiscard]] i64 now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd unix_listen(const std::string& path, int backlog) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket() for listener " + path);
+  ::unlink(path.c_str());  // stale socket file from a crashed run
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("bind(" + path + ")");
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen(" + path + ")");
+  return fd;
+}
+
+Fd unix_accept(const Fd& listener, i64 timeout_ms) {
+  if (timeout_ms > 0) {
+    pollfd pfd{listener.get(), POLLIN, 0};
+    const int r = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (r < 0) throw_errno("poll() on listener");
+    if (r == 0)
+      throw TransportError("rendezvous timeout: no peer connected within " +
+                           std::to_string(timeout_ms) + " ms");
+  }
+  Fd fd(::accept(listener.get(), nullptr, nullptr));
+  if (!fd.valid()) throw_errno("accept()");
+  return fd;
+}
+
+Fd unix_connect_retry(const std::string& path, i64 timeout_ms, i64 backoff_ms,
+                      i64 obs_rank) {
+  const i64 deadline = now_ms() + (timeout_ms > 0 ? timeout_ms : 10000);
+  i64 delay = backoff_ms > 0 ? backoff_ms : 1;
+  for (;;) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket() for connect to " + path);
+    const sockaddr_un addr = make_addr(path);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    // The peer's listener may simply not exist yet (rendezvous race) —
+    // those errnos are retryable; anything else is a hard failure.
+    if (errno != ENOENT && errno != ECONNREFUSED && errno != EAGAIN)
+      throw_errno("connect(" + path + ")");
+    if (now_ms() >= deadline)
+      throw TransportError("connect to " + path + " timed out after " +
+                           std::to_string(timeout_ms) + " ms (" + std::strerror(errno) +
+                           "); peer rank never started listening?");
+    CYCLICK_COUNT("net.retries", obs_rank, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    delay = std::min<i64>(delay * 2, 100);
+  }
+}
+
+std::pair<Fd, Fd> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) throw_errno("socketpair()");
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void write_fully(int fd, const std::byte* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send() of " + std::to_string(n) + " bytes");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+bool read_fully(int fd, std::byte* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, data + done, n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv() of " + std::to_string(n) + " bytes");
+    }
+    if (r == 0) {
+      if (done == 0) return false;  // clean EOF on a frame boundary
+      throw TransportError("peer closed mid-frame (" + std::to_string(done) + " of " +
+                           std::to_string(n) + " bytes read)");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace cyclick::net

@@ -1,0 +1,78 @@
+// Thin RAII layer over Unix-domain stream sockets: listeners, blocking
+// connect with retry/backoff (rendezvous peers race each other to start
+// listening), and full-buffer read/write loops that absorb EINTR and
+// partial transfers. Everything reports failure as TransportError with
+// errno text; nothing here knows about ranks or framing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::net {
+
+/// Owning file descriptor. Movable, closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+  /// Release ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a Unix-domain stream listener bound to `path` (unlinked first if
+/// a stale socket file exists). `backlog` pending connections are queued by
+/// the kernel, so peers may connect before the owner calls accept.
+[[nodiscard]] Fd unix_listen(const std::string& path, int backlog);
+
+/// Accept one connection; blocks up to `timeout_ms` (<= 0: forever).
+/// Throws TransportError on timeout or error.
+[[nodiscard]] Fd unix_accept(const Fd& listener, i64 timeout_ms);
+
+/// Connect to `path`, retrying with exponential backoff (starting at
+/// `backoff_ms`, capped at 100 ms) while the listener does not exist yet or
+/// refuses, up to `timeout_ms` total. Each retry is counted into the
+/// `net.retries` telemetry counter under `obs_rank`. Throws TransportError
+/// when the budget is exhausted.
+[[nodiscard]] Fd unix_connect_retry(const std::string& path, i64 timeout_ms,
+                                    i64 backoff_ms, i64 obs_rank);
+
+/// Connected AF_UNIX stream pair (the loopback mesh's "wire").
+[[nodiscard]] std::pair<Fd, Fd> socket_pair();
+
+/// Write exactly `n` bytes (loops over partial writes and EINTR; sends with
+/// MSG_NOSIGNAL so a dead peer surfaces as an error, not SIGPIPE). Throws
+/// TransportError on failure.
+void write_fully(int fd, const std::byte* data, std::size_t n);
+
+/// Read exactly `n` bytes. Returns false on clean EOF *before the first
+/// byte*; throws TransportError on errors or EOF mid-buffer (a truncated
+/// frame).
+[[nodiscard]] bool read_fully(int fd, std::byte* data, std::size_t n);
+
+}  // namespace cyclick::net

@@ -1,0 +1,105 @@
+// Socket-backed Transport: per-channel FIFO messaging over Unix-domain
+// stream sockets with the wire.hpp framing.
+//
+// Topology. A SocketTransport owns one *endpoint* per rank that is local
+// to the calling process:
+//
+//   - loopback_mesh(world): every rank is local; endpoints are joined by a
+//     socketpair per rank pair. Same address space as InProcessTransport,
+//     but every message crosses a real kernel socket, the framing layer,
+//     and the reader threads — the conformance configuration.
+//   - connect_mesh(rank, world, dir): exactly one rank is local; peers are
+//     other OS processes reached through Unix sockets rendezvoused in
+//     `dir` (each rank listens on dir/rank-<r>.sock, connects to all lower
+//     ranks with retry/backoff, accepts from all higher ranks, and
+//     identifies itself with a hello frame) — the multi-process backend.
+//
+// Threads. Each endpoint runs a writer thread (drains a FIFO outbox, so
+// send() never blocks the SPMD rank even when the kernel socket buffer is
+// full) and a reader thread (polls all peer sockets, reassembles frames,
+// validates header + checksum, and demultiplexes into per-sender inboxes).
+// Per-channel FIFO order holds end to end: the sender's outbox preserves
+// enqueue order and a stream socket preserves byte order.
+//
+// Failure semantics. recv() converts every failure mode into a
+// TransportError naming the channel: a deadline expiry (recv_timeout_ms,
+// default CYCLICK_RECV_TIMEOUT_MS), a peer that closed or died (EOF with
+// an empty queue), and checksum or protocol violations (the frame is
+// rejected, never delivered). send() to a peer whose connection already
+// failed throws likewise. Telemetry: net.messages / net.bytes /
+// net.retries / net.checksum_errors counters and net.connect /
+// net.recv_wait spans.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cyclick/net/socket.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::net {
+
+class SocketTransport final : public Transport {
+ public:
+  struct Options {
+    i64 recv_timeout_ms = 0;      ///< <= 0: block forever
+    i64 connect_timeout_ms = 10000;
+    i64 connect_backoff_ms = 1;   ///< initial retry backoff (doubles, cap 100)
+
+    /// Defaults with the recv deadline taken from CYCLICK_RECV_TIMEOUT_MS.
+    [[nodiscard]] static Options from_env() {
+      Options o;
+      o.recv_timeout_ms = recv_timeout_ms_from_env();
+      return o;
+    }
+  };
+
+  /// All `world` ranks local to this process, joined by socketpairs.
+  [[nodiscard]] static std::unique_ptr<SocketTransport> loopback_mesh(
+      i64 world, Options opts = Options::from_env());
+
+  /// One local rank of a `world`-process machine; peers rendezvous through
+  /// Unix sockets in `dir`. Blocks until the full mesh is connected.
+  [[nodiscard]] static std::unique_ptr<SocketTransport> connect_mesh(
+      i64 rank, i64 world, const std::string& dir, Options opts = Options::from_env());
+
+  ~SocketTransport() override;
+
+  [[nodiscard]] i64 ranks() const override { return world_; }
+  void send(i64 from, i64 to, std::vector<std::byte> payload) override;
+  std::vector<std::byte> recv(i64 to, i64 from) override;
+  [[nodiscard]] bool ready(i64 to, i64 from) override;
+
+  /// True when `rank`'s endpoint lives in this process (its channels may
+  /// be used as `from` in send / `to` in recv).
+  [[nodiscard]] bool is_local(i64 rank) const;
+
+  /// Cumulative delivered traffic on channel (from -> to); `to` must be
+  /// local. Counts accrue only while telemetry is enabled (parity with
+  /// InProcessTransport::channel_stats).
+  [[nodiscard]] ChannelStats channel_stats(i64 from, i64 to);
+
+ private:
+  struct Inbox;
+  struct Endpoint;
+
+  explicit SocketTransport(i64 world, Options opts);
+
+  Endpoint& endpoint_for(i64 rank, const char* role);
+  void start_endpoint_threads();
+  void writer_loop(Endpoint& ep);
+  void reader_loop(Endpoint& ep);
+  void deliver(Endpoint& ep, i64 from, std::vector<std::byte> payload);
+  void fail_channel(Endpoint& ep, i64 from, const std::string& error);
+
+  i64 world_;
+  Options opts_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;  ///< [world]; null if remote
+};
+
+}  // namespace cyclick::net

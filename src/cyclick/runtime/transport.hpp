@@ -14,10 +14,14 @@
 #pragma once
 
 #include <condition_variable>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cyclick/obs/metrics.hpp"
@@ -31,6 +35,32 @@ struct ChannelStats {
   i64 messages = 0;
   i64 bytes = 0;
 };
+
+/// Error thrown when message delivery fails or cannot complete: a recv
+/// deadline expired, a peer closed its end mid-protocol, a frame failed
+/// checksum or protocol validation, or a connection could not be
+/// established. The message always names the channel (from->to) involved
+/// so a stuck exchange is diagnosable instead of a silent hang.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Deadline for blocking receives, in milliseconds; <= 0 means block
+/// forever. The default for every transport comes from the environment
+/// (CYCLICK_RECV_TIMEOUT_MS), so a deadlocked run can be re-run with a
+/// deadline and fail fast with the stuck channel named.
+[[nodiscard]] inline i64 recv_timeout_ms_from_env() {
+  const char* env = std::getenv("CYCLICK_RECV_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<i64>(std::atoll(env));
+}
+
+[[noreturn]] inline void throw_recv_timeout(i64 from, i64 to, i64 timeout_ms) {
+  throw TransportError("recv timeout on channel " + std::to_string(from) + "->" +
+                       std::to_string(to) + " after " + std::to_string(timeout_ms) +
+                       " ms (no matching send; set CYCLICK_RECV_TIMEOUT_MS=0 to block)");
+}
 
 /// Abstract point-to-point byte transport with per-channel FIFO order.
 class Transport {
@@ -49,10 +79,14 @@ class Transport {
   [[nodiscard]] virtual bool ready(i64 to, i64 from) = 0;
 };
 
-/// In-process transport: a mutex-protected deque per channel.
+/// In-process transport: a mutex-protected deque per channel. An optional
+/// recv deadline (default: CYCLICK_RECV_TIMEOUT_MS, off when unset)
+/// converts a deadlocked blocking receive into a TransportError naming the
+/// stuck channel.
 class InProcessTransport final : public Transport {
  public:
-  explicit InProcessTransport(i64 ranks) : ranks_(ranks) {
+  explicit InProcessTransport(i64 ranks, i64 recv_timeout_ms = recv_timeout_ms_from_env())
+      : ranks_(ranks), recv_timeout_ms_(recv_timeout_ms) {
     CYCLICK_REQUIRE(ranks >= 1, "transport needs at least one rank");
     channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks * ranks));
   }
@@ -80,7 +114,13 @@ class InProcessTransport final : public Transport {
   std::vector<std::byte> recv(i64 to, i64 from) override {
     Channel& ch = channel(from, to);
     std::unique_lock<std::mutex> lock(ch.mu);
-    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    if (recv_timeout_ms_ > 0) {
+      if (!ch.cv.wait_for(lock, std::chrono::milliseconds(recv_timeout_ms_),
+                          [&] { return !ch.queue.empty(); }))
+        throw_recv_timeout(from, to, recv_timeout_ms_);
+    } else {
+      ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    }
     std::vector<std::byte> payload = std::move(ch.queue.front());
     ch.queue.pop_front();
     return payload;
@@ -125,8 +165,29 @@ class InProcessTransport final : public Transport {
   }
 
   i64 ranks_;
+  i64 recv_timeout_ms_;
   std::vector<Channel> channels_;
 };
+
+/// Identity of the calling OS process within a multi-process SPMD machine,
+/// plus the transport its rank owns. Inactive (no transport) in ordinary
+/// single-process runs. The rank launcher (net/launcher) installs one in
+/// every spawned rank process; the comm-plan executor consults it to route
+/// this rank's share of each copy over the wire (see
+/// execute_copy_plan_replicated). Not thread-safe to mutate concurrently
+/// with SPMD phases — set it once at process startup.
+struct ProcessContext {
+  i64 rank = -1;                  ///< this process's rank id
+  i64 world = 0;                  ///< total rank processes in the machine
+  Transport* transport = nullptr; ///< this rank's endpoint (owned elsewhere)
+  [[nodiscard]] bool active() const noexcept { return transport != nullptr; }
+};
+
+/// The process-wide context (mutable; default-inactive).
+[[nodiscard]] inline ProcessContext& process_context() {
+  static ProcessContext ctx;
+  return ctx;
+}
 
 /// Typed convenience: send a span of trivially copyable values.
 template <typename T>
