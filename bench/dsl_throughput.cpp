@@ -1,0 +1,135 @@
+// End-to-end DSL statement throughput: the same relaxation programs driven
+// through the tree-walking interpreter tier and the bytecode tier, timed
+// over full `repeat` sweeps. This measures what the bytecode tier exists
+// for — amortizing per-statement lowering (plan resolution, temp shaping,
+// kernel selection) across loop iterations and fusing the interpreter's
+// multi-pass arithmetic into single-pass superinstructions.
+//
+// Two programs, both 1-D so the bytecode tier compiles every statement:
+//   jacobi   3-point average ping-pong (the paper's relaxation shape)
+//   heat2d   4-point average over a row-flattened 2-D grid (stencil
+//            neighbors at +-1 and +-W in the flat index space)
+//
+// `--json` writes BENCH_dsl_throughput.json; the CI perf-smoke gate asserts
+// bytecode/interp speedup >= 2x on both programs.
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "cyclick/compiler/interp.hpp"
+
+namespace {
+
+using namespace cyclick;
+using namespace cyclick::bench;
+
+struct Workload {
+  const char* name;
+  std::string prologue;  // declarations + initialization, run once
+  std::string sweep;     // one relaxation sweep (two statements)
+};
+
+Workload jacobi(i64 n) {
+  std::ostringstream pro, sweep;
+  pro << "processors P(4)\n"
+      << "template T(" << n << ")\n"
+      << "distribute T onto P cyclic(64)\n"
+      << "array U(" << n << ") align with T(i)\n"
+      << "array V(" << n << ") align with T(i)\n"
+      << "forall (i = 0:" << n - 1 << ") U(i) = i * (" << n - 1 << " - i)\n"
+      << "V(0:" << n - 1 << ") = 0\n";
+  sweep << "V(1:" << n - 2 << ") = (U(0:" << n - 3 << ") + U(2:" << n - 1 << ")) / 2\n"
+        << "U(1:" << n - 2 << ") = V(1:" << n - 2 << ")\n";
+  return {"jacobi", pro.str(), sweep.str()};
+}
+
+Workload heat2d_flat(i64 w, i64 rows) {
+  const i64 n = w * rows;
+  const i64 lo = w, hi = n - w - 1;  // interior rows of the flattened grid
+  std::ostringstream pro, sweep;
+  pro << "processors P(4)\n"
+      << "template T(" << n << ")\n"
+      << "distribute T onto P cyclic(64)\n"
+      << "array U(" << n << ") align with T(i)\n"
+      << "array V(" << n << ") align with T(i)\n"
+      << "U(0:" << n - 1 << ") = 0\n"
+      << "U(0:" << w - 1 << ") = 100\n"
+      << "V(0:" << n - 1 << ") = 0\n";
+  sweep << "V(" << lo << ":" << hi << ") = (U(" << lo - 1 << ":" << hi - 1 << ") + U("
+        << lo + 1 << ":" << hi + 1 << ") + U(" << lo - w << ":" << hi - w << ") + U("
+        << lo + w << ":" << hi + w << ")) / 4\n"
+        << "U(" << lo << ":" << hi << ") = V(" << lo << ":" << hi << ")\n";
+  return {"heat2d", pro.str(), sweep.str()};
+}
+
+/// Run `sweeps` relaxation sweeps under `tier`, returning the best-of-
+/// `repeats` wall time in microseconds (one parse of the repeat block is
+/// included; it is identical work for both tiers and negligible against
+/// the array traffic).
+double time_tier(const Workload& wl, dsl::Tier tier, i64 sweeps, int repeats) {
+  dsl::Machine machine;
+  machine.set_tier(tier);
+  machine.run_source(wl.prologue);
+  std::ostringstream loop;
+  loop << "repeat " << sweeps << "\n" << wl.sweep << "end\n";
+  const std::string loop_src = loop.str();
+  machine.run_source(loop_src);  // warm plan/program caches before timing
+  return time_best_us(repeats, [&] { machine.run_source(loop_src); });
+}
+
+/// Correctness gate: both tiers must leave byte-identical global images.
+bool verify(const Workload& wl, i64 sweeps) {
+  dsl::Machine mi, mb;
+  mi.set_tier(dsl::Tier::kInterp);
+  mb.set_tier(dsl::Tier::kBytecode);
+  std::ostringstream loop;
+  loop << "repeat " << sweeps << "\n" << wl.sweep << "end\n";
+  const std::string program = wl.prologue + loop.str();
+  mi.run_source(program);
+  mb.run_source(program);
+  return mi.global_image("U") == mb.global_image("U") &&
+         mi.global_image("V") == mb.global_image("V");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  const bool json = want_json(argc, argv);
+  const obs::CliOptions obs_opt = obs_options(argc, argv);
+  const int repeats = 5;
+  const i64 n = 16384;
+  const i64 sweeps = 50;
+
+  const Workload workloads[] = {jacobi(n), heat2d_flat(128, n / 128)};
+
+  std::cout << "DSL statement throughput: interpreter tier vs bytecode tier\n"
+            << "(n=" << n << ", " << sweeps << " sweeps per run, best of " << repeats
+            << ")\n\n";
+
+  TextTable table({"program", "n", "sweeps", "interp_us", "bytecode_us", "per_sweep_us",
+                   "speedup"});
+  bool ok = true;
+  for (const Workload& wl : workloads) {
+    if (!verify(wl, 3)) {
+      std::cerr << "VERIFICATION FAILED: tiers disagree on " << wl.name << "\n";
+      ok = false;
+      continue;
+    }
+    const double interp_us = time_tier(wl, dsl::Tier::kInterp, sweeps, repeats);
+    const double bytecode_us = time_tier(wl, dsl::Tier::kBytecode, sweeps, repeats);
+    table.add_row({wl.name, TextTable::num(n), TextTable::num(sweeps),
+                   TextTable::fixed(interp_us, 1), TextTable::fixed(bytecode_us, 1),
+                   TextTable::fixed(bytecode_us / static_cast<double>(sweeps), 2),
+                   TextTable::fixed(interp_us / bytecode_us, 2)});
+  }
+
+  emit(table, csv);
+  if (json) {
+    JsonWriter w("BENCH_dsl_throughput.json");
+    w.add_table("dsl_throughput", table);
+    w.write();
+  }
+  emit_obs(obs_opt);
+  return ok ? 0 : 1;
+}

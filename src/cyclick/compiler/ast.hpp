@@ -127,8 +127,11 @@ struct PrintStmt {
 };
 
 /// explain A(l:u:s) — dump every processor's access pattern (1-D arrays).
+/// explain A(l:u:s) = expr — disassemble the bytecode program the statement
+/// compiles to (kernel classes and fusion decisions per instruction).
 struct ExplainStmt {
   SectionRef section;
+  ExprPtr value;  // null for the access-pattern form
   int line = 0;
 };
 

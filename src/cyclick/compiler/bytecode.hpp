@@ -1,0 +1,184 @@
+// Bytecode form of compiled DSL array statements: the portable program
+// representation the jit tier lowers statements into, plus the process-wide
+// statement-shape-keyed program cache.
+//
+// A compiled program is a small register machine split into three phases:
+//
+//   prelude  scalar registers — variable lookups, reductions over bare
+//            sections, scalar arithmetic. Runs once, on the control thread,
+//            before any array data moves (loop-invariant scalars are folded
+//            into sreg_init at compile time and never re-evaluated).
+//   loads    operand communication — each remote operand lands in a
+//            destination-shaped scratch array through a CommPlan resolved at
+//            compile time (shared with the interpreter's PlanCache).
+//   lanes    the per-rank dense phase — every rank materializes its owned
+//            elements of the statement section as contiguous "lane" vectors
+//            (zero-copy aliases of the local span when the destination
+//            kernel class is a single dense run) and applies straight-line
+//            arithmetic, ending in a store / masked store / reduction fold.
+//
+// Fused superinstructions (kMulAddVSV, kAddDivVVS, kMulAddVSS, ...) collapse
+// the interpreter's separate transform+combine passes into one loop without
+// changing the per-element operation sequence, so results stay bit-identical
+// with the interpreter tier.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclick/core/engine.hpp"
+#include "cyclick/core/kernels.hpp"
+#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::dsl {
+// Narrow register / operand-index types used by the bytecode tier.
+using u8 = std::uint8_t;
+using i32 = std::int32_t;
+}  // namespace cyclick::dsl
+
+namespace cyclick::dsl::bc {
+
+enum class Op : u8 {
+  // scalar prelude
+  kScalarVar,   ///< s[a] = value of scalar variable operands[aux]
+  kReduceSec,   ///< s[a] = reduce_section over operands[aux]; b = Reduce code
+  kScalarNeg,   ///< s[a] = -s[a]
+  kScalarBin,   ///< s[a] = s[b] <x> s[c]
+  // operand loads
+  kLoadSection,  ///< scratch[a] = plan copy of operands[aux]
+  kLoadShift,    ///< scratch[a] = plan copy of cshift/eoshift(operands[aux])
+  // lane phase
+  kLaneDirect,   ///< l[a] = owned lanes of operands[aux] (alias when dense)
+  kLaneScratch,  ///< l[a] = owned lanes of scratch[b]   (alias when dense)
+  kLaneRamp,     ///< l[a] = forall index ramp operands[aux]
+  kLaneNeg,      ///< l[a] = -l[a]
+  kAddVV,        ///< l[a] = l[a] + l[b]
+  kSubVV,        ///< l[a] = l[a] - l[b]
+  kMulVV,        ///< l[a] = l[a] * l[b]
+  kDivVV,        ///< l[a] = l[a] / l[b]   (throws on zero element)
+  kAddVS,        ///< l[a] = l[a] + s[b]
+  kSubVS,        ///< l[a] = l[a] - s[b]
+  kMulVS,        ///< l[a] = l[a] * s[b]
+  kDivVS,        ///< l[a] = l[a] / s[b]   (throws when s[b] == 0)
+  kSubSV,        ///< l[a] = s[b] - l[a]
+  kDivSV,        ///< l[a] = s[b] / l[a]   (throws on zero element)
+  // fused superinstructions (one pass instead of two or three)
+  kMulAddVSV,  ///< l[a] = l[a]*s[b] + l[c]        (copy+axpy shape)
+  kMulSubVSV,  ///< l[a] = l[a]*s[b] - l[c]
+  kAddDivVVS,  ///< l[a] = (l[a] + l[c]) / s[b]    (stencil average shape)
+  kMulAddVSS,  ///< l[a] = l[a]*s[b] + s[c]        (fill+transform shape)
+  // terminals
+  kStoreLanes,   ///< dst owned lanes = l[a]
+  kStoreMasked,  ///< dst lanes where mask holds; a=value b=maskL c=maskR
+  kReduceLanes,  ///< s[a] = rank-ordered fold of l[b]; c = Reduce code
+  kFillDst,      ///< fill_section(dst, dsec, s[a])        (control phase)
+  kCopyDst,      ///< copy_section(operands[aux] -> dst)   (control phase)
+};
+
+[[nodiscard]] const char* op_name(Op op) noexcept;
+
+/// Reduction codes (Instr::b for kReduceSec, Instr::c for kReduceLanes).
+enum Reduce : u8 { kRedSum = 0, kRedMin = 1, kRedMax = 2 };
+
+/// Relational codes for kStoreMasked (Instr::aux).
+enum Relop : i32 { kLT = 0, kGT, kLE, kGE, kEQ, kNE };
+
+/// kStoreMasked flag bits: which inputs are scalar registers (else lanes).
+inline constexpr u8 kMaskValScalar = 1;
+inline constexpr u8 kMaskLhsScalar = 2;
+inline constexpr u8 kMaskRhsScalar = 4;
+
+/// Resolved operand: everything a load or lane-source instruction needs,
+/// including the communication plan built (and cached process-wide) at
+/// compile time. Plans depend only on array mappings, which the program
+/// cache key pins, so a cached program's plans stay valid.
+struct Operand {
+  std::string array;              // source array / scalar-variable name
+  RegularSection sec{0, 0, 1};    // source section
+  i64 shift = 0;                  // kLoadShift
+  bool circular = true;           // kLoadShift: cshift vs eoshift
+  double boundary = 0.0;          // kLoadShift: eoshift boundary value
+  i64 ramp_lower = 0;             // kLaneRamp
+  i64 ramp_stride = 1;            // kLaneRamp
+  std::shared_ptr<const CommPlan> plan;  // kLoadSection / kLoadShift
+};
+
+struct Instr {
+  Op op = Op::kStoreLanes;
+  u8 a = 0;       // destination register
+  u8 b = 0;       // source register / scratch slot / reduce code
+  u8 c = 0;       // second source register / reduce code
+  u8 flags = 0;   // kStoreMasked scalar-input bits
+  char x = 0;     // kScalarBin operator character
+  i32 aux = -1;   // operand table index, or Relop for kStoreMasked
+  i32 line = 0;   // source line for runtime diagnostics
+};
+
+struct CompiledProgram {
+  std::string target;         // array whose mapping shapes the lane phase
+  std::string scalar_target;  // nonempty for reduction programs: result var
+  RegularSection dsec{0, 0, 1};
+  i64 ranks = 0;
+  i64 lane_count = 0;  // dsec.size()
+
+  std::vector<double> sreg_init;  // compile-time-folded scalar registers
+  std::vector<Instr> prelude;
+  std::vector<Instr> loads;
+  std::vector<Instr> lanes;  // includes the terminal instruction
+  std::vector<Operand> operands;
+
+  std::vector<KernelPlan> kernels;  // per rank, dst mapping over dsec
+  std::vector<SectionPlan> plans;   // per rank (ramps, scalar-class walks)
+
+  int n_sregs = 0;
+  int n_lanes = 0;
+  int n_scratch = 0;
+  u8 store_reg = 0;        // lane register consumed by the terminal
+  u8 result_sreg = 0;      // kReduceLanes result register
+  bool store_fused = false;      // final arith op may write the dst span
+  bool lanes_may_throw = false;  // a lane instruction can raise (div by 0)
+  std::vector<std::string> notes;  // fusion decisions, for listings
+
+  /// Human-readable disassembly: per-phase instructions, per-rank kernel
+  /// classes, and the fusion decisions taken.
+  [[nodiscard]] std::string listing() const;
+};
+
+/// Process-wide LRU of compiled programs keyed by statement shape (structure
+/// + every referenced array's mapping), mirroring the PlanCache discipline.
+/// A present-but-null entry is a negative result: the statement shape was
+/// seen and declined, so repeat loops don't re-attempt compilation.
+class ProgramCache {
+ public:
+  explicit ProgramCache(std::size_t capacity = 128) : capacity_(capacity) {}
+
+  /// True when `key` is cached (out may be null: negative entry).
+  bool find(const std::string& key, std::shared_ptr<const CompiledProgram>& out);
+  void insert(const std::string& key, std::shared_ptr<const CompiledProgram> program);
+
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  static ProgramCache& global();
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const CompiledProgram>>;
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace cyclick::dsl::bc

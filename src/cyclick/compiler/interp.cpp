@@ -1,8 +1,10 @@
 #include "cyclick/compiler/interp.hpp"
 
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "cyclick/compiler/jit.hpp"
 #include "cyclick/compiler/parser.hpp"
 #include "cyclick/core/aligned.hpp"
 #include "cyclick/core/engine.hpp"
@@ -30,9 +32,64 @@ constexpr const char* stmt_label(const RepeatStmt&) { return "dsl.repeat"; }
 
 }  // namespace
 
+const SectionRef* find_reduce_anchor(const Expr& e) noexcept {
+  switch (e.kind) {
+    case Expr::Kind::kSection:
+      return &e.section;
+    case Expr::Kind::kUnaryMinus:
+      return find_reduce_anchor(*e.lhs);
+    case Expr::Kind::kBinary: {
+      const SectionRef* a = find_reduce_anchor(*e.lhs);
+      return a != nullptr ? a : find_reduce_anchor(*e.rhs);
+    }
+    default:
+      return nullptr;  // shifts and nested reductions don't pin an ordering
+  }
+}
+
+Tier tier_from_env(Tier fallback) noexcept {
+  const char* v = std::getenv("CYCLICK_TIER");
+  if (v == nullptr) return fallback;
+  const std::string_view sv(v);
+  if (sv == "interp") return Tier::kInterp;
+  if (sv == "bytecode") return Tier::kBytecode;
+  return fallback;
+}
+
+bool parse_tier_flag(const std::string& arg, Tier& out) noexcept {
+  if (arg.rfind("--tier=", 0) != 0) return false;
+  const std::string_view value(arg.c_str() + 7);
+  if (value == "interp") out = Tier::kInterp;
+  if (value == "bytecode") out = Tier::kBytecode;
+  return true;
+}
+
+const char* tier_name(Tier tier) noexcept {
+  return tier == Tier::kBytecode ? "bytecode" : "interp";
+}
+
+Machine::Machine(SpmdExecutor::Mode mode)
+    : mode_(mode), tier_(tier_from_env(Tier::kBytecode)) {}
+
+Machine::~Machine() = default;
+
+JitEngine& Machine::jit() {
+  if (!jit_) jit_ = std::make_unique<JitEngine>(*this);
+  return *jit_;
+}
+
 void Machine::run_source(std::string_view source) { run(parse(source)); }
 
 void Machine::run(const Program& program) {
+  // The const memo keys on AST node addresses; a fresh top-level run may see
+  // a different Program object at the same addresses, so only nested runs
+  // (repeat bodies — where hoisting pays off) keep their entries.
+  if (run_depth_ == 0) const_memo_.clear();
+  ++run_depth_;
+  struct Depth {
+    int& d;
+    ~Depth() { --d; }
+  } depth{run_depth_};
   for (const Statement& stmt : program.statements)
     std::visit(
         [this](const auto& s) {
@@ -41,6 +98,33 @@ void Machine::run(const Program& program) {
           exec(s);
         },
         stmt);
+}
+
+std::unique_ptr<DistributedArray<double>> Machine::acquire_temp(
+    const DistributedArray<double>& like) {
+  return acquire_temp(like.dist(), like.size(), like.alignment());
+}
+
+std::unique_ptr<DistributedArray<double>> Machine::acquire_temp(
+    const BlockCyclic& dist, i64 n, const AffineAlignment& align) {
+  for (auto it = temp_pool_.begin(); it != temp_pool_.end(); ++it) {
+    DistributedArray<double>& t = **it;
+    if (t.dist() == dist && t.size() == n && t.alignment() == align) {
+      auto out = std::move(*it);
+      temp_pool_.erase(it);
+      CYCLICK_COUNT("dsl.temp_pool_hits", 0, 1);
+      // Stale values are fine: every consumer fully writes the owned slots
+      // it later reads (plan unpacks, ramps, and shifts cover the section).
+      return out;
+    }
+  }
+  CYCLICK_COUNT("dsl.temp_pool_misses", 0, 1);
+  return std::make_unique<DistributedArray<double>>(dist, n, align);
+}
+
+void Machine::release_temp(std::unique_ptr<DistributedArray<double>> temp) {
+  constexpr std::size_t kPoolCap = 16;
+  if (temp && temp_pool_.size() < kPoolCap) temp_pool_.push_back(std::move(temp));
 }
 
 const DistributedArray<double>& Machine::array(const std::string& name) const {
@@ -228,7 +312,32 @@ double Machine::apply_op(char op, double x, double y, int line) {
   }
 }
 
+bool Machine::is_const_scalar(const Expr& e) noexcept {
+  switch (e.kind) {
+    case Expr::Kind::kScalar:
+      return true;
+    case Expr::Kind::kUnaryMinus:
+      return is_const_scalar(*e.lhs);
+    case Expr::Kind::kBinary:
+      return is_const_scalar(*e.lhs) && is_const_scalar(*e.rhs);
+    default:
+      return false;  // variables, sections, and reductions can change
+  }
+}
+
 double Machine::eval_scalar(const Expr& e, int line) {
+  if (!is_const_scalar(e)) return eval_scalar_uncached(e, line);
+  const auto it = const_memo_.find(&e);
+  if (it != const_memo_.end()) return it->second;
+  // Division by zero in a constant subtree throws before the emplace, so a
+  // failing expression is re-evaluated (and re-raises) on every iteration —
+  // the same behavior as the unmemoized walk.
+  const double v = eval_scalar_uncached(e, line);
+  const_memo_.emplace(&e, v);
+  return v;
+}
+
+double Machine::eval_scalar_uncached(const Expr& e, int line) {
   switch (e.kind) {
     case Expr::Kind::kScalar:
       return e.scalar;
@@ -238,6 +347,41 @@ double Machine::eval_scalar(const Expr& e, int line) {
       return it->second;
     }
     case Expr::Kind::kReduce: {
+      if (e.lhs) {
+        // Reduction over an expression: evaluate the operand tree into a
+        // destination-shaped temporary against the anchor section (first
+        // array section in the tree), then reduce that temporary.
+        const SectionRef* anchor = find_reduce_anchor(*e.lhs);
+        if (anchor == nullptr)
+          throw dsl_error("reduction over an expression needs an array section operand",
+                          e.line);
+        const ArrayInfo& ainfo = lookup(anchor->array, e.line);
+        if (!ainfo.is_1d())
+          throw dsl_error("reduction over expressions supports one-dimensional arrays",
+                          e.line);
+        const DistributedArray<double>& arr = *ainfo.d1;
+        const RegularSection sec = make_section(*anchor, arr);
+        const SpmdExecutor exec_ctx(arr.dist().procs(), mode_);
+        Value v = eval1(*e.lhs, arr, sec, exec_ctx);
+        if (v.is_scalar())
+          throw dsl_error("reduction over an expression needs an array section operand",
+                          e.line);
+        const auto sum = [](double a, double b) { return a + b; };
+        const auto mn = [](double a, double b) { return a < b ? a : b; };
+        const auto mx = [](double a, double b) { return a > b ? a : b; };
+        double out = 0.0;
+        if (e.reduce_op == "sum") {
+          out = reduce_section(*v.temp, sec, 0.0, sum, exec_ctx);
+        } else if (e.reduce_op == "min") {
+          out = reduce_section(*v.temp, sec, std::numeric_limits<double>::infinity(), mn,
+                               exec_ctx);
+        } else {
+          out = reduce_section(*v.temp, sec, -std::numeric_limits<double>::infinity(), mx,
+                               exec_ctx);
+        }
+        release_temp(std::move(v.temp));
+        return out;
+      }
       const ArrayInfo& info = lookup(e.section.array, e.line);
       const auto sum = [](double a, double b) { return a + b; };
       const auto mn = [](double a, double b) { return a < b ? a : b; };
@@ -293,18 +437,18 @@ Machine::Value Machine::eval1(const Expr& e, const DistributedArray<double>& dst
         throw dsl_error("shift expression has " + std::to_string(n) +
                             " elements, statement needs " + std::to_string(dsec.size()),
                         e.line);
-      DistributedArray<double> shifted(src.dist(), n);
+      auto shifted = acquire_temp(src.dist(), n, AffineAlignment::identity());
       trace(std::string("  ") + (e.circular ? "cshift " : "eoshift ") + e.name + " by " +
             std::to_string(e.shift));
       if (e.circular) {
-        cshift(src, shifted, e.shift, exec_ctx);
+        cshift(src, *shifted, e.shift, exec_ctx);
       } else {
-        eoshift(src, shifted, e.shift, e.scalar, exec_ctx);
+        eoshift(src, *shifted, e.shift, e.scalar, exec_ctx);
       }
       Value v;
-      v.temp = std::make_unique<DistributedArray<double>>(dst.dist(), dst.size(),
-                                                          dst.alignment());
-      copy_section(shifted, RegularSection{0, n - 1, 1}, *v.temp, dsec, exec_ctx);
+      v.temp = acquire_temp(dst);
+      copy_section(*shifted, RegularSection{0, n - 1, 1}, *v.temp, dsec, exec_ctx);
+      release_temp(std::move(shifted));
       return v;
     }
     case Expr::Kind::kSection: {
@@ -321,8 +465,7 @@ Machine::Value Machine::eval1(const Expr& e, const DistributedArray<double>& dst
       if (src.dist().procs() != dst.dist().procs())
         throw dsl_error("arrays in one statement must share a processor arrangement", e.line);
       Value v;
-      v.temp = std::make_unique<DistributedArray<double>>(dst.dist(), dst.size(),
-                                                          dst.alignment());
+      v.temp = acquire_temp(dst);
       // One cached plan serves both the trace diagnostics and the copy;
       // repeated statements with the same shape replay it from the cache.
       const auto plan = cached_copy_plan(src, ssec, *v.temp, dsec, exec_ctx);
@@ -339,8 +482,7 @@ Machine::Value Machine::eval1(const Expr& e, const DistributedArray<double>& dst
       // forall index as a value: the t-th element of the statement is the
       // index value ramp_lower + t*ramp_stride.
       Value v;
-      v.temp = std::make_unique<DistributedArray<double>>(dst.dist(), dst.size(),
-                                                          dst.alignment());
+      v.temp = acquire_temp(dst);
       exec_ctx.run([&](i64 rank) {
         auto local = v.temp->local(rank);
         for_each_owned(*v.temp, dsec, rank, [&](i64 t, i64 addr) {
@@ -389,6 +531,7 @@ Machine::Value Machine::eval1(const Expr& e, const DistributedArray<double>& dst
           la[i] = apply_op(op, la[i], lb[i], line);
         });
       });
+      release_temp(std::move(b.temp));
       return a;
     }
   }
@@ -475,6 +618,7 @@ Machine::Value Machine::evaln(const Expr& e, const MultiDimArray<double>& dst,
 }
 
 void Machine::exec(const AssignStmt& s) {
+  if (tier_ == Tier::kBytecode && jit().try_assign(s)) return;
   ArrayInfo& info = lookup(s.target.array, s.line);
   if (info.is_1d()) {
     DistributedArray<double>& dst = *info.d1;
@@ -495,6 +639,7 @@ void Machine::exec(const AssignStmt& s) {
         out[static_cast<std::size_t>(addr)] = in[static_cast<std::size_t>(addr)];
       });
     });
+    release_temp(std::move(v.temp));
     return;
   }
 
@@ -516,6 +661,7 @@ void Machine::exec(const AssignStmt& s) {
 }
 
 void Machine::exec(const ScalarAssignStmt& s) {
+  if (tier_ == Tier::kBytecode && jit().try_scalar_assign(s)) return;
   scalars_[s.name] = eval_scalar(*s.value, s.line);
 }
 
@@ -558,6 +704,7 @@ void Machine::exec(const RedistributeStmt& s) {
 }
 
 void Machine::exec(const WhereStmt& s) {
+  if (tier_ == Tier::kBytecode && jit().try_where(s)) return;
   ArrayInfo& info = lookup(s.target.array, s.line);
   if (!info.is_1d())
     throw dsl_error("where supports one-dimensional arrays", s.line);
@@ -591,6 +738,9 @@ void Machine::exec(const WhereStmt& s) {
       if (holds(x, y)) out[i] = v.is_scalar() ? v.scalar : lv[i];
     });
   });
+  release_temp(std::move(ml.temp));
+  release_temp(std::move(mr.temp));
+  release_temp(std::move(v.temp));
 }
 
 void Machine::exec(const RepeatStmt& s) {
@@ -649,6 +799,18 @@ void Machine::exec(const PrintStmt& s) {
 }
 
 void Machine::exec(const ExplainStmt& s) {
+  if (s.value) {
+    // explain A(sec) = expr: show the bytecode tier's compilation of the
+    // statement (or report the fallback) without executing it.
+    const std::string listing = jit().listing_for(s.section, *s.value, s.line);
+    if (listing.empty()) {
+      output_ +=
+          "explain " + s.section.array + ": statement falls back to the interpreter tier\n";
+    } else {
+      output_ += listing;
+    }
+    return;
+  }
   const ArrayInfo& info = lookup(s.section.array, s.line);
   if (!info.is_1d()) {
     // Multidimensional arrays factor into one 1-D access problem per

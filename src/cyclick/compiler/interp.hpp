@@ -13,6 +13,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "cyclick/compiler/ast.hpp"
 #include "cyclick/compiler/lexer.hpp"  // dsl_error
@@ -22,10 +24,47 @@
 
 namespace cyclick::dsl {
 
+class JitEngine;
+struct JitCompiler;
+
+/// First array-section operand of an expression tree (lhs before rhs;
+/// shifts and reductions do not count) — the section a fused
+/// reduction-over-expression anchors its element ordering to. Shared by
+/// the interpreter and the bytecode compiler so both tiers pick the same
+/// anchor. Null when the tree holds no section.
+[[nodiscard]] const SectionRef* find_reduce_anchor(const Expr& e) noexcept;
+
+/// Execution tiers for array statements. kBytecode compiles statements into
+/// compact register programs (compiler/bytecode.hpp) executed by the jit
+/// dispatch loop, falling back to the tree-walking interpreter for any
+/// statement shape the compiler declines; kInterp forces the tree walker.
+enum class Tier {
+  kInterp,
+  kBytecode,
+};
+
+/// Tier selected by the CYCLICK_TIER environment variable ("interp" or
+/// "bytecode"), or `fallback` when unset/unrecognized.
+[[nodiscard]] Tier tier_from_env(Tier fallback) noexcept;
+
+/// Parse a --tier=interp|bytecode command-line flag. Returns false when the
+/// argument is not a tier flag; throws nothing (unknown values are ignored
+/// and leave `out` untouched, returning true so callers can warn).
+bool parse_tier_flag(const std::string& arg, Tier& out) noexcept;
+
+[[nodiscard]] const char* tier_name(Tier tier) noexcept;
+
 class Machine {
  public:
-  explicit Machine(SpmdExecutor::Mode mode = SpmdExecutor::Mode::kSequential)
-      : mode_(mode) {}
+  explicit Machine(SpmdExecutor::Mode mode = SpmdExecutor::Mode::kSequential);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Select the execution tier for subsequent statements (default: bytecode,
+  /// or whatever CYCLICK_TIER says).
+  void set_tier(Tier tier) noexcept { tier_ = tier; }
+  [[nodiscard]] Tier tier() const noexcept { return tier_; }
 
   /// Parse and execute a program; print output accumulates in output().
   void run_source(std::string_view source);
@@ -101,19 +140,52 @@ class Machine {
               const SpmdExecutor& exec_ctx);
 
   /// Evaluate an expression that must come out scalar (no free sections).
+  /// Memoizes literal-closed subtrees (see const_memo_); the uncached
+  /// variant is the raw tree walk.
   double eval_scalar(const Expr& e, int line);
+  double eval_scalar_uncached(const Expr& e, int line);
 
   static double apply_op(char op, double x, double y, int line);
   void trace(const std::string& line);
 
+  /// True when `e` is a literal-closed scalar subtree (no variables,
+  /// sections, or reductions) whose value cannot change between statements.
+  static bool is_const_scalar(const Expr& e) noexcept;
+
+  /// Scratch-temporary pool: destination-shaped temporaries are recycled
+  /// across statements instead of reallocated (and re-zeroed) per operand.
+  /// Safe because every consumer fully writes the section-owned slots it
+  /// later reads.
+  std::unique_ptr<DistributedArray<double>> acquire_temp(
+      const DistributedArray<double>& like);
+  std::unique_ptr<DistributedArray<double>> acquire_temp(const BlockCyclic& dist, i64 n,
+                                                         const AffineAlignment& align);
+  void release_temp(std::unique_ptr<DistributedArray<double>> temp);
+
+  JitEngine& jit();
+
+  friend class JitEngine;
+  friend struct JitCompiler;
+
   bool tracing_ = false;
   std::string trace_;
   SpmdExecutor::Mode mode_;
+  Tier tier_;
   std::map<std::string, std::vector<i64>> procs_;
   std::map<std::string, TemplateInfo> templates_;
   std::map<std::string, ArrayInfo> arrays_;
   std::map<std::string, double> scalars_;
   std::string output_;
+
+  /// Memo for loop-invariant (literal-closed) scalar subexpressions, keyed
+  /// by AST node address. Cleared at the start of every top-level run() so
+  /// node addresses from a destroyed Program can never be confused with a
+  /// new one; inside repeat bodies (run_depth_ > 0) entries persist, which
+  /// is where the hoisting pays off.
+  std::unordered_map<const Expr*, double> const_memo_;
+  int run_depth_ = 0;
+  std::vector<std::unique_ptr<DistributedArray<double>>> temp_pool_;
+  std::unique_ptr<JitEngine> jit_;
 };
 
 }  // namespace cyclick::dsl

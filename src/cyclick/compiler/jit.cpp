@@ -1,0 +1,1321 @@
+// The bytecode tier: statement compiler (AST -> bc::CompiledProgram) and the
+// dispatch loop that executes compiled programs over per-rank lane vectors.
+//
+// Compilation is all-or-nothing: any shape the compiler cannot prove
+// equivalent to the interpreter raises BailOut, the ProgramCache records a
+// negative entry for the statement key, and the tree walker runs the
+// statement. Equivalence here means *bit-identical results*: fused
+// superinstructions keep the interpreter's per-element operation sequence
+// (this file is built with -ffp-contract=off so no mul+add pair is ever
+// contracted into an FMA), reductions fold in the same per-rank
+// ascending-cell order reduce_section uses, and runtime errors carry the
+// same message and source line the interpreter would report.
+#include "cyclick/compiler/jit.hpp"
+
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/obs/trace.hpp"
+#include "cyclick/runtime/intrinsics.hpp"
+#include "cyclick/runtime/plan_cache.hpp"
+#include "cyclick/runtime/section_ops.hpp"
+
+namespace cyclick::dsl {
+namespace {
+
+/// Register-file limits. Lane registers are dense per-rank vectors (arena
+/// slices), so the cap bounds VM memory at 16 x section elements per rank;
+/// statements needing more fall back to the interpreter.
+constexpr int kMaxLanes = 16;
+constexpr int kMaxSregs = 64;
+constexpr int kMaxScratch = 32;
+
+/// Raised for "not bytecode-compilable" (as opposed to dsl_error, which is
+/// a real program error the interpreter would also raise).
+struct BailOut {};
+
+[[nodiscard]] bool scalar_shape(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kScalar:
+    case Expr::Kind::kScalarVar:
+    case Expr::Kind::kReduce:
+      return true;
+    case Expr::Kind::kSection:
+    case Expr::Kind::kShift:
+    case Expr::Kind::kRamp:
+      return false;
+    case Expr::Kind::kUnaryMinus:
+      return scalar_shape(*e.lhs);
+    case Expr::Kind::kBinary:
+      return scalar_shape(*e.lhs) && scalar_shape(*e.rhs);
+  }
+  return false;
+}
+
+[[nodiscard]] u8 reduce_code(const std::string& op) {
+  if (op == "sum") return bc::kRedSum;
+  if (op == "min") return bc::kRedMin;
+  if (op == "max") return bc::kRedMax;
+  throw BailOut{};
+}
+
+[[nodiscard]] i32 relop_code(const std::string& op) {
+  if (op == "<") return bc::kLT;
+  if (op == ">") return bc::kGT;
+  if (op == "<=") return bc::kLE;
+  if (op == ">=") return bc::kGE;
+  if (op == "==") return bc::kEQ;
+  return bc::kNE;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Statement compiler
+// ---------------------------------------------------------------------------
+
+struct JitCompiler {
+  explicit JitCompiler(Machine& machine) : m(machine) {}
+
+  Machine& m;
+  bc::CompiledProgram p;
+  std::vector<u8> free_lanes;
+  std::vector<bool> skonst;  // sreg value known at compile time
+  std::vector<double> sval;
+  DistributedArray<double>* dst = nullptr;
+  std::optional<SpmdExecutor> exec;
+
+  // -- lookup / validation ---------------------------------------------------
+
+  DistributedArray<double>* find1d(const std::string& name) {
+    const auto it = m.arrays_.find(name);
+    if (it == m.arrays_.end() || !it->second.is_1d()) return nullptr;
+    return it->second.d1.get();
+  }
+
+  // -- cache keys ------------------------------------------------------------
+  //
+  // The key pins everything compilation depends on: statement structure,
+  // operator characters, literal bits, source lines (so cached runtime
+  // errors report the interpreter's line numbers), and — crucially — every
+  // referenced array's mapping, so a redistribute makes the statement hash
+  // to a different program.
+
+  static void mapping_sig(std::ostringstream& ss, const DistributedArray<double>& a) {
+    ss << '[' << a.dist().procs() << ',' << a.dist().block_size() << ',' << a.alignment().a
+       << ',' << a.alignment().b << ',' << a.size() << ']';
+  }
+
+  static void triplet_sig(std::ostringstream& ss, const SectionRef& ref) {
+    ss << '(';
+    for (std::size_t d = 0; d < ref.subs.size(); ++d)
+      ss << (d ? "," : "") << ref.subs[d].lower << ':' << ref.subs[d].upper << ':'
+         << ref.subs[d].stride;
+    ss << ')';
+  }
+
+  bool key_expr(std::ostringstream& ss, const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kScalar:
+        ss << 'c' << std::hexfloat << e.scalar << std::defaultfloat << '@' << e.line << ';';
+        return true;
+      case Expr::Kind::kScalarVar:
+        ss << 'v' << e.name << '@' << e.line << ';';
+        return true;
+      case Expr::Kind::kSection: {
+        const DistributedArray<double>* a = find1d(e.section.array);
+        if (a == nullptr) return false;
+        ss << 's' << e.section.array;
+        mapping_sig(ss, *a);
+        triplet_sig(ss, e.section);
+        ss << '@' << e.line;
+        return true;
+      }
+      case Expr::Kind::kReduce: {
+        if (e.lhs) return false;  // expression reduces only fuse at statement root
+        const DistributedArray<double>* a = find1d(e.section.array);
+        if (a == nullptr) return false;  // N-D reduces stay on the interpreter
+        ss << 'r' << e.reduce_op << e.section.array;
+        mapping_sig(ss, *a);
+        triplet_sig(ss, e.section);
+        ss << '@' << e.line;
+        return true;
+      }
+      case Expr::Kind::kShift: {
+        const DistributedArray<double>* a = find1d(e.name);
+        if (a == nullptr) return false;
+        ss << 'h' << e.name << (e.circular ? 'c' : 'e') << e.shift << ':' << std::hexfloat
+           << e.scalar << std::defaultfloat;
+        mapping_sig(ss, *a);
+        ss << '@' << e.line;
+        return true;
+      }
+      case Expr::Kind::kRamp:
+        ss << 'i' << e.ramp_lower << ':' << e.ramp_stride << '@' << e.line << ';';
+        return true;
+      case Expr::Kind::kUnaryMinus:
+        ss << "n{";
+        if (!key_expr(ss, *e.lhs)) return false;
+        ss << '}';
+        return true;
+      case Expr::Kind::kBinary:
+        ss << 'b' << e.op << '{';
+        if (!key_expr(ss, *e.lhs) || !key_expr(ss, *e.rhs)) return false;
+        ss << "}@" << e.line;
+        return true;
+    }
+    return false;
+  }
+
+  bool key_target(std::ostringstream& ss, const SectionRef& target, int line) {
+    const DistributedArray<double>* a = find1d(target.array);
+    if (a == nullptr) return false;
+    ss << target.array;
+    mapping_sig(ss, *a);
+    triplet_sig(ss, target);
+    ss << '@' << line << '=';
+    return true;
+  }
+
+  std::optional<std::string> key_assign(const AssignStmt& s) {
+    std::ostringstream ss;
+    ss << "A|";
+    if (!key_target(ss, s.target, s.line)) return std::nullopt;
+    if (!key_expr(ss, *s.value)) return std::nullopt;
+    return ss.str();
+  }
+
+  std::optional<std::string> key_where(const WhereStmt& s) {
+    std::ostringstream ss;
+    ss << "W|";
+    if (!key_target(ss, s.target, s.line)) return std::nullopt;
+    ss << s.relop << '{';
+    if (!key_expr(ss, *s.mask_lhs)) return std::nullopt;
+    ss << "}{";
+    if (!key_expr(ss, *s.mask_rhs)) return std::nullopt;
+    ss << "}{";
+    if (!key_expr(ss, *s.value)) return std::nullopt;
+    ss << '}';
+    return ss.str();
+  }
+
+  std::optional<std::string> key_scalar(const ScalarAssignStmt& s) {
+    // Only fused reductions over expressions compile; plain scalar
+    // assignments are cheap on the tree walker.
+    const Expr& root = *s.value;
+    if (root.kind != Expr::Kind::kReduce || !root.lhs) return std::nullopt;
+    std::ostringstream ss;
+    ss << "S|" << s.name << '@' << s.line << '=' << 'R' << root.reduce_op << '{';
+    if (!key_expr(ss, *root.lhs)) return std::nullopt;
+    ss << "}@" << root.line;
+    return ss.str();
+  }
+
+  // -- register allocation ---------------------------------------------------
+
+  u8 new_sreg(double v, bool known) {
+    if (p.n_sregs >= kMaxSregs) throw BailOut{};
+    const u8 r = static_cast<u8>(p.n_sregs++);
+    p.sreg_init.push_back(v);
+    skonst.push_back(known);
+    sval.push_back(v);
+    return r;
+  }
+
+  u8 alloc_lane() {
+    if (!free_lanes.empty()) {
+      const u8 r = free_lanes.back();
+      free_lanes.pop_back();
+      return r;
+    }
+    if (p.n_lanes >= kMaxLanes) throw BailOut{};
+    return static_cast<u8>(p.n_lanes++);
+  }
+
+  void free_lane(u8 r) { free_lanes.push_back(r); }
+
+  i32 add_operand(bc::Operand op) {
+    p.operands.push_back(std::move(op));
+    return static_cast<i32>(p.operands.size() - 1);
+  }
+
+  // -- scalar subtree -> sreg ------------------------------------------------
+
+  u8 compile_scalar(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kScalar:
+        return new_sreg(e.scalar, true);
+      case Expr::Kind::kScalarVar: {
+        const u8 r = new_sreg(0.0, false);
+        const i32 aux = add_operand(bc::Operand{.array = e.name, .plan = nullptr});
+        p.prelude.push_back(
+            bc::Instr{.op = bc::Op::kScalarVar, .a = r, .aux = aux, .line = e.line});
+        return r;
+      }
+      case Expr::Kind::kReduce: {
+        if (e.lhs) throw BailOut{};
+        const DistributedArray<double>* a = find1d(e.section.array);
+        if (a == nullptr) throw BailOut{};
+        const RegularSection sec = Machine::make_section(e.section, *a);
+        const u8 r = new_sreg(0.0, false);
+        const i32 aux = add_operand(bc::Operand{.array = e.section.array, .sec = sec, .plan = nullptr});
+        p.prelude.push_back(bc::Instr{.op = bc::Op::kReduceSec,
+                                      .a = r,
+                                      .b = reduce_code(e.reduce_op),
+                                      .aux = aux,
+                                      .line = e.line});
+        return r;
+      }
+      case Expr::Kind::kUnaryMinus: {
+        const u8 r = compile_scalar(*e.lhs);
+        if (skonst[r]) {
+          sval[r] = -sval[r];
+          p.sreg_init[r] = sval[r];
+          return r;
+        }
+        p.prelude.push_back(bc::Instr{.op = bc::Op::kScalarNeg, .a = r, .line = e.line});
+        return r;
+      }
+      case Expr::Kind::kBinary: {
+        const u8 rl = compile_scalar(*e.lhs);
+        const u8 rr = compile_scalar(*e.rhs);
+        if (skonst[rl] && skonst[rr]) {
+          // Compile-time fold; a dsl_error here (division by zero in a
+          // literal subtree) aborts compilation and the interpreter raises
+          // the identical error at run time.
+          const double v = Machine::apply_op(e.op, sval[rl], sval[rr], e.line);
+          sval[rl] = v;
+          p.sreg_init[rl] = v;
+          return rl;
+        }
+        const u8 r = new_sreg(0.0, false);
+        p.prelude.push_back(bc::Instr{
+            .op = bc::Op::kScalarBin, .a = r, .b = rl, .c = rr, .x = e.op, .line = e.line});
+        return r;
+      }
+      case Expr::Kind::kSection:
+      case Expr::Kind::kShift:
+      case Expr::Kind::kRamp:
+        throw BailOut{};  // unreachable: callers check scalar_shape first
+    }
+    throw BailOut{};
+  }
+
+  /// True when sreg r is a compile-time constant equal to zero — the case
+  /// where a division is *guaranteed* to throw (bail; the interpreter
+  /// raises it) — and its complement, guaranteed-nonzero, where the
+  /// division can never throw and the store may fuse.
+  [[nodiscard]] bool const_zero(u8 r) const { return skonst[r] && sval[r] == 0.0; }
+  [[nodiscard]] bool const_nonzero(u8 r) const { return skonst[r] && sval[r] != 0.0; }
+
+  // -- vector subtree -> lane register --------------------------------------
+
+  u8 lane_from_section(const Expr& e) {
+    DistributedArray<double>* src = find1d(e.section.array);
+    if (src == nullptr) throw BailOut{};
+    const RegularSection ssec = Machine::make_section(e.section, *src);
+    if (ssec.size() != p.dsec.size()) throw BailOut{};  // interp raises at run time
+    if (src->dist().procs() != dst->dist().procs()) throw BailOut{};
+    const u8 lane = alloc_lane();
+    if (src->dist() == dst->dist() && src->alignment() == dst->alignment() &&
+        src->size() == dst->size() && ssec == p.dsec) {
+      // Same mapping, same section: every element is already local at the
+      // destination address — the lane aliases the source span directly.
+      const i32 aux = add_operand(bc::Operand{.array = e.section.array, .sec = ssec, .plan = nullptr});
+      p.lanes.push_back(
+          bc::Instr{.op = bc::Op::kLaneDirect, .a = lane, .aux = aux, .line = e.line});
+      return lane;
+    }
+    if (p.n_scratch >= kMaxScratch) throw BailOut{};
+    const u8 slot = static_cast<u8>(p.n_scratch++);
+    auto plan = cached_copy_plan(*src, ssec, *dst, p.dsec, *exec);
+    const i32 aux =
+        add_operand(bc::Operand{.array = e.section.array, .sec = ssec, .plan = std::move(plan)});
+    p.loads.push_back(
+        bc::Instr{.op = bc::Op::kLoadSection, .a = slot, .aux = aux, .line = e.line});
+    p.lanes.push_back(
+        bc::Instr{.op = bc::Op::kLaneScratch, .a = lane, .b = slot, .line = e.line});
+    return lane;
+  }
+
+  u8 lane_from_shift(const Expr& e) {
+    DistributedArray<double>* src = find1d(e.name);
+    if (src == nullptr) throw BailOut{};
+    const i64 n = src->size();
+    if (p.dsec.size() != n) throw BailOut{};  // interp raises at run time
+    if (src->dist().procs() != dst->dist().procs()) throw BailOut{};
+    if (p.n_scratch >= kMaxScratch) throw BailOut{};
+    const u8 slot = static_cast<u8>(p.n_scratch++);
+    // The shift lands in an identity-aligned src-distributed temporary, then
+    // plan-copies whole-array -> dsec. Using a proxy with exactly the
+    // interpreter's temporary mapping means both tiers share one PlanCache
+    // entry for this copy.
+    DistributedArray<double> proxy(src->dist(), n);
+    auto plan = cached_copy_plan(proxy, RegularSection{0, n - 1, 1}, *dst, p.dsec, *exec);
+    const i32 aux = add_operand(bc::Operand{.array = e.name,
+                                            .shift = e.shift,
+                                            .circular = e.circular,
+                                            .boundary = e.scalar,
+                                            .plan = std::move(plan)});
+    p.loads.push_back(
+        bc::Instr{.op = bc::Op::kLoadShift, .a = slot, .aux = aux, .line = e.line});
+    const u8 lane = alloc_lane();
+    p.lanes.push_back(
+        bc::Instr{.op = bc::Op::kLaneScratch, .a = lane, .b = slot, .line = e.line});
+    return lane;
+  }
+
+  /// Splits a `X * s` / `s * X` product node into (vector factor, scalar
+  /// factor); null when the node is not such a product. IEEE multiplication
+  /// commutes bit-exactly, so either operand order fuses.
+  static const Expr* mul_vector_factor(const Expr& e, const Expr** scalar_factor) {
+    if (e.kind != Expr::Kind::kBinary || e.op != '*') return nullptr;
+    if (!scalar_shape(*e.lhs) && scalar_shape(*e.rhs)) {
+      *scalar_factor = e.rhs.get();
+      return e.lhs.get();
+    }
+    if (scalar_shape(*e.lhs) && !scalar_shape(*e.rhs)) {
+      *scalar_factor = e.lhs.get();
+      return e.rhs.get();
+    }
+    return nullptr;
+  }
+
+  void note_fusion(int line, const std::string& what) {
+    p.notes.push_back("line " + std::to_string(line) + ": " + what);
+  }
+
+  u8 compile_vec(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kSection:
+        return lane_from_section(e);
+      case Expr::Kind::kShift:
+        return lane_from_shift(e);
+      case Expr::Kind::kRamp: {
+        const u8 lane = alloc_lane();
+        bc::Operand ramp;
+        ramp.ramp_lower = e.ramp_lower;
+        ramp.ramp_stride = e.ramp_stride;
+        const i32 aux = add_operand(std::move(ramp));
+        p.lanes.push_back(
+            bc::Instr{.op = bc::Op::kLaneRamp, .a = lane, .aux = aux, .line = e.line});
+        return lane;
+      }
+      case Expr::Kind::kUnaryMinus: {
+        const u8 r = compile_vec(*e.lhs);
+        p.lanes.push_back(bc::Instr{.op = bc::Op::kLaneNeg, .a = r, .line = e.line});
+        return r;
+      }
+      case Expr::Kind::kBinary:
+        return compile_binary(e);
+      case Expr::Kind::kScalar:
+      case Expr::Kind::kScalarVar:
+      case Expr::Kind::kReduce:
+        throw BailOut{};  // unreachable: callers check scalar_shape first
+    }
+    throw BailOut{};
+  }
+
+  u8 compile_binary(const Expr& e) {
+    const bool ls = scalar_shape(*e.lhs);
+    const bool rs = scalar_shape(*e.rhs);
+
+    // --- fused superinstructions -------------------------------------------
+    // (X + Y) / s  ->  adddiv.vvs : the jacobi/stencil-average shape.
+    if (e.op == '/' && rs && !ls && e.lhs->kind == Expr::Kind::kBinary &&
+        e.lhs->op == '+' && !scalar_shape(*e.lhs->lhs) && !scalar_shape(*e.lhs->rhs)) {
+      const u8 x = compile_vec(*e.lhs->lhs);
+      const u8 y = compile_vec(*e.lhs->rhs);
+      const u8 s = compile_scalar(*e.rhs);
+      if (const_zero(s)) throw BailOut{};
+      if (!const_nonzero(s)) p.lanes_may_throw = true;
+      p.lanes.push_back(bc::Instr{
+          .op = bc::Op::kAddDivVVS, .a = x, .b = s, .c = y, .line = e.line});
+      free_lane(y);
+      note_fusion(e.line, "fused add+divide (stencil average): one pass over the lanes");
+      return x;
+    }
+    // X*s + Y / Y + X*s / X*s - Y  ->  muladd.vsv / mulsub.vsv (copy+axpy),
+    // X*s + c / c + X*s            ->  muladd.vss (fill+transform).
+    if ((e.op == '+' || e.op == '-') && !(ls && rs)) {
+      const Expr* sc = nullptr;
+      const Expr* xv = ls ? nullptr : mul_vector_factor(*e.lhs, &sc);
+      const Expr* other = e.rhs.get();
+      if (xv == nullptr && e.op == '+' && !rs) {
+        // addition commutes bit-exactly: try the product on the right.
+        xv = mul_vector_factor(*e.rhs, &sc);
+        other = e.lhs.get();
+      }
+      if (xv != nullptr) {
+        if (scalar_shape(*other)) {
+          const u8 x = compile_vec(*xv);
+          const u8 s = compile_scalar(*sc);
+          const u8 c = compile_scalar(*other);
+          if (e.op == '+') {
+            p.lanes.push_back(bc::Instr{
+                .op = bc::Op::kMulAddVSS, .a = x, .b = s, .c = c, .line = e.line});
+            note_fusion(e.line, "fused multiply+add-scalar (fill+transform): one pass");
+            return x;
+          }
+          // X*s - c: negate the constant and reuse the same superinstruction
+          // only when c is a compile-time literal (x - c == x + (-c) exactly).
+          if (skonst[c]) {
+            sval[c] = -sval[c];
+            p.sreg_init[c] = sval[c];
+            p.lanes.push_back(bc::Instr{
+                .op = bc::Op::kMulAddVSS, .a = x, .b = s, .c = c, .line = e.line});
+            note_fusion(e.line, "fused multiply+subtract-scalar: one pass");
+            return x;
+          }
+          p.lanes.push_back(
+              bc::Instr{.op = bc::Op::kMulVS, .a = x, .b = s, .line = e.line});
+          p.lanes.push_back(
+              bc::Instr{.op = bc::Op::kSubVS, .a = x, .b = c, .line = e.line});
+          return x;
+        }
+        const u8 x = compile_vec(*xv);
+        const u8 s = compile_scalar(*sc);
+        const u8 y = compile_vec(*other);
+        p.lanes.push_back(
+            bc::Instr{.op = e.op == '+' ? bc::Op::kMulAddVSV : bc::Op::kMulSubVSV,
+                      .a = x,
+                      .b = s,
+                      .c = y,
+                      .line = e.line});
+        free_lane(y);
+        note_fusion(e.line, "fused multiply+add (copy+axpy): one pass over the lanes");
+        return x;
+      }
+    }
+
+    // --- generic lowering ---------------------------------------------------
+    if (!ls && !rs) {
+      const u8 a = compile_vec(*e.lhs);
+      const u8 b = compile_vec(*e.rhs);
+      bc::Op op = bc::Op::kAddVV;
+      switch (e.op) {
+        case '+': op = bc::Op::kAddVV; break;
+        case '-': op = bc::Op::kSubVV; break;
+        case '*': op = bc::Op::kMulVV; break;
+        case '/':
+          op = bc::Op::kDivVV;
+          p.lanes_may_throw = true;
+          break;
+        default: throw BailOut{};
+      }
+      p.lanes.push_back(bc::Instr{.op = op, .a = a, .b = b, .line = e.line});
+      free_lane(b);
+      return a;
+    }
+    if (!ls && rs) {
+      const u8 a = compile_vec(*e.lhs);
+      const u8 s = compile_scalar(*e.rhs);
+      bc::Op op = bc::Op::kAddVS;
+      switch (e.op) {
+        case '+': op = bc::Op::kAddVS; break;
+        case '-': op = bc::Op::kSubVS; break;
+        case '*': op = bc::Op::kMulVS; break;
+        case '/':
+          op = bc::Op::kDivVS;
+          if (const_zero(s)) throw BailOut{};
+          if (!const_nonzero(s)) p.lanes_may_throw = true;
+          break;
+        default: throw BailOut{};
+      }
+      p.lanes.push_back(bc::Instr{.op = op, .a = a, .b = s, .line = e.line});
+      return a;
+    }
+    // scalar op vector: + and * commute bit-exactly onto the vs forms;
+    // - and / need the swapped-operand instructions.
+    const u8 s = compile_scalar(*e.lhs);
+    const u8 a = compile_vec(*e.rhs);
+    bc::Op op = bc::Op::kAddVS;
+    switch (e.op) {
+      case '+': op = bc::Op::kAddVS; break;
+      case '*': op = bc::Op::kMulVS; break;
+      case '-': op = bc::Op::kSubSV; break;
+      case '/':
+        op = bc::Op::kDivSV;
+        p.lanes_may_throw = true;  // any lane element may be zero
+        break;
+      default: throw BailOut{};
+    }
+    p.lanes.push_back(bc::Instr{.op = op, .a = a, .b = s, .line = e.line});
+    return a;
+  }
+
+  // -- statement entry points ------------------------------------------------
+
+  void open_target(const std::string& array, const SectionRef& section) {
+    dst = find1d(array);
+    if (dst == nullptr || !dst->alignment().is_identity()) throw BailOut{};
+    p.dsec = Machine::make_section(section, *dst);
+    p.target = array;
+    p.ranks = dst->dist().procs();
+    p.lane_count = p.dsec.size();
+    exec.emplace(p.ranks, m.mode_);
+  }
+
+  void build_kernels() {
+    for (i64 r = 0; r < p.ranks; ++r) {
+      SectionPlan sp = owned_plan(*dst, p.dsec, r);
+      p.kernels.push_back(compile_kernel(sp));
+      p.plans.push_back(std::move(sp));
+    }
+  }
+
+  void finalize_store(u8 store_reg) {
+    p.store_reg = store_reg;
+    build_kernels();
+    if (p.lanes_may_throw) return;
+    for (const bc::Instr& in : p.lanes) {
+      if (in.op >= bc::Op::kLaneNeg && in.op <= bc::Op::kMulAddVSS &&
+          in.a == store_reg) {
+        p.store_fused = true;
+        p.notes.push_back("store fused into the final arithmetic pass (dense runs)");
+        return;
+      }
+    }
+  }
+
+  std::shared_ptr<const bc::CompiledProgram> take() {
+    return std::make_shared<const bc::CompiledProgram>(std::move(p));
+  }
+
+  std::shared_ptr<const bc::CompiledProgram> compile_assign(const SectionRef& target,
+                                                            const Expr& value, int line) {
+    (void)line;
+    open_target(target.array, target);
+    if (value.kind == Expr::Kind::kSection) {
+      // Whole-statement copy: delegate to copy_section, which owns the
+      // same-mapping fast path and the pack-then-unpack aliasing discipline.
+      DistributedArray<double>* src = find1d(value.section.array);
+      if (src == nullptr) throw BailOut{};
+      const RegularSection ssec = Machine::make_section(value.section, *src);
+      if (ssec.size() != p.dsec.size()) throw BailOut{};
+      if (src->dist().procs() != dst->dist().procs()) throw BailOut{};
+      const i32 aux = add_operand(bc::Operand{.array = value.section.array, .sec = ssec, .plan = nullptr});
+      p.lanes.push_back(
+          bc::Instr{.op = bc::Op::kCopyDst, .aux = aux, .line = value.line});
+      p.notes.push_back("whole-statement section copy: delegated to the copy engine");
+      return take();
+    }
+    if (scalar_shape(value)) {
+      const u8 s = compile_scalar(value);
+      p.lanes.push_back(bc::Instr{.op = bc::Op::kFillDst, .a = s, .line = value.line});
+      return take();
+    }
+    const u8 r = compile_vec(value);
+    p.lanes.push_back(bc::Instr{.op = bc::Op::kStoreLanes, .a = r, .line = value.line});
+    finalize_store(r);
+    return take();
+  }
+
+  std::shared_ptr<const bc::CompiledProgram> compile_where(const WhereStmt& s) {
+    open_target(s.target.array, s.target);
+    u8 flags = 0;
+    u8 ml = 0, mr = 0, v = 0;
+    if (scalar_shape(*s.mask_lhs)) {
+      ml = compile_scalar(*s.mask_lhs);
+      flags |= bc::kMaskLhsScalar;
+    } else {
+      ml = compile_vec(*s.mask_lhs);
+    }
+    if (scalar_shape(*s.mask_rhs)) {
+      mr = compile_scalar(*s.mask_rhs);
+      flags |= bc::kMaskRhsScalar;
+    } else {
+      mr = compile_vec(*s.mask_rhs);
+    }
+    if (scalar_shape(*s.value)) {
+      v = compile_scalar(*s.value);
+      flags |= bc::kMaskValScalar;
+    } else {
+      v = compile_vec(*s.value);
+    }
+    p.lanes.push_back(bc::Instr{.op = bc::Op::kStoreMasked,
+                                .a = v,
+                                .b = ml,
+                                .c = mr,
+                                .flags = flags,
+                                .aux = relop_code(s.relop),
+                                .line = s.line});
+    p.store_reg = v;
+    build_kernels();
+    return take();
+  }
+
+  std::shared_ptr<const bc::CompiledProgram> compile_reduce_assign(
+      const ScalarAssignStmt& s) {
+    const Expr& root = *s.value;
+    if (root.kind != Expr::Kind::kReduce || !root.lhs) throw BailOut{};
+    if (scalar_shape(*root.lhs)) throw BailOut{};
+    const SectionRef* anchor = find_reduce_anchor(*root.lhs);
+    if (anchor == nullptr) throw BailOut{};
+    open_target(anchor->array, *anchor);
+    const u8 r = compile_vec(*root.lhs);
+    const u8 out = new_sreg(0.0, false);
+    p.lanes.push_back(bc::Instr{.op = bc::Op::kReduceLanes,
+                                .a = out,
+                                .b = r,
+                                .c = reduce_code(root.reduce_op),
+                                .line = root.line});
+    p.result_sreg = out;
+    p.scalar_target = s.name;
+    p.store_reg = r;
+    build_kernels();
+    note_fusion(root.line, "fused transform+reduce: no materialized temporary array");
+    return take();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Which part of the lane phase to run. Programs whose lane arithmetic can
+/// throw (divisions) run kArith then kTerminal under two barriers, so the
+/// destination array is never mutated when a division by zero aborts the
+/// statement — exactly the interpreter's all-or-nothing behavior.
+enum class Phase { kAll, kArith, kTerminal };
+
+void run_lanes(const bc::CompiledProgram& p, i64 rank, const std::vector<double>& s,
+               const std::vector<const DistributedArray<double>*>& direct,
+               const std::vector<std::unique_ptr<DistributedArray<double>>>& scratch,
+               DistributedArray<double>& dst, std::vector<double>& arena, double* partial,
+               char* seen, Phase phase) {
+  const KernelPlan& kp = p.kernels[static_cast<std::size_t>(rank)];
+  const std::size_t cnt = static_cast<std::size_t>(kp.count());
+  if (cnt == 0) return;
+  const bool span_mode = kp.cls() == KernelClass::kRunCopy;
+  double* dloc = dst.local(rank).data();
+  double* dspan = dloc + kp.first_local();
+
+  arena.resize(static_cast<std::size_t>(p.n_lanes) * cnt);
+  struct Reg {
+    const double* cur;  // where the register's value lives right now
+    double* buf;        // where the next write to it lands
+  };
+  Reg regs[kMaxLanes];
+  for (int i = 0; i < p.n_lanes; ++i) {
+    regs[i].buf = arena.data() + static_cast<std::size_t>(i) * cnt;
+    regs[i].cur = regs[i].buf;
+  }
+  // Store fusion: the final arithmetic instruction targeting the store
+  // register writes the destination span directly (dense-run class only,
+  // and only when no lane instruction can throw).
+  if (p.store_fused && span_mode && phase == Phase::kAll)
+    regs[p.store_reg].buf = dspan;
+
+  const bc::Instr* ip = p.lanes.data();
+  if (phase == Phase::kTerminal) ip = &p.lanes.back();
+
+  const auto materialize = [&](u8 r) {
+    if (regs[r].cur != regs[r].buf) {
+      std::memcpy(regs[r].buf, regs[r].cur, cnt * sizeof(double));
+      regs[r].cur = regs[r].buf;
+    }
+  };
+
+// The dispatch loop. GNU toolchains get a computed-goto threaded
+// interpreter (one indirect branch per instruction, better predicted than
+// a shared switch); everything else falls back to a switch loop with
+// identical handler bodies.
+#if defined(__GNUC__) && !defined(CYCLICK_NO_COMPUTED_GOTO)
+#define VM_CASE(label) label:
+#define VM_NEXT                                       \
+  do {                                                \
+    ++ip;                                             \
+    goto* jump[static_cast<std::size_t>(ip->op)];     \
+  } while (0)
+  static const void* const jump[] = {
+      &&vm_bad,          // kScalarVar (prelude only)
+      &&vm_bad,          // kReduceSec
+      &&vm_bad,          // kScalarNeg
+      &&vm_bad,          // kScalarBin
+      &&vm_bad,          // kLoadSection (load phase only)
+      &&vm_bad,          // kLoadShift
+      &&vm_lane_direct,  &&vm_lane_scratch, &&vm_lane_ramp, &&vm_lane_neg,
+      &&vm_add_vv,       &&vm_sub_vv,       &&vm_mul_vv,    &&vm_div_vv,
+      &&vm_add_vs,       &&vm_sub_vs,       &&vm_mul_vs,    &&vm_div_vs,
+      &&vm_sub_sv,       &&vm_div_sv,       &&vm_muladd_vsv, &&vm_mulsub_vsv,
+      &&vm_adddiv_vvs,   &&vm_muladd_vss,   &&vm_store,     &&vm_store_masked,
+      &&vm_reduce,
+      &&vm_bad,  // kFillDst (control phase only)
+      &&vm_bad,  // kCopyDst
+  };
+  goto* jump[static_cast<std::size_t>(ip->op)];
+#else
+#define VM_CASE(label) case bc::Op_for_##label:
+#define VM_NEXT                                       \
+  do {                                                \
+    ++ip;                                             \
+    goto vm_dispatch;                                 \
+  } while (0)
+vm_dispatch:
+  switch (ip->op) {
+    case bc::Op::kLaneDirect: goto vm_lane_direct;
+    case bc::Op::kLaneScratch: goto vm_lane_scratch;
+    case bc::Op::kLaneRamp: goto vm_lane_ramp;
+    case bc::Op::kLaneNeg: goto vm_lane_neg;
+    case bc::Op::kAddVV: goto vm_add_vv;
+    case bc::Op::kSubVV: goto vm_sub_vv;
+    case bc::Op::kMulVV: goto vm_mul_vv;
+    case bc::Op::kDivVV: goto vm_div_vv;
+    case bc::Op::kAddVS: goto vm_add_vs;
+    case bc::Op::kSubVS: goto vm_sub_vs;
+    case bc::Op::kMulVS: goto vm_mul_vs;
+    case bc::Op::kDivVS: goto vm_div_vs;
+    case bc::Op::kSubSV: goto vm_sub_sv;
+    case bc::Op::kDivSV: goto vm_div_sv;
+    case bc::Op::kMulAddVSV: goto vm_muladd_vsv;
+    case bc::Op::kMulSubVSV: goto vm_mulsub_vsv;
+    case bc::Op::kAddDivVVS: goto vm_adddiv_vvs;
+    case bc::Op::kMulAddVSS: goto vm_muladd_vss;
+    case bc::Op::kStoreLanes: goto vm_store;
+    case bc::Op::kStoreMasked: goto vm_store_masked;
+    case bc::Op::kReduceLanes: goto vm_reduce;
+    default: goto vm_bad;
+  }
+#endif
+
+vm_lane_direct: {
+  const DistributedArray<double>* src = direct[static_cast<std::size_t>(ip->aux)];
+  Reg& r = regs[ip->a];
+  const double* sl = src->local(rank).data();
+  if (span_mode) {
+    r.cur = sl + kp.first_local();
+  } else {
+    kernel_gather(kp, sl, r.buf);
+    r.cur = r.buf;
+  }
+}
+  VM_NEXT;
+
+vm_lane_scratch: {
+  Reg& r = regs[ip->a];
+  const double* sl = scratch[ip->b]->local(rank).data();
+  if (span_mode) {
+    r.cur = sl + kp.first_local();
+  } else {
+    kernel_gather(kp, sl, r.buf);
+    r.cur = r.buf;
+  }
+}
+  VM_NEXT;
+
+vm_lane_ramp: {
+  const bc::Operand& o = p.operands[static_cast<std::size_t>(ip->aux)];
+  Reg& r = regs[ip->a];
+  double* out = r.buf;
+  std::size_t i = 0;
+  p.plans[static_cast<std::size_t>(rank)].for_each([&](i64 cell, i64) {
+    const i64 t = (cell - p.dsec.lower) / p.dsec.stride;
+    out[i++] = static_cast<double>(o.ramp_lower + t * o.ramp_stride);
+  });
+  r.cur = r.buf;
+}
+  VM_NEXT;
+
+vm_lane_neg: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = -x[i];
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_add_vv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double* y = regs[ip->b].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] + y[i];
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_sub_vv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double* y = regs[ip->b].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] - y[i];
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_mul_vv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double* y = regs[ip->b].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] * y[i];
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_div_vv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double* y = regs[ip->b].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    if (y[i] == 0.0) throw dsl_error("division by zero", ip->line);
+    o[i] = x[i] / y[i];
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_add_vs: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] + sv;
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_sub_vs: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] - sv;
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_mul_vs: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] * sv;
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_div_vs: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  // Every rank that owns elements raises exactly what apply_op would on
+  // its first element; the executor propagates the lowest rank's error.
+  if (sv == 0.0) throw dsl_error("division by zero", ip->line);
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = x[i] / sv;
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_sub_sv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) o[i] = sv - x[i];
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_div_sv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    if (x[i] == 0.0) throw dsl_error("division by zero", ip->line);
+    o[i] = sv / x[i];
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_muladd_vsv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  const double* y = regs[ip->c].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const double t = x[i] * sv;  // explicit intermediate: no FMA contraction
+    o[i] = t + y[i];
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_mulsub_vsv: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  const double* y = regs[ip->c].cur;
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const double t = x[i] * sv;
+    o[i] = t - y[i];
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_adddiv_vvs: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  const double* y = regs[ip->c].cur;
+  if (sv == 0.0) throw dsl_error("division by zero", ip->line);
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const double t = x[i] + y[i];
+    o[i] = t / sv;
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_muladd_vss: {
+  Reg& r = regs[ip->a];
+  const double* x = r.cur;
+  const double sv = s[ip->b];
+  const double cv = s[ip->c];
+  double* o = r.buf;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const double t = x[i] * sv;
+    o[i] = t + cv;
+  }
+  r.cur = o;
+}
+  VM_NEXT;
+
+vm_store: {
+  if (phase == Phase::kArith) {
+    materialize(ip->a);
+    return;
+  }
+  const double* x = regs[ip->a].cur;
+  if (span_mode) {
+    if (x != dspan) std::memcpy(dspan, x, cnt * sizeof(double));
+  } else {
+    kernel_scatter(kp, dloc, x);
+  }
+  return;
+}
+
+vm_store_masked: {
+  const u8 fl = ip->flags;
+  const bool vs = (fl & bc::kMaskValScalar) != 0;
+  const bool lsc = (fl & bc::kMaskLhsScalar) != 0;
+  const bool rsc = (fl & bc::kMaskRhsScalar) != 0;
+  if (phase == Phase::kArith) {
+    if (!vs) materialize(ip->a);
+    if (!lsc) materialize(ip->b);
+    if (!rsc) materialize(ip->c);
+    return;
+  }
+  const double* xv = vs ? nullptr : regs[ip->a].cur;
+  const double* lv = lsc ? nullptr : regs[ip->b].cur;
+  const double* rv = rsc ? nullptr : regs[ip->c].cur;
+  const double xs = vs ? s[ip->a] : 0.0;
+  const double lsv = lsc ? s[ip->b] : 0.0;
+  const double rsv = rsc ? s[ip->c] : 0.0;
+  const i32 rel = ip->aux;
+  std::size_t i = 0;
+  kernel_for_each_local(kp, [&](i64 la) {
+    const double x = lsc ? lsv : lv[i];
+    const double y = rsc ? rsv : rv[i];
+    bool h = false;
+    switch (rel) {
+      case bc::kLT: h = x < y; break;
+      case bc::kGT: h = x > y; break;
+      case bc::kLE: h = x <= y; break;
+      case bc::kGE: h = x >= y; break;
+      case bc::kEQ: h = x == y; break;
+      default: h = x != y; break;
+    }
+    if (h) dloc[la] = vs ? xs : xv[i];
+    ++i;
+  });
+  return;
+}
+
+vm_reduce: {
+  const double* x = regs[ip->b].cur;
+  double acc = x[0];
+  switch (ip->c) {
+    case bc::kRedSum:
+      for (std::size_t i = 1; i < cnt; ++i) acc = acc + x[i];
+      break;
+    case bc::kRedMin:
+      for (std::size_t i = 1; i < cnt; ++i) acc = acc < x[i] ? acc : x[i];
+      break;
+    default:  // kRedMax
+      for (std::size_t i = 1; i < cnt; ++i) acc = acc > x[i] ? acc : x[i];
+      break;
+  }
+  *partial = acc;
+  *seen = 1;
+  return;
+}
+
+vm_bad:
+  // Unreachable by construction: the compiler never places non-lane opcodes
+  // in the lane stream.
+  return;
+
+#undef VM_CASE
+#undef VM_NEXT
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JitEngine
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const bc::CompiledProgram> JitEngine::program_for(
+    const std::string& key, const AssignStmt* assign, const WhereStmt* where,
+    const ScalarAssignStmt* scalar_assign) {
+  std::shared_ptr<const bc::CompiledProgram> prog;
+  if (bc::ProgramCache::global().find(key, prog)) return prog;
+  CYCLICK_SPAN("jit.compile", obs::kMainTid);
+  JitCompiler jc(m_);
+  try {
+    if (assign != nullptr) {
+      prog = jc.compile_assign(assign->target, *assign->value, assign->line);
+    } else if (where != nullptr) {
+      prog = jc.compile_where(*where);
+    } else {
+      prog = jc.compile_reduce_assign(*scalar_assign);
+    }
+  } catch (const BailOut&) {
+    prog = nullptr;
+  } catch (const dsl_error&) {
+    // Real program error (bad section, constant division by zero): leave a
+    // negative entry so the interpreter raises it, now and on every replay.
+    prog = nullptr;
+  }
+  CYCLICK_COUNT("jit.compiles", 0, 1);
+  bc::ProgramCache::global().insert(key, prog);
+  return prog;
+}
+
+void JitEngine::execute(const bc::CompiledProgram& p) {
+  CYCLICK_COUNT("jit.exec", 0, 1);
+  DistributedArray<double>& dst = *m_.lookup(p.target, 0).d1;
+  const SpmdExecutor exec(p.ranks, m_.mode_);
+
+  // Scalar prelude (control thread).
+  std::vector<double> s(p.sreg_init);
+  for (const bc::Instr& in : p.prelude) {
+    switch (in.op) {
+      case bc::Op::kScalarVar: {
+        const bc::Operand& o = p.operands[static_cast<std::size_t>(in.aux)];
+        const auto it = m_.scalars_.find(o.array);
+        if (it == m_.scalars_.end())
+          throw dsl_error("unknown scalar '" + o.array + "'", in.line);
+        s[in.a] = it->second;
+        break;
+      }
+      case bc::Op::kReduceSec: {
+        const bc::Operand& o = p.operands[static_cast<std::size_t>(in.aux)];
+        const DistributedArray<double>& arr = *m_.lookup(o.array, in.line).d1;
+        const SpmdExecutor rexec(arr.dist().procs(), m_.mode_);
+        switch (in.b) {
+          case bc::kRedSum:
+            s[in.a] = reduce_section(
+                arr, o.sec, 0.0, [](double a, double b) { return a + b; }, rexec);
+            break;
+          case bc::kRedMin:
+            s[in.a] = reduce_section(
+                arr, o.sec, std::numeric_limits<double>::infinity(),
+                [](double a, double b) { return a < b ? a : b; }, rexec);
+            break;
+          default:
+            s[in.a] = reduce_section(
+                arr, o.sec, -std::numeric_limits<double>::infinity(),
+                [](double a, double b) { return a > b ? a : b; }, rexec);
+            break;
+        }
+        break;
+      }
+      case bc::Op::kScalarNeg:
+        s[in.a] = -s[in.a];
+        break;
+      case bc::Op::kScalarBin:
+        s[in.a] = Machine::apply_op(in.x, s[in.b], s[in.c], in.line);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (m_.tracing_) {
+    m_.trace("bytecode " +
+             (p.scalar_target.empty() ? p.target + p.dsec.to_string()
+                                      : p.scalar_target + " = reduce " + p.target +
+                                            p.dsec.to_string()) +
+             " [" + std::to_string(p.lanes.size()) + " lane instrs, " +
+             std::to_string(p.loads.size()) + " loads]");
+  }
+
+  // Control-phase terminals (no lane vectors at all).
+  const bc::Instr& term = p.lanes.back();
+  if (term.op == bc::Op::kFillDst) {
+    fill_section(dst, p.dsec, s[term.a], exec);
+    return;
+  }
+  if (term.op == bc::Op::kCopyDst) {
+    const bc::Operand& o = p.operands[static_cast<std::size_t>(term.aux)];
+    const DistributedArray<double>& src = *m_.lookup(o.array, term.line).d1;
+    copy_section(src, o.sec, dst, p.dsec, exec);
+    return;
+  }
+
+  // Load phase: land remote operands in destination-shaped scratch arrays
+  // through the compile-time plans.
+  std::vector<std::unique_ptr<DistributedArray<double>>> scratch(
+      static_cast<std::size_t>(p.n_scratch));
+  for (const bc::Instr& in : p.loads) {
+    const bc::Operand& o = p.operands[static_cast<std::size_t>(in.aux)];
+    const DistributedArray<double>& src = *m_.lookup(o.array, in.line).d1;
+    auto t = m_.acquire_temp(dst);
+    if (in.op == bc::Op::kLoadSection) {
+      execute_copy_plan(*o.plan, src, *t, exec);
+    } else {  // kLoadShift
+      auto sh = m_.acquire_temp(src.dist(), src.size(), AffineAlignment::identity());
+      if (o.circular) {
+        cshift(src, *sh, o.shift, exec);
+      } else {
+        eoshift(src, *sh, o.shift, o.boundary, exec);
+      }
+      execute_copy_plan(*o.plan, *sh, *t, exec);
+      m_.release_temp(std::move(sh));
+    }
+    scratch[in.a] = std::move(t);
+  }
+
+  // Resolve direct-lane source arrays once.
+  std::vector<const DistributedArray<double>*> direct(p.operands.size(), nullptr);
+  for (const bc::Instr& in : p.lanes)
+    if (in.op == bc::Op::kLaneDirect)
+      direct[static_cast<std::size_t>(in.aux)] =
+          m_.lookup(p.operands[static_cast<std::size_t>(in.aux)].array, in.line).d1.get();
+
+  if (arena_.size() < static_cast<std::size_t>(p.ranks))
+    arena_.resize(static_cast<std::size_t>(p.ranks));
+  std::vector<double> partial(static_cast<std::size_t>(p.ranks), 0.0);
+  std::vector<char> seen(static_cast<std::size_t>(p.ranks), 0);
+
+  const bool guarded = p.lanes_may_throw && term.op != bc::Op::kReduceLanes;
+  if (guarded) {
+    exec.run([&](i64 rank) {
+      run_lanes(p, rank, s, direct, scratch, dst, arena_[static_cast<std::size_t>(rank)],
+                nullptr, nullptr, Phase::kArith);
+    });
+    exec.run([&](i64 rank) {
+      run_lanes(p, rank, s, direct, scratch, dst, arena_[static_cast<std::size_t>(rank)],
+                nullptr, nullptr, Phase::kTerminal);
+    });
+  } else {
+    exec.run([&](i64 rank) {
+      run_lanes(p, rank, s, direct, scratch, dst, arena_[static_cast<std::size_t>(rank)],
+                partial.data() + rank, seen.data() + rank, Phase::kAll);
+    });
+  }
+
+  if (!p.scalar_target.empty()) {
+    // Cross-rank fold, ascending rank order — reduce_section's exact
+    // combination sequence.
+    double out = 0.0;
+    switch (term.c) {
+      case bc::kRedSum: out = 0.0; break;
+      case bc::kRedMin: out = std::numeric_limits<double>::infinity(); break;
+      default: out = -std::numeric_limits<double>::infinity(); break;
+    }
+    for (i64 r = 0; r < p.ranks; ++r) {
+      if (!seen[static_cast<std::size_t>(r)]) continue;
+      const double v = partial[static_cast<std::size_t>(r)];
+      switch (term.c) {
+        case bc::kRedSum: out = out + v; break;
+        case bc::kRedMin: out = out < v ? out : v; break;
+        default: out = out > v ? out : v; break;
+      }
+    }
+    m_.scalars_[p.scalar_target] = out;
+  }
+
+  for (auto& t : scratch)
+    if (t) m_.release_temp(std::move(t));
+}
+
+bool JitEngine::try_assign(const AssignStmt& s) {
+  JitCompiler keyer(m_);
+  const auto key = keyer.key_assign(s);
+  if (!key) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  const auto prog = program_for(*key, &s, nullptr, nullptr);
+  if (!prog) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  execute(*prog);
+  return true;
+}
+
+bool JitEngine::try_where(const WhereStmt& s) {
+  JitCompiler keyer(m_);
+  const auto key = keyer.key_where(s);
+  if (!key) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  const auto prog = program_for(*key, nullptr, &s, nullptr);
+  if (!prog) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  execute(*prog);
+  return true;
+}
+
+bool JitEngine::try_scalar_assign(const ScalarAssignStmt& s) {
+  JitCompiler keyer(m_);
+  const auto key = keyer.key_scalar(s);
+  if (!key) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  const auto prog = program_for(*key, nullptr, nullptr, &s);
+  if (!prog) {
+    CYCLICK_COUNT("jit.fallbacks", 0, 1);
+    return false;
+  }
+  execute(*prog);
+  return true;
+}
+
+std::string JitEngine::listing_for(const SectionRef& target, const Expr& value, int line) {
+  JitCompiler jc(m_);
+  try {
+    const auto prog = jc.compile_assign(target, value, line);
+    return prog ? prog->listing() : std::string();
+  } catch (const BailOut&) {
+    return std::string();
+  } catch (const dsl_error&) {
+    return std::string();
+  }
+}
+
+}  // namespace cyclick::dsl

@@ -1,0 +1,49 @@
+// Jit tier driver: compiles DSL statements into bytecode programs
+// (compiler/bytecode.hpp) keyed in the process-wide ProgramCache, and
+// executes them with a computed-goto dispatch loop over per-rank lane
+// vectors backed by the PR-4 pattern kernels.
+//
+// The engine is deliberately conservative: any statement shape it cannot
+// prove equivalent to the interpreter (multidimensional arrays, non-identity
+// alignments, mismatched processor arrangements, invalid sections, ...)
+// makes try_* return false and the caller falls back to the tree walker, so
+// the bytecode tier never changes results — only the number of passes taken
+// to produce them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cyclick/compiler/bytecode.hpp"
+#include "cyclick/compiler/interp.hpp"
+
+namespace cyclick::dsl {
+
+class JitEngine {
+ public:
+  explicit JitEngine(Machine& machine) : m_(machine) {}
+
+  /// Compile (or fetch from cache) and execute a statement under the
+  /// bytecode tier. Returns false — with no side effects — when the
+  /// statement is not bytecode-compilable; runtime errors (division by
+  /// zero, unknown scalars) throw the same dsl_error the interpreter would.
+  bool try_assign(const AssignStmt& s);
+  bool try_where(const WhereStmt& s);
+  bool try_scalar_assign(const ScalarAssignStmt& s);
+
+  /// Disassembly of the program `target = value` compiles to, or "" when
+  /// the statement falls back to the interpreter tier.
+  std::string listing_for(const SectionRef& target, const Expr& value, int line);
+
+ private:
+  std::shared_ptr<const bc::CompiledProgram> program_for(
+      const std::string& key, const AssignStmt* assign, const WhereStmt* where,
+      const ScalarAssignStmt* scalar_assign);
+  void execute(const bc::CompiledProgram& p);
+
+  Machine& m_;
+  std::vector<std::vector<double>> arena_;  // per-rank lane buffers, reused
+};
+
+}  // namespace cyclick::dsl

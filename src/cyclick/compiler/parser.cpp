@@ -219,11 +219,14 @@ class Parser {
     return s;
   }
 
+  // explain A(l:u:s)            access-pattern dump
+  // explain A(l:u:s) = expr     bytecode-tier disassembly of the statement
   Statement parse_explain(int line) {
     advance();  // 'explain'
     ExplainStmt s;
     s.line = line;
     s.section = parse_section_ref();
+    if (match(TokKind::kAssign)) s.value = parse_expr();
     return s;
   }
 
@@ -471,13 +474,19 @@ class Parser {
       }
       if ((word == "sum" || word == "min" || word == "max") &&
           peek(1).kind == TokKind::kLParen) {
-        // Reduction intrinsic: sum(A(l:u:s)) or sum(M(l:u, l:u)).
+        // Reduction intrinsic over a section — sum(A(l:u:s)), sum(M(l:u, l:u))
+        // — or over an elementwise expression: sum(A(0:9) * B(0:9)).
         node->kind = Expr::Kind::kReduce;
         node->reduce_op = word;
         advance();
         expect(TokKind::kLParen, "'('");
-        node->section = parse_section_ref();
+        ExprPtr inner = parse_expr();
         expect(TokKind::kRParen, "')'");
+        if (inner->kind == Expr::Kind::kSection) {
+          node->section = std::move(inner->section);  // bare-section form (1-D or N-D)
+        } else {
+          node->lhs = std::move(inner);
+        }
         return node;
       }
       if (peek(1).kind == TokKind::kLParen) {

@@ -1,12 +1,18 @@
 // Differential fuzzing of the DSL end to end: generate random 1-D programs
-// (fills, strided copies, arithmetic, forall, where, reductions), execute
-// them through lexer->parser->interpreter, and compare the final global
-// images against a simple reference simulator driven by the same random
-// choices.
+// (fills, strided copies, arithmetic, forall, where, reductions over
+// expressions), execute them through lexer->parser->machine under BOTH
+// execution tiers, and require (a) each tier matches a simple reference
+// simulator driven by the same random choices and (b) the two tiers agree
+// byte for byte — the bytecode tier's fused superinstructions must not
+// change a single bit relative to the tree-walking interpreter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cyclick/compiler/interp.hpp"
 
@@ -29,20 +35,43 @@ class ProgramFuzzer {
   }
 
   void add_random_statement() {
-    switch (rng_() % 5) {
+    switch (rng_() % 6) {
       case 0: add_fill(); break;
       case 1: add_copy(); break;
       case 2: add_arith(); break;
       case 3: add_forall(); break;
+      case 4: add_reduce(); break;
       default: add_where(); break;
     }
   }
 
   void run_and_check() {
-    Machine machine;
-    machine.run_source(src_.str());
-    ASSERT_EQ(machine.global_image("A"), ref_.a) << src_.str();
-    ASSERT_EQ(machine.global_image("B"), ref_.b) << src_.str();
+    const std::string program = src_.str();
+    Machine interp;
+    interp.set_tier(Tier::kInterp);
+    interp.run_source(program);
+    Machine bytecode;
+    bytecode.set_tier(Tier::kBytecode);
+    bytecode.run_source(program);
+    // Each tier against the reference model...
+    ASSERT_EQ(interp.global_image("A"), ref_.a) << program;
+    ASSERT_EQ(interp.global_image("B"), ref_.b) << program;
+    // ...and tier against tier, byte for byte.
+    ASSERT_EQ(bytecode.global_image("A"), interp.global_image("A")) << program;
+    ASSERT_EQ(bytecode.global_image("B"), interp.global_image("B")) << program;
+    for (const ScalarCheck& sc : scalar_checks_) {
+      const double vi = interp.scalar(sc.name);
+      const double vb = bytecode.scalar(sc.name);
+      ASSERT_EQ(vb, vi) << sc.name << " differs across tiers\n" << program;
+      if (sc.exact) {
+        ASSERT_EQ(vi, sc.value) << sc.name << "\n" << program;
+      } else {
+        // Distributed sums fold per rank before combining, so the
+        // association differs from the reference's left-to-right walk.
+        ASSERT_NEAR(vi, sc.value, 1e-9 * (1.0 + std::abs(sc.value)))
+            << sc.name << "\n" << program;
+      }
+    }
   }
 
  private:
@@ -131,6 +160,37 @@ class ProgramFuzzer {
           snapshot[static_cast<std::size_t>(i)] + static_cast<double>(i);
   }
 
+  void add_reduce() {
+    // r<k> = sum|min|max(A(s1) * B(s2))  -- a reduction over an expression,
+    // the transform+reduce shape both tiers fuse into a single pass.
+    static const char* const ops[] = {"sum", "min", "max"};
+    const unsigned op = static_cast<unsigned>(rng_() % 3);
+    const Sec s1 = random_section();
+    const Sec s2 = random_section_of_size(s1.size());
+    const bool mul = rng_() % 2;
+    std::string name = "r";  // built in two steps: gcc-12 -Wrestrict chokes
+    name += std::to_string(scalar_checks_.size());
+    src_ << name << " = " << ops[op] << "(A" << s1.str() << (mul ? " * B" : " - B")
+         << s2.str() << ")\n";
+    double acc = 0.0;
+    for (i64 t = 0; t < s1.size(); ++t) {
+      const double x = ref_.a[static_cast<std::size_t>(s1.at(t))];
+      const double y = ref_.b[static_cast<std::size_t>(s2.at(t))];
+      const double e = mul ? x * y : x - y;
+      if (t == 0)
+        acc = e;
+      else if (op == 0)
+        acc += e;
+      else if (op == 1)
+        acc = std::min(acc, e);
+      else
+        acc = std::max(acc, e);
+    }
+    // min/max folds are association-free, so those compare exactly even
+    // though the machine reduces per rank first; sums compare approximately.
+    scalar_checks_.push_back({name, acc, op != 0});
+  }
+
   void add_where() {
     const bool tob = rng_() % 2;
     const Sec d = random_section();
@@ -145,10 +205,17 @@ class ProgramFuzzer {
     }
   }
 
+  struct ScalarCheck {
+    std::string name;
+    double value;
+    bool exact;
+  };
+
   std::mt19937_64 rng_;
   i64 n_;
   RefMachine ref_;
   std::ostringstream src_;
+  std::vector<ScalarCheck> scalar_checks_;
 };
 
 TEST(CompilerFuzz, RandomProgramsMatchReference) {

@@ -2,6 +2,9 @@
 // the same global state as sequential reference semantics.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "cyclick/compiler/interp.hpp"
 
 namespace cyclick::dsl {
@@ -465,6 +468,7 @@ TEST(Interp, RepeatErrors) {
 
 TEST(Interp, LoweringTraceRecordsRuntimeOps) {
   Machine machine;
+  machine.set_tier(Tier::kInterp);  // the trace lines below are interp-tier lowering
   machine.enable_trace();
   machine.run_source(std::string(kPrologue) + R"(
 A(0:319) = 1
@@ -496,6 +500,212 @@ TEST(Interp, ScalarFoldingWorks) {
 TEST(Interp, UnknownArrayLookupThrows) {
   const Machine machine;
   EXPECT_THROW((void)machine.array("nope"), dsl_error);
+}
+
+// ---------------------------------------------------------------------------
+// Execution tiers: the bytecode tier must agree with the interpreter bit for
+// bit, fall back cleanly on shapes it declines, and be selectable through
+// the --tier flag and the CYCLICK_TIER environment variable.
+
+TEST(Tier, FlagParsing) {
+  Tier t = Tier::kInterp;
+  EXPECT_TRUE(parse_tier_flag("--tier=bytecode", t));
+  EXPECT_EQ(t, Tier::kBytecode);
+  EXPECT_TRUE(parse_tier_flag("--tier=interp", t));
+  EXPECT_EQ(t, Tier::kInterp);
+  // Unknown values are recognized as tier flags but leave the tier alone.
+  t = Tier::kBytecode;
+  EXPECT_TRUE(parse_tier_flag("--tier=warp", t));
+  EXPECT_EQ(t, Tier::kBytecode);
+  EXPECT_FALSE(parse_tier_flag("--backend=proc", t));
+  EXPECT_FALSE(parse_tier_flag("--tierless", t));
+}
+
+TEST(Tier, EnvSelection) {
+  // Restore any ambient CYCLICK_TIER (CI sets it for whole-suite tier legs).
+  const char* prior = std::getenv("CYCLICK_TIER");
+  const std::string saved = prior ? prior : "";
+  ASSERT_EQ(setenv("CYCLICK_TIER", "interp", 1), 0);
+  EXPECT_EQ(tier_from_env(Tier::kBytecode), Tier::kInterp);
+  ASSERT_EQ(setenv("CYCLICK_TIER", "bytecode", 1), 0);
+  EXPECT_EQ(tier_from_env(Tier::kInterp), Tier::kBytecode);
+  ASSERT_EQ(setenv("CYCLICK_TIER", "nonsense", 1), 0);
+  EXPECT_EQ(tier_from_env(Tier::kBytecode), Tier::kBytecode);
+  ASSERT_EQ(unsetenv("CYCLICK_TIER"), 0);
+  EXPECT_EQ(tier_from_env(Tier::kBytecode), Tier::kBytecode);
+  EXPECT_STREQ(tier_name(Tier::kInterp), "interp");
+  EXPECT_STREQ(tier_name(Tier::kBytecode), "bytecode");
+  if (prior) {
+    ASSERT_EQ(setenv("CYCLICK_TIER", saved.c_str(), 1), 0);
+  }
+}
+
+TEST(Tier, ExplainListsCompiledBytecode) {
+  Machine machine;
+  machine.run_source(std::string(kPrologue) +
+                     "explain B(0:318:2) = A(0:318:2) * 2 + 1\n");
+  const std::string& out = machine.output();
+  EXPECT_NE(out.find("muladd.vss"), std::string::npos) << out;  // fused a*s+c
+  EXPECT_NE(out.find("lanes:"), std::string::npos) << out;
+  EXPECT_NE(out.find("kernels:"), std::string::npos) << out;
+  EXPECT_NE(out.find("fusion:"), std::string::npos) << out;
+}
+
+TEST(Tier, ExplainReportsInterpreterFallback) {
+  // N-D targets are not compiled; the explain form says so instead of
+  // printing a listing.
+  Machine machine;
+  machine.run_source(R"(
+processors G(2, 2)
+template T(8, 8)
+distribute T onto G cyclic(2) cyclic(2)
+array M(8, 8) align with T(i, j)
+explain M(0:7, 0:7) = 5
+)");
+  EXPECT_NE(machine.output().find("falls back to the interpreter tier"),
+            std::string::npos)
+      << machine.output();
+}
+
+TEST(Tier, DivisionByZeroParityAcrossTiers) {
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 7
+B(0:319) = 3
+B(10:19) = B(10:19) / A(10:19)
+A(12:12) = 0
+B(10:19) = B(10:19) / A(10:19)
+)";
+  auto run_tier = [&](Tier tier, std::string& what) {
+    Machine machine;
+    machine.set_tier(tier);
+    try {
+      machine.run_source(program);
+      ADD_FAILURE() << "expected division by zero under " << tier_name(tier);
+    } catch (const dsl_error& e) {
+      what = e.what();
+    }
+    return machine.global_image("B");
+  };
+  std::string interp_what, bytecode_what;
+  const auto interp_b = run_tier(Tier::kInterp, interp_what);
+  const auto bytecode_b = run_tier(Tier::kBytecode, bytecode_what);
+  EXPECT_EQ(interp_what, bytecode_what);
+  EXPECT_NE(interp_what.find("division by zero"), std::string::npos) << interp_what;
+  // The failed statement must not have mutated the destination in either
+  // tier (all-or-nothing store discipline), so the images still agree.
+  EXPECT_EQ(interp_b, bytecode_b);
+  EXPECT_EQ(bytecode_b[10], 3.0 / 7.0);  // first divide landed, second aborted
+}
+
+TEST(Tier, FallbackMatchesInterpOnAlignedTargets) {
+  // Non-identity alignment makes the bytecode compiler decline the
+  // statement; execution falls back to the interpreter and must produce
+  // the same values a forced-interp machine does.
+  const std::string program = R"(
+processors P(3)
+template T(400)
+distribute T onto P cyclic(5)
+array A(100) align with T(3*i+2)
+array B(100) align with T(3*i+2)
+A(0:99) = 4
+B(0:99) = A(0:99) * A(0:99)
+B(0:98:2) = B(0:98:2) - A(0:98:2)
+)";
+  Machine interp;
+  interp.set_tier(Tier::kInterp);
+  interp.run_source(program);
+  Machine bytecode;
+  bytecode.set_tier(Tier::kBytecode);
+  bytecode.run_source(program);
+  EXPECT_EQ(interp.global_image("A"), bytecode.global_image("A"));
+  EXPECT_EQ(interp.global_image("B"), bytecode.global_image("B"));
+  EXPECT_EQ(bytecode.global_image("B")[0], 12.0);
+}
+
+TEST(Tier, ReductionOverExpressionBothTiers) {
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 2
+B(0:319) = 3
+dot = sum(A(0:63) * B(0:63))
+lo = min(A(0:63) - B(0:63))
+hi = max(A(0:63) * B(0:63) + 1)
+)";
+  for (const Tier tier : {Tier::kInterp, Tier::kBytecode}) {
+    Machine machine;
+    machine.set_tier(tier);
+    machine.run_source(program);
+    EXPECT_EQ(machine.scalar("dot"), 384.0) << tier_name(tier);
+    EXPECT_EQ(machine.scalar("lo"), -1.0) << tier_name(tier);
+    EXPECT_EQ(machine.scalar("hi"), 7.0) << tier_name(tier);
+  }
+}
+
+TEST(Tier, ReductionOverExpressionErrors) {
+  Machine machine;
+  // No section operand to anchor the element ordering.
+  EXPECT_THROW((void)machine.run_source(std::string(kPrologue) + "x = sum(1 + 2)\n"),
+               dsl_error);
+}
+
+TEST(Tier, RepeatReusesCachedProgram) {
+  // The same statement shape inside a repeat must keep producing interp
+  // results while being served from the program cache.
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 1
+B(0:319) = 0
+repeat 8
+B(1:318) = (A(0:317) + A(2:319)) / 2
+A(1:318) = B(1:318)
+end
+)";
+  Machine interp;
+  interp.set_tier(Tier::kInterp);
+  interp.run_source(program);
+  Machine bytecode;
+  bytecode.set_tier(Tier::kBytecode);
+  bytecode.run_source(program);
+  EXPECT_EQ(interp.global_image("A"), bytecode.global_image("A"));
+  EXPECT_EQ(interp.global_image("B"), bytecode.global_image("B"));
+}
+
+TEST(Tier, ThreadedBytecodeMatchesSequential) {
+  // The bytecode dispatch loop runs per rank inside exec.run; under the
+  // threaded executor those are real concurrent threads (this is the
+  // tier-differential case the TSan CI leg watches).
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 1
+B(0:319) = 0
+repeat 6
+B(1:318) = (A(0:317) + A(2:319)) / 2
+A(1:318) = B(1:318) * 2 - A(1:318)
+end
+total = sum(A(0:319) * B(0:319))
+)";
+  Machine seq(SpmdExecutor::Mode::kSequential);
+  seq.set_tier(Tier::kBytecode);
+  seq.run_source(program);
+  Machine thr(SpmdExecutor::Mode::kThreads);
+  thr.set_tier(Tier::kBytecode);
+  thr.run_source(program);
+  EXPECT_EQ(seq.global_image("A"), thr.global_image("A"));
+  EXPECT_EQ(seq.global_image("B"), thr.global_image("B"));
+  EXPECT_EQ(seq.scalar("total"), thr.scalar("total"));
+}
+
+TEST(Tier, RedistributeInvalidatesStatementShape) {
+  // Redistribution changes the mapping signature in the cache key, so the
+  // cached program for the old mapping must not be reused.
+  const std::string program = std::string(kPrologue) + R"(
+A(0:319) = 1
+B(0:319) = A(0:319) * 3 + 1
+redistribute A onto P cyclic(3)
+B(0:319) = A(0:319) * 3 + 1
+)";
+  Machine bytecode;
+  bytecode.set_tier(Tier::kBytecode);
+  bytecode.run_source(program);
+  const auto image = bytecode.global_image("B");
+  for (i64 g = 0; g < 320; ++g) EXPECT_EQ(image[static_cast<std::size_t>(g)], 4.0) << g;
 }
 
 }  // namespace

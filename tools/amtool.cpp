@@ -13,11 +13,15 @@
 //                 against the transport-free executor
 //
 // All subcommands accept any subset of processors via -m (default: all),
-// plus --strategy (print the AddressEngine dispatch class for (p, k, s)),
+// plus --strategy (print the AddressEngine dispatch class for (p, k, s),
+// followed by the bytecode listing of a representative fused statement over
+// that distribution — suppressed under --tier=interp),
+// --tier=interp|bytecode (CYCLICK_TIER supplies the default),
 // --backend=inproc|proc (xfer's execution backend; CYCLICK_BACKEND
 // supplies the default), --metrics[=json] (telemetry report on stderr)
 // and --trace=FILE.json (chrome://tracing export).
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <numeric>
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "cyclick/codegen/node_loop.hpp"
+#include "cyclick/compiler/interp.hpp"
 #include "cyclick/core/engine.hpp"
 #include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/layout_render.hpp"
@@ -52,7 +57,7 @@ struct Options {
   std::cerr <<
       "usage: amtool <table|basis|walk|owners|layout|stats|xfer> -p <procs> -k <block> -s <stride>\n"
       "              [-l <lower>] [-u <upper>] [-m <proc>] [-d <dst block>]\n"
-      "              [--strategy] [--backend=inproc|proc]\n";
+      "              [--strategy] [--tier=interp|bytecode] [--backend=inproc|proc]\n";
   std::exit(2);
 }
 
@@ -283,6 +288,7 @@ int main(int argc, char** argv) {
   obs::CliOptions obs_opt;
   bool show_strategy = false;
   net::Backend backend = net::backend_from_env(net::Backend::kInProc);
+  dsl::Tier tier = dsl::tier_from_env(dsl::Tier::kBytecode);
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -291,6 +297,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (i >= 1 && net::parse_backend_flag(argv[i], backend)) continue;
+    if (i >= 1 && dsl::parse_tier_flag(argv[i], tier)) continue;
     if (i >= 1 && obs::parse_cli_flag(argv[i], obs_opt)) continue;
     args.push_back(argv[i]);
   }
@@ -301,11 +308,38 @@ int main(int argc, char** argv) {
   const Options opt = parse_options(nargs, args.data());
   try {
     const BlockCyclic dist(opt.p, opt.k);
-    if (show_strategy)
+    if (show_strategy) {
       std::cout << "dispatch: "
                 << address_strategy_name(AddressEngine::classify(dist, opt.s))
                 << ", kernel: " << kernel_class_name(kernel_class_for(dist, opt.s)) << " (p="
                 << opt.p << ", k=" << opt.k << ", s=" << opt.s << ")\n";
+      if (tier == dsl::Tier::kBytecode) {
+        // Representative fused statement over this distribution: shows the
+        // per-rank kernel class and fusion decisions the bytecode tier
+        // would take for a stride-s access on cyclic(k) x p.
+        const i64 count = 16;
+        const i64 last = opt.l + (count - 1) * opt.s;
+        const i64 lo = std::min(opt.l, last);
+        if (lo >= 0) {
+          const i64 n = std::max(opt.l, last) + 1;
+          std::ostringstream prog;
+          prog << "processors P(" << opt.p << ")\n"
+               << "template T(" << n << ")\n"
+               << "distribute T onto P cyclic(" << opt.k << ")\n"
+               << "array A(" << n << ") align with T(i)\n"
+               << "array B(" << n << ") align with T(i)\n"
+               << "explain B(" << opt.l << ":" << last << ":" << opt.s << ") = A("
+               << opt.l << ":" << last << ":" << opt.s << ") * 2 + 1\n";
+          try {
+            dsl::Machine machine;
+            machine.run_source(prog.str());
+            std::cout << machine.output();
+          } catch (const std::exception& e) {
+            std::cerr << "amtool: (strategy listing unavailable: " << e.what() << ")\n";
+          }
+        }
+      }
+    }
     int rc = 2;
     if (cmd == "table") rc = cmd_table(dist, opt);
     else if (cmd == "basis") rc = cmd_basis(dist, opt);

@@ -12,6 +12,10 @@
 //                             transport
 //   hpfc --ranks=N            world size for --backend=proc (default 4,
 //                             or CYCLICK_WORLD)
+//   hpfc --tier=interp|bytecode  execution tier (default bytecode, or
+//                             CYCLICK_TIER): bytecode compiles statements
+//                             into fused register programs and falls back
+//                             to the tree-walking interpreter per statement
 //   hpfc --metrics[=json]     print a telemetry report (counters, span
 //                             totals, histograms) to stderr after the run
 //   hpfc --trace=FILE.json    write a chrome://tracing trace of the run
@@ -40,15 +44,17 @@ using namespace cyclick;
 
 [[noreturn]] void usage() {
   std::cerr << "usage: hpfc [-t] [-v] [--backend=inproc|proc] [--ranks=N]"
-               " [--metrics[=json]] [--trace=FILE.json] <program.hpf | ->\n";
+               " [--tier=interp|bytecode] [--metrics[=json]] [--trace=FILE.json]"
+               " <program.hpf | ->\n";
   std::exit(2);
 }
 
 int run_machine(const std::string& source, bool threaded, bool verbose, bool print_output,
-                const obs::CliOptions& obs_opt) {
+                const obs::CliOptions& obs_opt, dsl::Tier tier) {
   try {
     dsl::Machine machine(threaded ? SpmdExecutor::Mode::kThreads
                                   : SpmdExecutor::Mode::kSequential);
+    machine.set_tier(tier);
     if (verbose) machine.enable_trace();
     machine.run_source(source);
     if (print_output) {
@@ -76,6 +82,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   obs::CliOptions obs_opt;
   net::Backend backend = net::backend_from_env(net::Backend::kInProc);
+  dsl::Tier tier = dsl::tier_from_env(dsl::Tier::kBytecode);
   i64 ranks = net::world_from_env(4);
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +96,9 @@ int main(int argc, char** argv) {
       if (ranks < 1) usage();
     } else if (net::parse_backend_flag(arg, backend)) {
       // handled
+    } else if (dsl::parse_tier_flag(arg, tier)) {
+      // handled (argv is re-execed verbatim for proc ranks, so the tier
+      // choice propagates to every rank process)
     } else if (obs::parse_cli_flag(arg, obs_opt)) {
       // handled
     } else if (path.empty()) {
@@ -155,7 +165,7 @@ int main(int argc, char** argv) {
     try {
       const auto transport = net::SocketTransport::connect_mesh(*env_rank, world, dir);
       process_context() = ProcessContext{*env_rank, world, transport.get()};
-      const int rc = run_machine(source, threaded, verbose, *env_rank == 0, obs_opt);
+      const int rc = run_machine(source, threaded, verbose, *env_rank == 0, obs_opt, tier);
       process_context() = ProcessContext{};
       return rc;
     } catch (const std::exception& e) {
@@ -164,5 +174,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  return run_machine(source, threaded, verbose, /*print_output=*/true, obs_opt);
+  return run_machine(source, threaded, verbose, /*print_output=*/true, obs_opt, tier);
 }

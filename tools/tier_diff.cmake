@@ -1,0 +1,31 @@
+# Tier-differential driver: run the same DSL program through hpfc under the
+# interpreter tier and the bytecode tier and require identical stdout. Used
+# with both execution backends; under --backend=proc this checks that the
+# --tier flag propagates to the re-exec'ed rank processes.
+#
+#   cmake -DHPFC=<hpfc> -DPROGRAM=<file.hpf> [-DBACKEND_ARGS=--backend=proc;--ranks=4]
+#         -P tier_diff.cmake
+if(NOT DEFINED HPFC OR NOT DEFINED PROGRAM)
+  message(FATAL_ERROR "tier_diff.cmake needs -DHPFC=... and -DPROGRAM=...")
+endif()
+if(NOT DEFINED BACKEND_ARGS)
+  set(BACKEND_ARGS "")
+endif()
+
+foreach(tier interp bytecode)
+  execute_process(
+    COMMAND ${HPFC} ${BACKEND_ARGS} --tier=${tier} ${PROGRAM}
+    OUTPUT_VARIABLE out_${tier}
+    ERROR_VARIABLE err_${tier}
+    RESULT_VARIABLE rc_${tier})
+  if(NOT rc_${tier} EQUAL 0)
+    message(FATAL_ERROR "hpfc --tier=${tier} failed (${rc_${tier}}): ${err_${tier}}")
+  endif()
+endforeach()
+
+if(NOT out_interp STREQUAL out_bytecode)
+  message(FATAL_ERROR "tier outputs differ for ${PROGRAM}\n"
+                      "--- interp ---\n${out_interp}\n"
+                      "--- bytecode ---\n${out_bytecode}")
+endif()
+message(STATUS "tiers agree for ${PROGRAM}")
