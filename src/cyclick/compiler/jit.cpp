@@ -567,18 +567,50 @@ struct JitCompiler {
     }
   }
 
+  /// True when `in` writes lane register `r`'s backing buffer. kLaneDirect
+  /// and kLaneScratch are excluded: in dense-run mode they only re-point the
+  /// register at a source span, and fusion is a dense-run-only rewrite.
+  [[nodiscard]] static bool writes_lane_buf(const bc::Instr& in, u8 r) {
+    if (in.a != r) return false;
+    return in.op == bc::Op::kLaneRamp ||
+           (in.op >= bc::Op::kLaneNeg && in.op <= bc::Op::kMulAddVSS);
+  }
+
   void finalize_store(u8 store_reg) {
     p.store_reg = store_reg;
     build_kernels();
     if (p.lanes_may_throw) return;
-    for (const bc::Instr& in : p.lanes) {
-      if (in.op >= bc::Op::kLaneNeg && in.op <= bc::Op::kMulAddVSS &&
-          in.a == store_reg) {
-        p.store_fused = true;
-        p.notes.push_back("store fused into the final arithmetic pass (dense runs)");
-        return;
+    // Store fusion redirects EVERY buffer write of the store register into
+    // the destination span, so intermediate results become visible through
+    // any kLaneDirect alias of the target before the statement completes
+    // (A = B + C + A would read back B+C instead of A). It preserves the
+    // interpreter's evaluate-whole-RHS-then-store semantics only when
+    //   (a) the sole buffer write to the store register is the root pass —
+    //       the last lane instruction before the terminal: everything
+    //       reading the target runs before or inside that pass, sees its
+    //       pristine values, and the root's same-index read-then-write
+    //       aliasing within one element-wise loop is safe; or
+    //   (b) no lane instruction aliases the target at all, so intermediates
+    //       parked in the span are never observed.
+    int writers = 0;
+    std::size_t last_writer = 0;
+    bool reads_target = false;
+    const std::size_t body = p.lanes.size() - 1;  // exclude the terminal
+    for (std::size_t i = 0; i < body; ++i) {
+      const bc::Instr& in = p.lanes[i];
+      if (writes_lane_buf(in, store_reg)) {
+        ++writers;
+        last_writer = i;
       }
+      if (in.op == bc::Op::kLaneDirect &&
+          p.operands[static_cast<std::size_t>(in.aux)].array == p.target)
+        reads_target = true;
     }
+    if (writers == 0) return;
+    const bool sole_root_writer = writers == 1 && last_writer == body - 1;
+    if (!sole_root_writer && reads_target) return;
+    p.store_fused = true;
+    p.notes.push_back("store fused into the final arithmetic pass (dense runs)");
   }
 
   std::shared_ptr<const bc::CompiledProgram> take() {
@@ -727,7 +759,6 @@ void run_lanes(const bc::CompiledProgram& p, i64 rank, const std::vector<double>
 // a shared switch); everything else falls back to a switch loop with
 // identical handler bodies.
 #if defined(__GNUC__) && !defined(CYCLICK_NO_COMPUTED_GOTO)
-#define VM_CASE(label) label:
 #define VM_NEXT                                       \
   do {                                                \
     ++ip;                                             \
@@ -751,7 +782,6 @@ void run_lanes(const bc::CompiledProgram& p, i64 rank, const std::vector<double>
   };
   goto* jump[static_cast<std::size_t>(ip->op)];
 #else
-#define VM_CASE(label) case bc::Op_for_##label:
 #define VM_NEXT                                       \
   do {                                                \
     ++ip;                                             \
@@ -1072,7 +1102,6 @@ vm_bad:
   // in the lane stream.
   return;
 
-#undef VM_CASE
 #undef VM_NEXT
 }
 

@@ -135,29 +135,72 @@ class ProgramFuzzer {
     const Sec s1 = random_section_of_size(d.size());
     const Sec s2 = random_section_of_size(d.size());
     const i64 c = 1 + static_cast<i64>(rng_() % 9);
-    src_ << (tob ? "B" : "A") << d.str() << " = A" << s1.str() << " * " << c << " - B"
-         << s2.str() << "\n";
+    const char* dn = tob ? "B" : "A";
     const std::vector<double> sa = ref_.a;
     const std::vector<double> sb = ref_.b;
+    const std::vector<double>& sd = tob ? sb : sa;  // destination snapshot
     auto& dst = pick(tob);
-    for (i64 t = 0; t < d.size(); ++t)
-      dst[static_cast<std::size_t>(d.at(t))] =
-          sa[static_cast<std::size_t>(s1.at(t))] * static_cast<double>(c) -
-          sb[static_cast<std::size_t>(s2.at(t))];
+    switch (rng_() % 3) {
+      case 0:
+        // dst = A(s1) * c - B(s2): the single fused copy+axpy shape.
+        src_ << dn << d.str() << " = A" << s1.str() << " * " << c << " - B" << s2.str()
+             << "\n";
+        for (i64 t = 0; t < d.size(); ++t)
+          dst[static_cast<std::size_t>(d.at(t))] =
+              sa[static_cast<std::size_t>(s1.at(t))] * static_cast<double>(c) -
+              sb[static_cast<std::size_t>(s2.at(t))];
+        break;
+      case 1:
+        // dst = A(s1) + B(s2) + dst(d): the destination read through a
+        // direct lane alias AFTER an intermediate sum — store fusion must
+        // not park A+B in the destination span before dst(d) is read.
+        src_ << dn << d.str() << " = A" << s1.str() << " + B" << s2.str() << " + " << dn
+             << d.str() << "\n";
+        for (i64 t = 0; t < d.size(); ++t)
+          dst[static_cast<std::size_t>(d.at(t))] =
+              sa[static_cast<std::size_t>(s1.at(t))] +
+              sb[static_cast<std::size_t>(s2.at(t))] +
+              sd[static_cast<std::size_t>(d.at(t))];
+        break;
+      default:
+        // dst = (A(s1) - B(s2)) * (dst(d) + c): product of two multi-op
+        // factors with the destination aliased inside the right factor.
+        src_ << dn << d.str() << " = (A" << s1.str() << " - B" << s2.str() << ") * (" << dn
+             << d.str() << " + " << c << ")\n";
+        for (i64 t = 0; t < d.size(); ++t)
+          dst[static_cast<std::size_t>(d.at(t))] =
+              (sa[static_cast<std::size_t>(s1.at(t))] -
+               sb[static_cast<std::size_t>(s2.at(t))]) *
+              (sd[static_cast<std::size_t>(d.at(t))] + static_cast<double>(c));
+        break;
+    }
   }
 
   void add_forall() {
-    // forall (i = 0:m) A(i+off) = B(i) + i
     const i64 m = 1 + static_cast<i64>(rng_() % static_cast<u64>(n_ / 2));
     const i64 off = static_cast<i64>(rng_() % static_cast<u64>(n_ - m));
     const bool tob = rng_() % 2;
-    src_ << "forall (i = 0:" << m - 1 << ") " << (tob ? "B" : "A") << "(i+" << off
-         << ") = " << (tob ? "A" : "B") << "(i) + i\n";
-    const std::vector<double> snapshot = pick(!tob);
     auto& dst = pick(tob);
-    for (i64 i = 0; i < m; ++i)
-      dst[static_cast<std::size_t>(i + off)] =
-          snapshot[static_cast<std::size_t>(i)] + static_cast<double>(i);
+    if (rng_() % 2) {
+      // forall (i = 0:m) A(i+off) = B(i) + i
+      src_ << "forall (i = 0:" << m - 1 << ") " << (tob ? "B" : "A") << "(i+" << off
+           << ") = " << (tob ? "A" : "B") << "(i) + i\n";
+      const std::vector<double> snapshot = pick(!tob);
+      for (i64 i = 0; i < m; ++i)
+        dst[static_cast<std::size_t>(i + off)] =
+            snapshot[static_cast<std::size_t>(i)] + static_cast<double>(i);
+    } else {
+      // forall (i = 0:m) dst(i+off) = i - dst(i+off): the ramp-first shape —
+      // the ramp writes the store register before the destination's direct
+      // lane alias is read, so fusing the store would read back the ramp.
+      const char* dn = tob ? "B" : "A";
+      src_ << "forall (i = 0:" << m - 1 << ") " << dn << "(i+" << off << ") = i - " << dn
+           << "(i+" << off << ")\n";
+      for (i64 i = 0; i < m; ++i) {
+        double& slot = dst[static_cast<std::size_t>(i + off)];
+        slot = static_cast<double>(i) - slot;
+      }
+    }
   }
 
   void add_reduce() {
