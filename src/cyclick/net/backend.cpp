@@ -5,20 +5,36 @@
 namespace cyclick::net {
 
 const char* backend_name(Backend b) noexcept {
-  return b == Backend::kProc ? "proc" : "inproc";
+  switch (b) {
+    case Backend::kProc: return "proc";
+    case Backend::kSim: return "sim";
+    case Backend::kInProc: break;
+  }
+  return "inproc";
 }
 
 std::optional<Backend> parse_backend_name(std::string_view name) noexcept {
   if (name == "inproc") return Backend::kInProc;
   if (name == "proc") return Backend::kProc;
+  if (name == "sim") return Backend::kSim;
   return std::nullopt;
 }
+
+namespace {
+
+[[noreturn]] void reject_backend(const char* where, std::string_view value) {
+  throw precondition_error("unknown backend \"" + std::string(value) + "\" in " +
+                           where + "; valid backends are: inproc, proc, sim");
+}
+
+}  // namespace
 
 bool parse_backend_flag(std::string_view arg, Backend& out) {
   constexpr std::string_view prefix = "--backend=";
   if (arg.substr(0, prefix.size()) != prefix) return false;
-  const auto parsed = parse_backend_name(arg.substr(prefix.size()));
-  CYCLICK_REQUIRE(parsed.has_value(), "--backend must be one of: inproc, proc");
+  const std::string_view name = arg.substr(prefix.size());
+  const auto parsed = parse_backend_name(name);
+  if (!parsed.has_value()) reject_backend("--backend", name);
   out = *parsed;
   return true;
 }
@@ -26,7 +42,9 @@ bool parse_backend_flag(std::string_view arg, Backend& out) {
 Backend backend_from_env(Backend fallback) {
   const char* env = std::getenv("CYCLICK_BACKEND");
   if (env == nullptr || *env == '\0') return fallback;
-  return parse_backend_name(env).value_or(fallback);
+  const auto parsed = parse_backend_name(env);
+  if (!parsed.has_value()) reject_backend("CYCLICK_BACKEND", env);
+  return *parsed;
 }
 
 }  // namespace cyclick::net

@@ -1,8 +1,12 @@
 // Execution-backend selection shared by the CLI tools: `inproc` (the
-// single-process transport simulation) or `proc` (one OS process per rank
-// over the socket transport). Tools accept --backend=inproc|proc; the
-// CYCLICK_BACKEND environment variable supplies the default so whole test
-// suites can be flipped without touching command lines.
+// single-process transport simulation), `proc` (one OS process per rank
+// over the socket transport) or `sim` (the discrete-event simulated mesh —
+// thousands of virtual ranks in one process with modelled link costs).
+// Tools accept --backend=inproc|proc|sim; the CYCLICK_BACKEND environment
+// variable supplies the default so whole test suites can be flipped
+// without touching command lines. Unknown names — on the flag or in the
+// environment — fail with a precondition_error listing the valid backends
+// rather than silently falling through to a default.
 #pragma once
 
 #include <optional>
@@ -16,18 +20,22 @@ namespace cyclick::net {
 enum class Backend {
   kInProc,  ///< shared-address-space machine (InProcessTransport)
   kProc,    ///< one OS process per rank (SocketTransport + launcher)
+  kSim,     ///< discrete-event simulated mesh (sim::SimTransport)
 };
 
 [[nodiscard]] const char* backend_name(Backend b) noexcept;
 
-/// "inproc" or "proc" (case-sensitive); nullopt otherwise.
+/// "inproc", "proc" or "sim" (case-sensitive); nullopt otherwise.
 [[nodiscard]] std::optional<Backend> parse_backend_name(std::string_view name) noexcept;
 
 /// True when `arg` is --backend=<name> (folded into `out`). Throws
-/// precondition_error on an unknown backend name.
+/// precondition_error naming the rejected value and listing the valid
+/// backends on an unknown name.
 bool parse_backend_flag(std::string_view arg, Backend& out);
 
-/// CYCLICK_BACKEND when set and valid, else `fallback`.
+/// CYCLICK_BACKEND when set, else `fallback`. A set-but-invalid value is
+/// rejected with a precondition_error listing the valid backends (a typo'd
+/// environment must not silently run on the default backend).
 [[nodiscard]] Backend backend_from_env(Backend fallback);
 
 }  // namespace cyclick::net

@@ -370,6 +370,11 @@ void execute_copy_plan_replicated(const CommPlan& plan, const DistributedArray<T
                                   i64 my_rank, Transport& transport);
 
 template <typename T>
+void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src,
+                            DistributedArray<T>& dst, const SpmdExecutor& exec,
+                            Transport& transport);
+
+template <typename T>
 void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
                        DistributedArray<T>& dst, const SpmdExecutor& exec) {
   static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
@@ -381,6 +386,13 @@ void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
   const ProcessContext& pc = process_context();
   if (pc.active() && plan.ranks == pc.world) {
     execute_copy_plan_replicated(plan, src, dst, exec, pc.rank, *pc.transport);
+    return;
+  }
+  // Under the simulation backend every whole-machine plan execution is
+  // replayed over the provided (virtual) transport: identical results,
+  // message-shaped movement, predicted timings as a side effect.
+  if (TransportProvider* provider = transport_provider(); provider != nullptr) {
+    execute_copy_plan_over(plan, src, dst, exec, provider->transport_for(plan.ranks));
     return;
   }
   const i64 p = plan.ranks;

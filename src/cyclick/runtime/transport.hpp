@@ -189,6 +189,28 @@ struct ProcessContext {
   return ctx;
 }
 
+/// Source of whole-machine transports for single-process backends that
+/// want every plan execution routed through a Transport — the simulation
+/// backend (sim::SimMachine) installs one so `execute_copy_plan` replays
+/// every CommPlan over the modelled interconnect while producing results
+/// byte-identical to the transport-free path. Unlike ProcessContext (one
+/// real rank per OS process), a provider serves *all* ranks of any machine
+/// size the program creates.
+class TransportProvider {
+ public:
+  virtual ~TransportProvider() = default;
+  /// The transport to route a `ranks`-rank plan execution through.
+  virtual Transport& transport_for(i64 ranks) = 0;
+};
+
+/// The process-wide provider slot (null when inactive). Set it once at
+/// process startup, like process_context(); a live ProcessContext takes
+/// precedence in execute_copy_plan.
+[[nodiscard]] inline TransportProvider*& transport_provider() {
+  static TransportProvider* provider = nullptr;
+  return provider;
+}
+
 /// Typed convenience: send a span of trivially copyable values.
 template <typename T>
 void send_values(Transport& transport, i64 from, i64 to, std::span<const T> values) {

@@ -1,0 +1,73 @@
+// Deterministic discrete-event core for the simulated mesh.
+//
+// The simulator schedules two event kinds per message — a departure (the
+// message enters the network) and an arrival (the last byte has cleared
+// the receiver's endpoint) — and processes them in global virtual-time
+// order. Determinism is load-bearing: two runs of the same schedule must
+// produce bit-identical predicted timelines, so ties are broken by a
+// monotonically increasing sequence number assigned at scheduling time,
+// never by heap insertion accidents or pointer values. Virtual time is
+// integral nanoseconds (i64): all cost arithmetic rounds once, at
+// scheduling, so event comparisons are exact.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::sim {
+
+/// One scheduled occurrence in virtual time.
+struct Event {
+  enum class Kind : i64 {
+    kDepart,  ///< message enters the network (in-flight count rises)
+    kArrive,  ///< message delivered at the receiver (in-flight count falls)
+  };
+
+  i64 time_ns = 0;  ///< virtual nanoseconds since simulation start
+  i64 seq = 0;      ///< global scheduling order; breaks time ties
+  Kind kind = Kind::kDepart;
+  i64 from = 0;
+  i64 to = 0;
+  i64 msg = 0;  ///< index into the owner's in-flight message table
+};
+
+/// Strict weak order: earlier time first, then earlier scheduling order.
+/// Two events never compare equal (seq is unique), so processing order is
+/// a total order independent of container internals.
+[[nodiscard]] constexpr bool event_after(const Event& a, const Event& b) noexcept {
+  if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+  return a.seq > b.seq;
+}
+
+/// Binary min-heap of events ordered by (time_ns, seq). A thin wrapper
+/// over the standard heap algorithms rather than std::priority_queue so
+/// the simulator can inspect size/top without friend access and clear the
+/// storage without reallocating.
+class EventHeap {
+ public:
+  void push(Event e) {
+    events_.push_back(e);
+    std::push_heap(events_.begin(), events_.end(), event_after);
+  }
+
+  [[nodiscard]] const Event& top() const { return events_.front(); }
+
+  Event pop() {
+    std::pop_heap(events_.begin(), events_.end(), event_after);
+    Event e = events_.back();
+    events_.pop_back();
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] i64 size() const noexcept { return static_cast<i64>(events_.size()); }
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace cyclick::sim

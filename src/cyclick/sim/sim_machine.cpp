@@ -1,0 +1,31 @@
+#include "cyclick/sim/sim_machine.hpp"
+
+#include <algorithm>
+
+namespace cyclick::sim {
+
+SimMachine::SimMachine(SimParams params) : params_(std::move(params)) {}
+
+Transport& SimMachine::transport_for(i64 ranks) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = transports_[ranks];
+  if (slot == nullptr) slot = std::make_unique<SimTransport>(ranks, params_);
+  return *slot;
+}
+
+SimTransport* SimMachine::transport_or_null(i64 ranks) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = transports_.find(ranks);
+  return it != transports_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<i64> SimMachine::worlds() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<i64> out;
+  out.reserve(transports_.size());
+  for (const auto& [ranks, transport] : transports_) out.push_back(ranks);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cyclick::sim

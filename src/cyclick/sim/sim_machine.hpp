@@ -1,0 +1,59 @@
+// SimMachine: the simulation backend's process hook.
+//
+// Owns one SimTransport per machine size the program creates (a DSL
+// program declares its own `processors P(n)`, and library code may build
+// plans for several machine sizes in one process), hands them to
+// execute_copy_plan through the TransportProvider slot, and aggregates
+// their predictions into one report. `hpfc --backend=sim` wraps the whole
+// run in a SimMachine::Scope; everything else — the interpreter, the
+// bytecode tier, the plan cache — is untouched.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclick/runtime/transport.hpp"
+#include "cyclick/sim/sim_transport.hpp"
+
+namespace cyclick::sim {
+
+class SimMachine final : public TransportProvider {
+ public:
+  explicit SimMachine(SimParams params = SimParams::from_env());
+
+  /// The (lazily created) simulated interconnect for a `ranks`-rank
+  /// machine. Stable for the life of the SimMachine, so virtual time
+  /// accumulates across every plan execution of that machine size.
+  Transport& transport_for(i64 ranks) override;
+
+  /// The simulated machine of a given size, or null if no plan of that
+  /// size has executed yet.
+  [[nodiscard]] SimTransport* transport_or_null(i64 ranks);
+
+  /// Machine sizes simulated so far, ascending.
+  [[nodiscard]] std::vector<i64> worlds();
+
+  /// Installs this machine as the process-wide transport provider for the
+  /// lifetime of the scope (the shape hpfc's sim backend uses). Nesting is
+  /// a bug: the provider slot holds one machine.
+  class Scope {
+   public:
+    explicit Scope(SimMachine& machine) {
+      CYCLICK_REQUIRE(transport_provider() == nullptr,
+                      "a transport provider is already installed");
+      transport_provider() = &machine;
+    }
+    ~Scope() { transport_provider() = nullptr; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+ private:
+  SimParams params_;
+  std::mutex mu_;
+  std::unordered_map<i64, std::unique_ptr<SimTransport>> transports_;
+};
+
+}  // namespace cyclick::sim

@@ -1,0 +1,221 @@
+#include "cyclick/sim/sim_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "cyclick/obs/trace.hpp"
+
+namespace cyclick::sim {
+
+namespace {
+
+/// Endpoint cost of moving `bytes` through a host interface, scaled by the
+/// rank's straggler multiplier. Rounded once so all downstream arithmetic
+/// is exact integer nanoseconds.
+[[nodiscard]] i64 host_cost_ns(const SimParams& p, i64 bytes, double mult) {
+  const double cost = (static_cast<double>(p.host_overhead_ns) +
+                       static_cast<double>(bytes) / p.host_bytes_per_ns) *
+                      mult;
+  return static_cast<i64>(std::llround(cost));
+}
+
+[[nodiscard]] i64 wire_cost_ns(const SimParams& p, i64 bytes) {
+  return static_cast<i64>(
+      std::llround(static_cast<double>(bytes) / p.link_bytes_per_ns));
+}
+
+}  // namespace
+
+SimTransport::SimTransport(i64 ranks, SimParams params, i64 recv_timeout_ms)
+    : world_(ranks),
+      params_(std::move(params)),
+      mesh_(params_.topology, ranks),
+      recv_timeout_ms_(recv_timeout_ms),
+      send_free_ns_(static_cast<std::size_t>(ranks), 0),
+      recv_free_ns_(static_cast<std::size_t>(ranks), 0),
+      in_network_(static_cast<std::size_t>(ranks), 0) {
+  CYCLICK_REQUIRE(ranks >= 1, "transport needs at least one rank");
+  i64 injected = 0;
+  for (const auto& [r, mult] : params_.stragglers)
+    if (r < world_ && mult != 1.0) ++injected;
+  CYCLICK_COUNT("sim.stragglers", 0, injected);
+}
+
+void SimTransport::check_ranks(i64 from, i64 to) const {
+  CYCLICK_REQUIRE(from >= 0 && from < world_ && to >= 0 && to < world_,
+                  "rank out of range");
+}
+
+void SimTransport::send(i64 from, i64 to, std::vector<std::byte> payload) {
+  check_ranks(from, to);
+  const i64 bytes = static_cast<i64>(payload.size());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+
+    // Sender endpoint: messages out of one rank serialize.
+    const i64 depart =
+        send_free_ns_[static_cast<std::size_t>(from)] +
+        host_cost_ns(params_, bytes, params_.straggler_multiplier(from));
+    send_free_ns_[static_cast<std::size_t>(from)] = depart;
+
+    // Network: the message serializes across every link of its route (the
+    // wormhole head waits for each link to free, occupies it for the
+    // serialization time, then pays the hop latency).
+    i64 at = depart;
+    mesh_.route(from, to, [&](i64 link_id) {
+      Link& link = links_[link_id];
+      const i64 start = std::max(at, link.free_ns);
+      const i64 ser = wire_cost_ns(params_, bytes);
+      link.free_ns = start + ser;
+      link.busy_ns += ser;
+      link.bytes += bytes;
+      ++link.messages;
+      at = start + ser + params_.link_latency_ns;
+    });
+
+    // Receiver endpoint: concurrent arrivals (incast) serialize too.
+    const i64 arrive =
+        std::max(at, recv_free_ns_[static_cast<std::size_t>(to)]) +
+        host_cost_ns(params_, bytes, params_.straggler_multiplier(to));
+    recv_free_ns_[static_cast<std::size_t>(to)] = arrive;
+
+    const i64 msg = seq_;
+    in_flight_[msg] = InFlight{std::move(payload), depart, arrive};
+    heap_.push(Event{depart, seq_++, Event::Kind::kDepart, from, to, msg});
+    heap_.push(Event{arrive, seq_++, Event::Kind::kArrive, from, to, msg});
+    horizon_ns_ = std::max(horizon_ns_, arrive);
+    ++messages_;
+    bytes_ += bytes;
+    if (from == to) ++self_messages_;
+  }
+  CYCLICK_COUNT("sim.messages", from, 1);
+  CYCLICK_COUNT("sim.bytes", from, bytes);
+  cv_.notify_all();
+}
+
+void SimTransport::drain_locked() {
+  const i64 before = processed_ns_;
+  i64 processed = 0;
+  while (!heap_.empty()) {
+    const Event e = heap_.pop();
+    processed_ns_ = std::max(processed_ns_, e.time_ns);
+    ++processed;
+    if (e.kind == Event::Kind::kDepart) {
+      // The message is in the network (or the loopback path) from its
+      // departure until its arrival; the per-destination high-water mark
+      // of this count is the incast signal.
+      const i64 now = ++in_network_[static_cast<std::size_t>(e.to)];
+      if (now > max_in_flight_) {
+        CYCLICK_COUNT("sim.max_inflight", e.to, now - max_in_flight_);
+        max_in_flight_ = now;
+        max_in_flight_rank_ = e.to;
+      }
+      continue;
+    }
+    --in_network_[static_cast<std::size_t>(e.to)];
+    const auto it = in_flight_.find(e.msg);
+    CYCLICK_ASSERT(it != in_flight_.end());
+    InFlight& msg = it->second;
+    if (obs::enabled() && e.to < params_.trace_rank_cap)
+      obs::TraceSink::global().complete("sim.msg", e.to, msg.depart_ns,
+                                        msg.arrive_ns);
+    Channel& ch = channels_[channel_key(e.from, e.to)];
+    if (obs::enabled()) {
+      ++ch.stats.messages;
+      ch.stats.bytes += static_cast<i64>(msg.payload.size());
+    }
+    ch.queue.push_back(std::move(msg.payload));
+    in_flight_.erase(it);
+  }
+  if (processed > 0) {
+    events_processed_ += processed;
+    CYCLICK_COUNT("sim.events", 0, processed);
+    CYCLICK_COUNT("sim.virtual_ns", 0, processed_ns_ - before);
+  }
+}
+
+std::vector<std::byte> SimTransport::recv(i64 to, i64 from) {
+  check_ranks(from, to);
+  std::unique_lock<std::mutex> lock(mu_);
+  Channel& ch = channels_[channel_key(from, to)];
+  const auto has_message = [&] {
+    drain_locked();
+    return !ch.queue.empty();
+  };
+  if (recv_timeout_ms_ > 0) {
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(recv_timeout_ms_),
+                      has_message))
+      throw_recv_timeout(from, to, recv_timeout_ms_);
+  } else {
+    cv_.wait(lock, has_message);
+  }
+  std::vector<std::byte> payload = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return payload;
+}
+
+bool SimTransport::ready(i64 to, i64 from) {
+  check_ranks(from, to);
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  const auto it = channels_.find(channel_key(from, to));
+  return it != channels_.end() && !it->second.queue.empty();
+}
+
+i64 SimTransport::virtual_ns() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return horizon_ns_;
+}
+
+ChannelStats SimTransport::channel_stats(i64 from, i64 to) {
+  check_ranks(from, to);
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  const auto it = channels_.find(channel_key(from, to));
+  return it != channels_.end() ? it->second.stats : ChannelStats{};
+}
+
+SimTransport::Report SimTransport::report(i64 top_n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  Report rep;
+  rep.virtual_ns = horizon_ns_;
+  rep.events = events_processed_;
+  rep.messages = messages_;
+  rep.bytes = bytes_;
+  rep.self_messages = self_messages_;
+  rep.max_in_flight = max_in_flight_;
+  rep.max_in_flight_rank = max_in_flight_rank_;
+  rep.links_used = static_cast<i64>(links_.size());
+  if (!links_.empty() && horizon_ns_ > 0) {
+    double bytes_sum = 0.0;
+    for (const auto& [id, link] : links_) {
+      bytes_sum += static_cast<double>(link.bytes);
+      rep.link_bytes_max = std::max(rep.link_bytes_max, link.bytes);
+      const double util =
+          static_cast<double>(link.busy_ns) / static_cast<double>(horizon_ns_);
+      rep.utilization_mean += util;
+      rep.utilization_max = std::max(rep.utilization_max, util);
+    }
+    rep.link_bytes_mean = bytes_sum / static_cast<double>(links_.size());
+    rep.utilization_mean /= static_cast<double>(links_.size());
+
+    std::vector<LinkStat> all;
+    all.reserve(links_.size());
+    for (const auto& [id, link] : links_)
+      all.push_back(LinkStat{id, mesh_.link_name(id), link.messages, link.bytes,
+                             link.busy_ns,
+                             static_cast<double>(link.busy_ns) /
+                                 static_cast<double>(horizon_ns_)});
+    std::sort(all.begin(), all.end(), [](const LinkStat& a, const LinkStat& b) {
+      if (a.bytes != b.bytes) return a.bytes > b.bytes;
+      return a.id < b.id;
+    });
+    if (static_cast<i64>(all.size()) > top_n) all.resize(static_cast<std::size_t>(top_n));
+    rep.hottest = std::move(all);
+  }
+  return rep;
+}
+
+}  // namespace cyclick::sim

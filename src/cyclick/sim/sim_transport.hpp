@@ -1,0 +1,165 @@
+// SimTransport: a discrete-event simulated interconnect behind the
+// cyclick::Transport interface.
+//
+// One SimTransport multiplexes every rank of a `world`-rank virtual
+// machine inside the calling process: send() *schedules* the message
+// through the cost model instead of moving it anywhere, and recv() drains
+// the event heap — processing departures and arrivals in deterministic
+// virtual-time order — until the requested channel holds the payload.
+// Because payloads really are queued and delivered per channel in FIFO
+// order, the transport satisfies the same contract the in-process and
+// socket backends do (the conformance suite runs against all three), and
+// `execute_copy_plan` replays real CommPlan schedules through it
+// unchanged; only the *timestamps* are virtual.
+//
+// Cost model (all virtual nanoseconds, see topology.hpp for the knobs):
+//
+//   depart  = sender endpoint free time
+//           + (host_overhead + bytes/host_bw) * straggler(from)
+//   per link: start = max(arrival at link, link free time)
+//             link busy [start, start + bytes/link_bw), then +latency
+//   arrive  = max(last hop exit, receiver endpoint free time)
+//           + (host_overhead + bytes/host_bw) * straggler(to)
+//
+// Endpoints and links are serialization queues: concurrent messages into
+// one destination (incast) or across one wire (contention) stack up in
+// virtual time exactly as they would at a switch port. Self sends bypass
+// the network but still pay both endpoint costs.
+//
+// Determinism: schedules computed from the same send sequence are
+// bit-identical (integral nanoseconds, ties broken by scheduling order).
+// Drive the transport from one thread — the sequential SPMD executor, as
+// `hpfc --backend=sim` and `amtool simulate` do — and the predicted
+// timeline is reproducible run to run. Multi-threaded senders (the
+// threaded executor, the conformance suite) stay *correct* (delivery
+// order per channel is still FIFO) but interleave nondeterministically,
+// so their predicted times may vary.
+//
+// Telemetry: sim.events / sim.messages / sim.bytes / sim.virtual_ns /
+// sim.max_inflight / sim.stragglers counters, plus one chrome-trace span
+// per delivered message ("sim.msg", tid = receiving rank) for ranks below
+// params.trace_rank_cap — the predicted timeline rides the existing
+// --trace machinery.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclick/runtime/transport.hpp"
+#include "cyclick/sim/event_heap.hpp"
+#include "cyclick/sim/topology.hpp"
+
+namespace cyclick::sim {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(i64 ranks, SimParams params = SimParams::from_env(),
+                        i64 recv_timeout_ms = recv_timeout_ms_from_env());
+
+  [[nodiscard]] i64 ranks() const override { return world_; }
+  void send(i64 from, i64 to, std::vector<std::byte> payload) override;
+  std::vector<std::byte> recv(i64 to, i64 from) override;
+  [[nodiscard]] bool ready(i64 to, i64 from) override;
+
+  [[nodiscard]] const SimParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
+
+  /// Virtual time of the latest scheduled event (the predicted makespan of
+  /// everything sent so far).
+  [[nodiscard]] i64 virtual_ns();
+
+  /// Cumulative delivered traffic on channel (from -> to); parity with the
+  /// other transports. Counts accrue only while telemetry is enabled.
+  [[nodiscard]] ChannelStats channel_stats(i64 from, i64 to);
+
+  /// One directed link's aggregate load.
+  struct LinkStat {
+    i64 id = 0;
+    std::string name;   ///< "a->b" endpoints
+    i64 messages = 0;
+    i64 bytes = 0;
+    i64 busy_ns = 0;    ///< serialization time (latency excluded)
+    double utilization = 0.0;  ///< busy_ns / virtual makespan
+  };
+
+  /// Aggregate prediction for everything sent so far. Drains all pending
+  /// events first, so the report reflects the complete schedule.
+  struct Report {
+    i64 virtual_ns = 0;        ///< predicted makespan
+    i64 events = 0;            ///< events processed
+    i64 messages = 0;          ///< messages scheduled
+    i64 bytes = 0;             ///< payload bytes scheduled
+    i64 self_messages = 0;     ///< loopback sends (no network traversal)
+    i64 max_in_flight = 0;     ///< peak concurrent in-network msgs to one rank
+    i64 max_in_flight_rank = -1;
+    i64 links_used = 0;
+    i64 link_bytes_max = 0;
+    double link_bytes_mean = 0.0;
+    double utilization_mean = 0.0;
+    double utilization_max = 0.0;
+    std::vector<LinkStat> hottest;  ///< top-N links by bytes, ties by id
+
+    /// max/mean per-link bytes: 1.0 is perfectly balanced, large values
+    /// mean a few links carry the schedule (the CI plan-balance gate).
+    [[nodiscard]] double balance() const noexcept {
+      return link_bytes_mean > 0.0
+                 ? static_cast<double>(link_bytes_max) / link_bytes_mean
+                 : 0.0;
+    }
+  };
+  [[nodiscard]] Report report(i64 top_n = 5);
+
+ private:
+  struct Channel {
+    std::deque<std::vector<std::byte>> queue;
+    ChannelStats stats;
+  };
+  struct InFlight {
+    std::vector<std::byte> payload;
+    i64 depart_ns = 0;
+    i64 arrive_ns = 0;
+  };
+  struct Link {
+    i64 free_ns = 0;
+    i64 messages = 0;
+    i64 bytes = 0;
+    i64 busy_ns = 0;
+  };
+
+  [[nodiscard]] i64 channel_key(i64 from, i64 to) const noexcept {
+    return from * world_ + to;
+  }
+  void check_ranks(i64 from, i64 to) const;
+  /// Process every pending event in (time, seq) order. Caller holds mu_.
+  void drain_locked();
+
+  i64 world_;
+  SimParams params_;
+  Mesh mesh_;
+  i64 recv_timeout_ms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  EventHeap heap_;
+  std::unordered_map<i64, Channel> channels_;
+  std::unordered_map<i64, InFlight> in_flight_;
+  std::unordered_map<i64, Link> links_;
+  std::vector<i64> send_free_ns_;   ///< per-rank sender endpoint
+  std::vector<i64> recv_free_ns_;   ///< per-rank receiver endpoint
+  std::vector<i64> in_network_;     ///< per-rank concurrent inbound messages
+  i64 seq_ = 0;
+  i64 horizon_ns_ = 0;     ///< latest scheduled event time
+  i64 processed_ns_ = 0;   ///< latest processed event time
+  i64 events_processed_ = 0;
+  i64 messages_ = 0;
+  i64 bytes_ = 0;
+  i64 self_messages_ = 0;
+  i64 max_in_flight_ = 0;
+  i64 max_in_flight_rank_ = -1;
+};
+
+}  // namespace cyclick::sim

@@ -1,0 +1,134 @@
+#include "cyclick/sim/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace cyclick::sim {
+
+const char* topology_name(Topology t) noexcept {
+  switch (t) {
+    case Topology::kRing: return "ring";
+    case Topology::kMesh2D: return "mesh2d";
+    case Topology::kFull: break;
+  }
+  return "full";
+}
+
+std::optional<Topology> parse_topology_name(std::string_view name) noexcept {
+  if (name == "full") return Topology::kFull;
+  if (name == "ring") return Topology::kRing;
+  if (name == "mesh2d") return Topology::kMesh2D;
+  return std::nullopt;
+}
+
+namespace {
+
+[[nodiscard]] double env_double(const char* var, double fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  CYCLICK_REQUIRE(end != env && *end == '\0' && v > 0.0,
+                  "simulation environment knobs must be positive numbers");
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::pair<i64, double>> parse_straggler_spec(std::string_view spec) {
+  std::vector<std::pair<i64, double>> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(at, end - at);
+    const std::size_t colon = entry.find(':');
+    CYCLICK_REQUIRE(colon != std::string_view::npos && colon > 0 &&
+                        colon + 1 < entry.size(),
+                    "straggler spec entries must be rank:multiplier");
+    const std::string rank_s(entry.substr(0, colon));
+    const std::string mult_s(entry.substr(colon + 1));
+    char* rend = nullptr;
+    const i64 rank = std::strtoll(rank_s.c_str(), &rend, 10);
+    CYCLICK_REQUIRE(rend != rank_s.c_str() && *rend == '\0' && rank >= 0,
+                    "straggler rank must be a nonnegative integer");
+    char* mend = nullptr;
+    const double mult = std::strtod(mult_s.c_str(), &mend);
+    CYCLICK_REQUIRE(mend != mult_s.c_str() && *mend == '\0' && mult > 0.0,
+                    "straggler multiplier must be a positive number");
+    out.emplace_back(rank, mult);
+    at = end + 1;
+  }
+  return out;
+}
+
+SimParams SimParams::from_env() {
+  SimParams p;
+  if (const char* env = std::getenv("CYCLICK_SIM_TOPOLOGY");
+      env != nullptr && *env != '\0') {
+    const auto parsed = parse_topology_name(env);
+    CYCLICK_REQUIRE(parsed.has_value(),
+                    "CYCLICK_SIM_TOPOLOGY must be one of: full, ring, mesh2d");
+    p.topology = *parsed;
+  }
+  p.link_latency_ns = static_cast<i64>(
+      env_double("CYCLICK_SIM_LINK_LATENCY_NS", static_cast<double>(p.link_latency_ns)));
+  p.link_bytes_per_ns = env_double("CYCLICK_SIM_LINK_GBPS", p.link_bytes_per_ns);
+  p.host_overhead_ns = static_cast<i64>(
+      env_double("CYCLICK_SIM_HOST_OVERHEAD_NS", static_cast<double>(p.host_overhead_ns)));
+  p.host_bytes_per_ns = env_double("CYCLICK_SIM_HOST_GBPS", p.host_bytes_per_ns);
+  if (const char* env = std::getenv("CYCLICK_SIM_STRAGGLER");
+      env != nullptr && *env != '\0')
+    p.stragglers = parse_straggler_spec(env);
+  return p;
+}
+
+Mesh::Mesh(Topology topology, i64 world) : topology_(topology), world_(world) {
+  CYCLICK_REQUIRE(world >= 1, "simulated mesh needs at least one rank");
+  if (topology_ == Topology::kMesh2D) {
+    // The most-square factorization of p: the largest divisor <= sqrt(p)
+    // becomes the row count (a prime p degenerates to a 1 x p line, which
+    // routes like an unwrapped ring).
+    rows_ = 1;
+    for (i64 r = static_cast<i64>(std::sqrt(static_cast<double>(world))); r >= 1; --r)
+      if (world % r == 0) {
+        rows_ = r;
+        break;
+      }
+    cols_ = world / rows_;
+  } else {
+    rows_ = 1;
+    cols_ = world;
+  }
+}
+
+i64 Mesh::hop_count(i64 from, i64 to) const {
+  CYCLICK_REQUIRE(from >= 0 && from < world_ && to >= 0 && to < world_,
+                  "rank out of range");
+  i64 hops = 0;
+  route(from, to, [&](i64) { ++hops; });
+  return hops;
+}
+
+std::string Mesh::link_name(i64 link) const {
+  switch (topology_) {
+    case Topology::kFull:
+      return std::to_string(link / world_) + "->" + std::to_string(link % world_);
+    case Topology::kRing: {
+      const i64 at = link / 2;
+      const i64 step = (link % 2 == 0) ? 1 : -1;
+      return std::to_string(at) + "->" + std::to_string(wrap(at + step));
+    }
+    case Topology::kMesh2D: {
+      const i64 node = link / 4;
+      const i64 dir = link % 4;
+      const i64 r = node / cols_, c = node % cols_;
+      const i64 tr = r + (dir == 2 ? 1 : dir == 3 ? -1 : 0);
+      const i64 tc = c + (dir == 0 ? 1 : dir == 1 ? -1 : 0);
+      return std::to_string(node) + "->" + std::to_string(tr * cols_ + tc);
+    }
+  }
+  return std::to_string(link);
+}
+
+}  // namespace cyclick::sim

@@ -1,0 +1,156 @@
+// Interconnect models for the simulated mesh: which links a message
+// crosses and what each link costs.
+//
+// Three topologies, all with directed links so utilization is reported per
+// direction (an incast hotspot is a property of one direction of a wire):
+//
+//   - full:   every rank pair is joined by a dedicated directed link; the
+//             only shared resources are the two endpoints. The idealized
+//             crossbar baseline.
+//   - ring:   rank r links to (r±1) mod p; messages take the shorter arc.
+//   - mesh2d: ranks fill an R x C grid (C = ceil-ish factor of p chosen so
+//             the grid is as square as p allows) with links between grid
+//             neighbours; routing is dimension-ordered (X first, then Y),
+//             the deadlock-free standard for meshes.
+//
+// Link ids are dense per topology so per-link state lives in hash maps
+// keyed by i64 (a p=4096 full mesh has 16.7M potential links; only the
+// ones a schedule touches are ever materialized).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::sim {
+
+enum class Topology {
+  kFull,    ///< dedicated link per rank pair (crossbar)
+  kRing,    ///< bidirectional ring, shorter-arc routing
+  kMesh2D,  ///< 2-D mesh, dimension-ordered (X then Y) routing
+};
+
+[[nodiscard]] const char* topology_name(Topology t) noexcept;
+
+/// "full", "ring" or "mesh2d" (case-sensitive); nullopt otherwise.
+[[nodiscard]] std::optional<Topology> parse_topology_name(std::string_view name) noexcept;
+
+/// Cost model and fault knobs for a simulated machine. Times are virtual
+/// nanoseconds; bandwidths are bytes per virtual nanosecond (1.0 == 1 GB/s).
+struct SimParams {
+  Topology topology = Topology::kFull;
+
+  i64 link_latency_ns = 1000;       ///< per-hop wire latency
+  double link_bytes_per_ns = 10.0;  ///< per-link bandwidth (10 GB/s default)
+  i64 host_overhead_ns = 500;       ///< per-message endpoint cost, each side
+  double host_bytes_per_ns = 20.0;  ///< endpoint injection/drain bandwidth
+
+  /// Per-rank slowdown multipliers (straggler injection): every endpoint
+  /// cost paid by a listed rank is scaled by its multiplier. Unlisted
+  /// ranks run at multiplier 1.
+  std::vector<std::pair<i64, double>> stragglers;
+
+  /// Virtual ranks whose delivered messages are exported as chrome-trace
+  /// spans (one chrome thread per virtual rank). Ranks at or beyond the
+  /// cap still simulate fully; only their timeline export is suppressed,
+  /// keeping a p=4096 trace loadable.
+  i64 trace_rank_cap = 64;
+
+  [[nodiscard]] double straggler_multiplier(i64 rank) const noexcept {
+    for (const auto& [r, mult] : stragglers)
+      if (r == rank) return mult;
+    return 1.0;
+  }
+
+  /// Defaults overridden by the environment: CYCLICK_SIM_TOPOLOGY,
+  /// CYCLICK_SIM_LINK_LATENCY_NS, CYCLICK_SIM_LINK_GBPS,
+  /// CYCLICK_SIM_HOST_OVERHEAD_NS, CYCLICK_SIM_HOST_GBPS and
+  /// CYCLICK_SIM_STRAGGLER (e.g. "3:4" or "3:4,17:2.5" — rank:multiplier).
+  /// Unknown topology or malformed straggler specs throw a
+  /// precondition_error naming the variable.
+  [[nodiscard]] static SimParams from_env();
+};
+
+/// Parse a "rank:mult[,rank:mult...]" straggler spec.
+[[nodiscard]] std::vector<std::pair<i64, double>> parse_straggler_spec(
+    std::string_view spec);
+
+/// The routing function of one topology instance: maps a rank pair to the
+/// sequence of directed link ids the message serializes through, and
+/// decodes link ids back to human-readable endpoints for reports.
+class Mesh {
+ public:
+  Mesh(Topology topology, i64 world);
+
+  [[nodiscard]] Topology topology() const noexcept { return topology_; }
+  [[nodiscard]] i64 world() const noexcept { return world_; }
+
+  /// Grid shape (rows, cols); (1, world) for non-mesh topologies.
+  [[nodiscard]] i64 rows() const noexcept { return rows_; }
+  [[nodiscard]] i64 cols() const noexcept { return cols_; }
+
+  /// Number of hops a (from -> to) message crosses (0 for self sends).
+  [[nodiscard]] i64 hop_count(i64 from, i64 to) const;
+
+  /// Visit the directed link ids of the (from -> to) route in traversal
+  /// order. Self sends visit nothing (loopback bypasses the network).
+  template <typename Visit>
+  void route(i64 from, i64 to, Visit&& visit) const {
+    if (from == to) return;
+    switch (topology_) {
+      case Topology::kFull:
+        visit(from * world_ + to);
+        return;
+      case Topology::kRing: {
+        // Shorter arc; ties (exactly halfway) go clockwise so the choice
+        // is deterministic.
+        const i64 fwd = (to - from + world_) % world_;
+        const i64 step = fwd * 2 <= world_ ? 1 : -1;
+        for (i64 at = from; at != to; at = wrap(at + step))
+          visit(ring_link(at, step));
+        return;
+      }
+      case Topology::kMesh2D: {
+        // Dimension order: walk the column difference first, then the row.
+        i64 r = from / cols_, c = from % cols_;
+        const i64 tr = to / cols_, tc = to % cols_;
+        while (c != tc) {
+          const i64 step = tc > c ? 1 : -1;
+          visit(mesh_link(r, c, /*dx=*/step, /*dy=*/0));
+          c += step;
+        }
+        while (r != tr) {
+          const i64 step = tr > r ? 1 : -1;
+          visit(mesh_link(r, c, /*dx=*/0, /*dy=*/step));
+          r += step;
+        }
+        return;
+      }
+    }
+  }
+
+  /// "a->b" endpoints of a directed link id (report rendering).
+  [[nodiscard]] std::string link_name(i64 link) const;
+
+ private:
+  [[nodiscard]] i64 wrap(i64 r) const noexcept { return (r + world_) % world_; }
+  /// Ring link out of `at` in direction `step` (+1 clockwise, -1 counter).
+  [[nodiscard]] i64 ring_link(i64 at, i64 step) const noexcept {
+    return at * 2 + (step > 0 ? 0 : 1);
+  }
+  /// Mesh link out of grid node (r, c) toward (r+dy, c+dx).
+  [[nodiscard]] i64 mesh_link(i64 r, i64 c, i64 dx, i64 dy) const noexcept {
+    const i64 dir = dx > 0 ? 0 : dx < 0 ? 1 : dy > 0 ? 2 : 3;
+    return (r * cols_ + c) * 4 + dir;
+  }
+
+  Topology topology_;
+  i64 world_;
+  i64 rows_ = 1;
+  i64 cols_ = 1;
+};
+
+}  // namespace cyclick::sim

@@ -15,6 +15,7 @@
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/obs/report.hpp"
 #include "cyclick/obs/trace.hpp"
+#include "cyclick/sim/sim_transport.hpp"
 
 namespace cyclick::obs {
 namespace {
@@ -247,6 +248,35 @@ TEST_F(ObsTest, ReportsRenderCountersHistogramsAndSpans) {
   EXPECT_NE(json.find("\"spans\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, SimTransportCountersAppearInJsonReport) {
+  // Traffic through the simulated mesh must surface its prediction in the
+  // --metrics=json report: events processed, virtual time, the incast
+  // high-water mark, and payload bytes. Three concurrent arrivals into
+  // rank 0 push max_inflight to 3, and the counter's *total* equals the
+  // high-water mark (deltas, not per-observation adds).
+  set_enabled(true);
+  sim::SimTransport tr(4);
+  const std::vector<std::byte> payload(256);
+  tr.send(1, 0, payload);
+  tr.send(2, 0, payload);
+  tr.send(3, 0, payload);
+  (void)tr.recv(0, 1);
+  (void)tr.recv(0, 2);
+  (void)tr.recv(0, 3);
+
+  EXPECT_EQ(Registry::global().counter("sim.max_inflight").total(), 3);
+  EXPECT_EQ(Registry::global().counter("sim.virtual_ns").total(), tr.virtual_ns());
+  EXPECT_EQ(Registry::global().counter("sim.bytes").total(), 3 * 256);
+  EXPECT_EQ(Registry::global().counter("sim.events").total(), 6);
+
+  std::ostringstream json_os;
+  render_json_report(json_os);
+  const std::string json = json_os.str();
+  for (const char* name :
+       {"sim.events", "sim.virtual_ns", "sim.max_inflight", "sim.bytes", "sim.messages"})
+    EXPECT_NE(json.find(name), std::string::npos) << name;
 }
 
 }  // namespace

@@ -10,7 +10,10 @@
 // One backend difference is deliberate: socket delivery is asynchronous
 // (a message is "sent" once it is in the writer's outbox), so ready() is
 // only *eventually* true after a send. The suite probes readiness through
-// wait_ready() rather than asserting instantaneous visibility.
+// wait_ready() rather than asserting instantaneous visibility. The sim
+// backend leans on the same latitude in the other direction: a message is
+// visible to ready()/recv() only once the event heap drains past its
+// virtual arrival time, which those calls perform themselves.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -21,11 +24,12 @@
 #include "cyclick/net/socket_transport.hpp"
 #include "cyclick/runtime/section_ops.hpp"
 #include "cyclick/runtime/transport.hpp"
+#include "cyclick/sim/sim_transport.hpp"
 
 namespace cyclick {
 namespace {
 
-enum class BackendKind { kInProc, kSocketLoopback };
+enum class BackendKind { kInProc, kSocketLoopback, kSim };
 
 struct BackendParam {
   const char* name;
@@ -36,6 +40,8 @@ std::unique_ptr<Transport> make_transport(BackendKind kind, i64 ranks,
                                           i64 recv_timeout_ms = 0) {
   if (kind == BackendKind::kInProc)
     return std::make_unique<InProcessTransport>(ranks, recv_timeout_ms);
+  if (kind == BackendKind::kSim)
+    return std::make_unique<sim::SimTransport>(ranks, sim::SimParams{}, recv_timeout_ms);
   net::SocketTransport::Options opts;
   opts.recv_timeout_ms = recv_timeout_ms;
   return net::SocketTransport::loopback_mesh(ranks, opts);
@@ -64,7 +70,8 @@ class TransportConformance : public ::testing::TestWithParam<BackendParam> {
 INSTANTIATE_TEST_SUITE_P(
     Backends, TransportConformance,
     ::testing::Values(BackendParam{"inproc", BackendKind::kInProc},
-                      BackendParam{"socket", BackendKind::kSocketLoopback}),
+                      BackendParam{"socket", BackendKind::kSocketLoopback},
+                      BackendParam{"sim", BackendKind::kSim}),
     [](const ::testing::TestParamInfo<BackendParam>& pi) { return pi.param.name; });
 
 TEST_P(TransportConformance, FifoPerChannel) {

@@ -11,21 +11,32 @@
 //                 redistribution dst(0:|sec|-1) = src(sec) from cyclic(K) to
 //                 cyclic(DK) over the selected backend, verifying the result
 //                 against the transport-free executor
+//   amtool simulate -p P -k K -s S -u U [-l L] [-d DK] [--topology=T]
+//                 [--straggler=R:M,..] [--top=N]   replay the same
+//                 redistribution plan through the discrete-event simulated
+//                 mesh: predicted phase time, per-link utilization, plan
+//                 balance (max/mean per-link bytes), incast high-water and
+//                 the top-N hottest links. p can be thousands of virtual
+//                 ranks; the run is single-process and deterministic.
 //
 // All subcommands accept any subset of processors via -m (default: all),
 // plus --strategy (print the AddressEngine dispatch class for (p, k, s),
 // followed by the bytecode listing of a representative fused statement over
 // that distribution — suppressed under --tier=interp),
 // --tier=interp|bytecode (CYCLICK_TIER supplies the default),
-// --backend=inproc|proc (xfer's execution backend; CYCLICK_BACKEND
-// supplies the default), --metrics[=json] (telemetry report on stderr)
-// and --trace=FILE.json (chrome://tracing export).
+// --backend=inproc|proc|sim (xfer's execution backend; CYCLICK_BACKEND
+// supplies the default; unknown names are rejected with the valid list),
+// --metrics[=json] (telemetry report on stderr) and --trace=FILE.json
+// (chrome://tracing export). `simulate` additionally honours the
+// CYCLICK_SIM_* environment knobs; --topology/--straggler override them.
 #include <cstdlib>
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <numeric>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <map>
 #include <vector>
@@ -41,6 +52,7 @@
 #include "cyclick/net/socket_transport.hpp"
 #include "cyclick/obs/report.hpp"
 #include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/sim/sim_transport.hpp"
 
 namespace {
 
@@ -55,9 +67,11 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::cerr <<
-      "usage: amtool <table|basis|walk|owners|layout|stats|xfer> -p <procs> -k <block> -s <stride>\n"
+      "usage: amtool <table|basis|walk|owners|layout|stats|xfer|simulate>\n"
+      "              -p <procs> -k <block> -s <stride>\n"
       "              [-l <lower>] [-u <upper>] [-m <proc>] [-d <dst block>]\n"
-      "              [--strategy] [--tier=interp|bytecode] [--backend=inproc|proc]\n";
+      "              [--strategy] [--tier=interp|bytecode] [--backend=inproc|proc|sim]\n"
+      "              [--topology=full|ring|mesh2d] [--straggler=rank:mult,..] [--top=N]\n";
   std::exit(2);
 }
 
@@ -280,6 +294,100 @@ int cmd_xfer(const Options& opt, net::Backend backend) {
   return ok ? 0 : 1;
 }
 
+/// Per-run knobs for `amtool simulate`, stripped from argv as whole tokens.
+struct SimulateCli {
+  std::string topology;   ///< --topology= override (empty: env/default)
+  std::string straggler;  ///< --straggler= override (empty: env/default)
+  i64 top_n = 5;          ///< --top=N hottest links to print
+};
+
+int cmd_simulate(const Options& opt, const SimulateCli& cli) {
+  // Replay the same redistribution plan `xfer` executes — dst(0:|sec|-1:1)
+  // = src(sec), cyclic(k) -> cyclic(dk) — through the discrete-event
+  // simulated mesh, verify the delivered bytes against the transport-free
+  // executor, and print the predicted schedule. The sequential executor
+  // drives the transport from one thread, so the prediction is
+  // deterministic run to run.
+  if (!opt.u) {
+    std::cerr << "simulate requires -u <upper>\n";
+    return 2;
+  }
+  sim::SimParams params = sim::SimParams::from_env();
+  if (!cli.topology.empty()) {
+    const auto parsed = sim::parse_topology_name(cli.topology);
+    if (!parsed.has_value())
+      throw precondition_error("unknown topology \"" + cli.topology +
+                               "\" in --topology; valid topologies are: full, ring, mesh2d");
+    params.topology = *parsed;
+  }
+  if (!cli.straggler.empty()) params.stragglers = sim::parse_straggler_spec(cli.straggler);
+
+  const RegularSection ssec{opt.l, *opt.u, opt.s};
+  CYCLICK_REQUIRE(!ssec.empty(), "simulate section is empty");
+  const RegularSection asc = ssec.ascending();
+  CYCLICK_REQUIRE(asc.lower >= 0, "simulate section must be nonnegative");
+  const i64 p = opt.p;
+  const i64 dst_k = opt.d.value_or(opt.k);
+  const i64 src_n = asc.upper + 1;
+  const i64 dst_n = ssec.size();
+  const RegularSection dsec{0, dst_n - 1, 1};
+
+  std::vector<double> image(static_cast<std::size_t>(src_n));
+  std::iota(image.begin(), image.end(), 1.0);
+
+  const SpmdExecutor exec(p);
+  DistributedArray<double> src(BlockCyclic(p, opt.k), src_n);
+  src.scatter(image);
+  DistributedArray<double> expected(BlockCyclic(p, dst_k), dst_n);
+  const CommPlan plan = build_copy_plan(src, ssec, expected, dsec, exec);
+  execute_copy_plan(plan, src, expected, exec);
+
+  DistributedArray<double> dst(BlockCyclic(p, dst_k), dst_n);
+  sim::SimTransport transport(p, params);
+  execute_copy_plan_over(plan, src, dst, exec, transport);
+  const bool ok = dst.gather() == expected.gather();
+  const auto rep = transport.report(cli.top_n);
+
+  const auto us = [](i64 ns) { return static_cast<double>(ns) / 1000.0; };
+  const auto pct = [](double u) { return u * 100.0; };
+  std::cout << std::fixed << std::setprecision(3)
+            << "simulate src cyclic(" << opt.k << ") sec (" << ssec.lower << ":"
+            << ssec.last() << ":" << ssec.stride << ") -> dst cyclic(" << dst_k
+            << ") on " << p << " ranks, " << sim::topology_name(params.topology)
+            << " topology";
+  if (params.topology == sim::Topology::kMesh2D)
+    std::cout << " (" << transport.mesh().rows() << "x" << transport.mesh().cols()
+              << " grid)";
+  std::cout << "\n"
+            << "plan: " << plan.total_elements() << " elements, " << plan.message_count()
+            << " messages, " << plan.remote_elements() * static_cast<i64>(sizeof(double))
+            << " remote bytes\n"
+            << "predicted phase time: " << us(rep.virtual_ns) << " us (" << rep.events
+            << " events, " << rep.self_messages << " self messages)\n"
+            << "links used: " << rep.links_used << ", per-link bytes mean "
+            << rep.link_bytes_mean << " max " << rep.link_bytes_max << "\n"
+            << "plan balance (max/mean per-link bytes): " << rep.balance() << "\n"
+            << "link utilization: mean " << pct(rep.utilization_mean) << "% max "
+            << pct(rep.utilization_max) << "%\n"
+            << "max in-flight at one destination: " << rep.max_in_flight << " (rank "
+            << rep.max_in_flight_rank << ")\n";
+  if (!params.stragglers.empty()) {
+    std::cout << "stragglers injected:";
+    for (const auto& [rank, mult] : params.stragglers)
+      std::cout << " " << rank << ":x" << mult;
+    std::cout << "\n";
+  }
+  if (!rep.hottest.empty()) {
+    std::cout << "hottest links:\n";
+    for (const auto& link : rep.hottest)
+      std::cout << "  " << link.name << ": " << link.bytes << " bytes, "
+                << link.messages << " messages, busy " << us(link.busy_ns)
+                << " us, utilization " << pct(link.utilization) << "%\n";
+  }
+  std::cout << "result: " << (ok ? "verified OK" : "MISMATCH") << "\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,19 +395,40 @@ int main(int argc, char** argv) {
   // pairwise flag-value option parse below.
   obs::CliOptions obs_opt;
   bool show_strategy = false;
-  net::Backend backend = net::backend_from_env(net::Backend::kInProc);
+  net::Backend backend = net::Backend::kInProc;
   dsl::Tier tier = dsl::tier_from_env(dsl::Tier::kBytecode);
+  SimulateCli sim_cli;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    if (i >= 1 && std::strcmp(argv[i], "--strategy") == 0) {
-      show_strategy = true;
-      continue;
+  try {
+    backend = net::backend_from_env(net::Backend::kInProc);
+    for (int i = 0; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (i >= 1 && arg == "--strategy") {
+        show_strategy = true;
+        continue;
+      }
+      if (i >= 1 && arg.rfind("--topology=", 0) == 0) {
+        sim_cli.topology = arg.substr(11);
+        continue;
+      }
+      if (i >= 1 && arg.rfind("--straggler=", 0) == 0) {
+        sim_cli.straggler = arg.substr(12);
+        continue;
+      }
+      if (i >= 1 && arg.rfind("--top=", 0) == 0) {
+        sim_cli.top_n = std::atoll(argv[i] + 6);
+        if (sim_cli.top_n < 0) usage();
+        continue;
+      }
+      if (i >= 1 && net::parse_backend_flag(arg, backend)) continue;
+      if (i >= 1 && dsl::parse_tier_flag(argv[i], tier)) continue;
+      if (i >= 1 && obs::parse_cli_flag(arg, obs_opt)) continue;
+      args.push_back(argv[i]);
     }
-    if (i >= 1 && net::parse_backend_flag(argv[i], backend)) continue;
-    if (i >= 1 && dsl::parse_tier_flag(argv[i], tier)) continue;
-    if (i >= 1 && obs::parse_cli_flag(argv[i], obs_opt)) continue;
-    args.push_back(argv[i]);
+  } catch (const std::exception& e) {
+    std::cerr << "amtool: " << e.what() << "\n";
+    return 2;
   }
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) usage();
@@ -348,6 +477,7 @@ int main(int argc, char** argv) {
     else if (cmd == "layout") rc = cmd_layout(dist, opt);
     else if (cmd == "stats") rc = cmd_stats(dist, opt);
     else if (cmd == "xfer") rc = cmd_xfer(opt, backend);
+    else if (cmd == "simulate") rc = cmd_simulate(opt, sim_cli);
     else usage();
     obs::emit_cli_outputs(obs_opt, std::cerr);
     return rc;

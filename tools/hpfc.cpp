@@ -5,11 +5,18 @@
 //   hpfc -t program.hpf       execute with the threaded SPMD executor
 //   hpfc -v program.hpf       also print the lowering trace (one line per
 //                             runtime operation each statement lowers to)
-//   hpfc --backend=inproc|proc  execution backend (default inproc, or
+//   hpfc --backend=inproc|proc|sim  execution backend (default inproc, or
 //                             CYCLICK_BACKEND): `proc` launches one OS
 //                             process per rank and routes each rank's
 //                             share of every section copy over the socket
-//                             transport
+//                             transport; `sim` replays every section copy
+//                             over the discrete-event simulated mesh
+//                             (CYCLICK_SIM_* knobs: topology, link costs,
+//                             stragglers) — program output stays
+//                             byte-identical to inproc, and --metrics /
+//                             --trace additionally carry the predicted
+//                             sim.* timings. An unknown backend name is
+//                             rejected with the valid names listed.
 //   hpfc --ranks=N            world size for --backend=proc (default 4,
 //                             or CYCLICK_WORLD)
 //   hpfc --tier=interp|bytecode  execution tier (default bytecode, or
@@ -37,13 +44,14 @@
 #include "cyclick/net/launcher.hpp"
 #include "cyclick/net/socket_transport.hpp"
 #include "cyclick/obs/report.hpp"
+#include "cyclick/sim/sim_machine.hpp"
 
 namespace {
 
 using namespace cyclick;
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: hpfc [-t] [-v] [--backend=inproc|proc] [--ranks=N]"
+  std::cerr << "usage: hpfc [-t] [-v] [--backend=inproc|proc|sim] [--ranks=N]"
                " [--tier=interp|bytecode] [--metrics[=json]] [--trace=FILE.json]"
                " <program.hpf | ->\n";
   std::exit(2);
@@ -81,31 +89,37 @@ int main(int argc, char** argv) {
   bool threaded = false;
   bool verbose = false;
   obs::CliOptions obs_opt;
-  net::Backend backend = net::backend_from_env(net::Backend::kInProc);
+  net::Backend backend = net::Backend::kInProc;
   dsl::Tier tier = dsl::tier_from_env(dsl::Tier::kBytecode);
   i64 ranks = net::world_from_env(4);
   std::string path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-t") {
-      threaded = true;
-    } else if (arg == "-v") {
-      verbose = true;
-    } else if (arg.rfind("--ranks=", 0) == 0) {
-      ranks = std::atoll(arg.c_str() + 8);
-      if (ranks < 1) usage();
-    } else if (net::parse_backend_flag(arg, backend)) {
-      // handled
-    } else if (dsl::parse_tier_flag(arg, tier)) {
-      // handled (argv is re-execed verbatim for proc ranks, so the tier
-      // choice propagates to every rank process)
-    } else if (obs::parse_cli_flag(arg, obs_opt)) {
-      // handled
-    } else if (path.empty()) {
-      path = arg;
-    } else {
-      usage();
+  try {
+    backend = net::backend_from_env(net::Backend::kInProc);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-t") {
+        threaded = true;
+      } else if (arg == "-v") {
+        verbose = true;
+      } else if (arg.rfind("--ranks=", 0) == 0) {
+        ranks = std::atoll(arg.c_str() + 8);
+        if (ranks < 1) usage();
+      } else if (net::parse_backend_flag(arg, backend)) {
+        // handled
+      } else if (dsl::parse_tier_flag(arg, tier)) {
+        // handled (argv is re-execed verbatim for proc ranks, so the tier
+        // choice propagates to every rank process)
+      } else if (obs::parse_cli_flag(arg, obs_opt)) {
+        // handled
+      } else if (path.empty()) {
+        path = arg;
+      } else {
+        usage();
+      }
     }
+  } catch (const std::exception& e) {
+    std::cerr << "hpfc: " << e.what() << "\n";
+    return 2;
   }
   if (path.empty()) usage();
   if (obs_opt.any()) obs::set_enabled(true);
@@ -170,6 +184,22 @@ int main(int argc, char** argv) {
       return rc;
     } catch (const std::exception& e) {
       std::cerr << "hpfc: rank " << *env_rank << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (backend == net::Backend::kSim) {
+    // Simulated mesh: the program runs unchanged in this process, but every
+    // section copy is replayed through the discrete-event SimTransport, so
+    // --metrics / --trace carry the predicted sim.* timeline. Program
+    // output is byte-identical to inproc; --ranks is ignored (the world
+    // size comes from each plan's processor count).
+    try {
+      sim::SimMachine machine{sim::SimParams::from_env()};
+      sim::SimMachine::Scope scope(machine);
+      return run_machine(source, threaded, verbose, /*print_output=*/true, obs_opt, tier);
+    } catch (const std::exception& e) {
+      std::cerr << "hpfc: sim backend: " << e.what() << "\n";
       return 1;
     }
   }
