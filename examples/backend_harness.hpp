@@ -1,0 +1,141 @@
+// Shared backend plumbing for the example programs.
+//
+// Every example accepts --backend=inproc|proc|sim (or CYCLICK_BACKEND) and
+// must print byte-identical output on all three. This header packages the
+// three roles the hpfc driver plays so each example's main() stays a
+// straight-line program:
+//
+//   launcher  --backend=proc without CYCLICK_RANK: re-exec this binary once
+//             per rank, wait, and aggregate per-rank failures.
+//   rank      CYCLICK_RANK set: join the socket mesh, install the process
+//             context so execute_copy_plan routes remote channels over the
+//             wire, and mute stdout on every rank but 0 (the replicated
+//             machine model means every rank computes the same output).
+//   sim       install the discrete-event SimMachine as the transport
+//             provider; the example runs unchanged in this process with
+//             every remote channel replayed through the simulated mesh.
+//
+// Usage:
+//   examples::BackendHarness harness;
+//   harness.init_from_env();
+//   for (each arg) if (harness.parse_flag(arg)) continue;  // else your flags
+//   if (harness.start(world, argc, argv) == Role::kExit)
+//     return harness.exit_code();
+//   ... program body; destructor restores stdout and the process context.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "cyclick/net/backend.hpp"
+#include "cyclick/net/launcher.hpp"
+#include "cyclick/net/socket_transport.hpp"
+#include "cyclick/runtime/transport.hpp"
+#include "cyclick/sim/sim_machine.hpp"
+
+namespace cyclick::examples {
+
+/// Swallows everything written to it. Non-zero proc ranks redirect
+/// std::cout here so the launched run's stdout is rank 0's alone —
+/// byte-identical to the single-process backends.
+class NullBuf final : public std::streambuf {
+ protected:
+  int_type overflow(int_type ch) override { return traits_type::not_eof(ch); }
+};
+
+class BackendHarness {
+ public:
+  net::Backend backend = net::Backend::kInProc;
+
+  BackendHarness() = default;
+  BackendHarness(const BackendHarness&) = delete;
+  BackendHarness& operator=(const BackendHarness&) = delete;
+
+  ~BackendHarness() {
+    if (saved_cout_ != nullptr) std::cout.rdbuf(saved_cout_);
+    if (context_installed_) process_context() = ProcessContext{};
+  }
+
+  /// Seed the backend from CYCLICK_BACKEND; call before parsing flags so
+  /// an explicit --backend= wins. Throws on an unknown env value.
+  void init_from_env() { backend = net::backend_from_env(backend); }
+
+  /// True when `arg` was a --backend= flag (now consumed).
+  bool parse_flag(const std::string& arg) {
+    return net::parse_backend_flag(arg, backend);
+  }
+
+  enum class Role {
+    kExit,  ///< launcher finished (or a role failed): return exit_code()
+    kRun,   ///< backend installed; run the program body
+  };
+
+  /// Enter the role the environment selects. `world` is the rank count the
+  /// example's SpmdExecutor uses — the proc launcher spawns exactly that
+  /// many processes so every copy plan's rank count matches the mesh.
+  Role start(i64 world, int argc, char** argv) {
+    if (backend != net::Backend::kProc) {
+      if (backend == net::Backend::kSim) {
+        sim_ = std::make_unique<sim::SimMachine>(sim::SimParams::from_env());
+        scope_ = std::make_unique<sim::SimMachine::Scope>(*sim_);
+      }
+      return Role::kRun;
+    }
+
+    const auto env_rank = net::rank_from_env();
+    if (!env_rank.has_value()) {
+      // Launcher role.
+      try {
+        net::ProcessGroup group(world);
+        group.spawn_exec(std::vector<std::string>(argv, argv + argc));
+        const std::string failures = net::describe_failures(group.wait_all());
+        if (!failures.empty()) {
+          std::cerr << argv[0] << ": rank processes failed:\n" << failures;
+          exit_code_ = 1;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << argv[0] << ": launcher error: " << e.what() << "\n";
+        exit_code_ = 1;
+      }
+      return Role::kExit;
+    }
+
+    // Rank role.
+    const i64 env_world = net::world_from_env(world);
+    const std::string dir = net::net_dir_from_env();
+    if (env_world != world || dir.empty()) {
+      std::cerr << argv[0] << ": rank " << *env_rank
+                << ": mesh environment mismatch (world " << env_world
+                << ", program needs " << world << ")\n";
+      exit_code_ = 2;
+      return Role::kExit;
+    }
+    try {
+      transport_ = net::SocketTransport::connect_mesh(*env_rank, world, dir);
+      process_context() = ProcessContext{*env_rank, world, transport_.get()};
+      context_installed_ = true;
+    } catch (const std::exception& e) {
+      std::cerr << argv[0] << ": rank " << *env_rank << ": " << e.what() << "\n";
+      exit_code_ = 1;
+      return Role::kExit;
+    }
+    if (*env_rank != 0) saved_cout_ = std::cout.rdbuf(&null_buf_);
+    return Role::kRun;
+  }
+
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<sim::SimMachine> sim_;
+  std::unique_ptr<sim::SimMachine::Scope> scope_;
+  NullBuf null_buf_;
+  std::streambuf* saved_cout_ = nullptr;
+  bool context_installed_ = false;
+  int exit_code_ = 0;
+};
+
+}  // namespace cyclick::examples

@@ -8,26 +8,49 @@
 // temporaries followed by a local combine, exactly how an HPF compiler
 // lowers the stencil; the result is verified against a serial Jacobi.
 //
-//   ./build/examples/heat2d [rows cols iters]
+// Runs byte-identically on all three backends: --backend=proc launches one
+// OS process per rank and routes every halo copy's remote channels over the
+// socket mesh (only rank 0 prints); --backend=sim replays them through the
+// discrete-event simulated mesh.
+//
+//   ./build/examples/heat2d [--backend=inproc|proc|sim] [rows cols iters]
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "backend_harness.hpp"
 #include "cyclick/runtime/multidim_array.hpp"
 
 int main(int argc, char** argv) {
   using namespace cyclick;
 
+  examples::BackendHarness harness;
   i64 rows = 48, cols = 36, iters = 25;
-  if (argc == 4) {
-    rows = std::atoll(argv[1]);
-    cols = std::atoll(argv[2]);
-    iters = std::atoll(argv[3]);
-  } else if (argc != 1) {
-    std::cerr << "usage: " << argv[0] << " [rows cols iters]\n";
+  std::vector<i64> sizes;
+  try {
+    harness.init_from_env();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (harness.parse_flag(arg)) continue;
+      sizes.push_back(std::atoll(arg.c_str()));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+  if (sizes.size() == 3) {
+    rows = sizes[0];
+    cols = sizes[1];
+    iters = sizes[2];
+  } else if (!sizes.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--backend=inproc|proc|sim] [rows cols iters]\n";
     return 1;
   }
+
+  if (harness.start(6, argc, argv) == examples::BackendHarness::Role::kExit)
+    return harness.exit_code();
 
   // 3x2 processor grid, cyclic(4) rows x cyclic(3) columns.
   const auto make_map = [&] {

@@ -5,34 +5,57 @@
 // cyclic(k) support.
 //
 // The algorithm sweeps the inner dimension in panels; in each step the
-// owners of the current column panel of A and row panel of B broadcast
-// them (simulated), and every rank updates its local C block:
+// owners of the current column panel of A and row panel of B spread them
+// across the machine (HPF's SPREAD intrinsic, lowered to a size-1-source
+// redistribution plan by spread_region), and every rank updates its local
+// C block:
 //
 //   for t in panels:  C_local += A(:, t) * B(t, :)
 //
-// Rank-local enumeration of the panels' rows/columns uses the per-dimension
-// access-sequence machinery. Verified against a serial GEMM.
+// The panel movement is real communication through the redistribution
+// layer, so the example runs byte-identically on --backend=inproc, proc
+// (one OS process per rank, panels crossing the socket mesh, rank 0
+// prints), and sim (panels replayed over the simulated mesh). Verified
+// against a serial GEMM.
 //
-//   ./build/examples/summa_gemm [n kblock panels]
+//   ./build/examples/summa_gemm [--backend=inproc|proc|sim] [n kblock]
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "backend_harness.hpp"
 #include "cyclick/runtime/multidim_array.hpp"
 
 int main(int argc, char** argv) {
   using namespace cyclick;
 
+  examples::BackendHarness harness;
   i64 n = 48, kb = 4;
-  if (argc >= 3) {
-    n = std::atoll(argv[1]);
-    kb = std::atoll(argv[2]);
-  } else if (argc != 1) {
-    std::cerr << "usage: " << argv[0] << " [n kblock]\n";
+  std::vector<i64> sizes;
+  try {
+    harness.init_from_env();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (harness.parse_flag(arg)) continue;
+      sizes.push_back(std::atoll(arg.c_str()));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+  if (sizes.size() == 2) {
+    n = sizes[0];
+    kb = sizes[1];
+  } else if (!sizes.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--backend=inproc|proc|sim] [n kblock]\n";
     return 1;
   }
+
+  if (harness.start(6, argc, argv) == examples::BackendHarness::Role::kExit)
+    return harness.exit_code();
 
   // 2x3 processor grid; all matrices n x n, cyclic(kb) in both dims.
   const auto make_map = [&] {
@@ -56,23 +79,24 @@ int main(int argc, char** argv) {
 
   // Panel sweep over the inner dimension. For each inner index t, rank r
   // needs A(i, t) for its owned rows i and B(t, j) for its owned columns j.
-  // The "broadcast" is simulated by reading through the global addressing
-  // (a message-passing build would broadcast the panels along grid rows /
-  // columns); the *local* enumeration — which (i, j) cells rank r updates —
-  // is driven by the access-sequence iterators via for_each_owned_region.
+  // spread_region pins the size-1 source dimension — ta(i, j) = A(i, t),
+  // tb(i, j) = B(t, j) — landing each panel replicated across the grid in
+  // C's own distribution, so the update is purely local. The panels move
+  // as real redistribution-plan messages on every backend; the *local*
+  // enumeration — which (i, j) cells rank r updates — is driven by the
+  // access-sequence iterators via for_each_owned_region.
   const Region whole{{0, n - 1, 1}, {0, n - 1, 1}};
-  std::vector<double> apanel(static_cast<std::size_t>(n));
-  std::vector<double> bpanel(static_cast<std::size_t>(n));
+  MultiDimArray<double> ta(make_map()), tb(make_map());
   for (i64 t = 0; t < n; ++t) {
-    for (i64 i = 0; i < n; ++i) {
-      apanel[static_cast<std::size_t>(i)] = a.get({i, t});
-      bpanel[static_cast<std::size_t>(i)] = b.get({t, i});
-    }
+    spread_region(a, Region{{0, n - 1, 1}, {t, t, 1}}, ta, whole, exec);
+    spread_region(b, Region{{t, t, 1}, {0, n - 1, 1}}, tb, whole, exec);
     exec.run([&](i64 rank) {
       auto local = c.local(rank);
-      for_each_owned_region(c, whole, rank, [&](const std::vector<i64>& idx, i64 addr) {
-        local[static_cast<std::size_t>(addr)] +=
-            apanel[static_cast<std::size_t>(idx[0])] * bpanel[static_cast<std::size_t>(idx[1])];
+      const auto pa = ta.local(rank);
+      const auto pb = tb.local(rank);
+      for_each_owned_region(c, whole, rank, [&](const std::vector<i64>&, i64 addr) {
+        const auto i = static_cast<std::size_t>(addr);
+        local[i] += pa[i] * pb[i];
       });
     });
   }

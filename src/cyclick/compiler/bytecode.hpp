@@ -33,7 +33,7 @@
 
 #include "cyclick/core/engine.hpp"
 #include "cyclick/core/kernels.hpp"
-#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 #include "cyclick/support/types.hpp"
 
 namespace cyclick::dsl {

@@ -23,10 +23,14 @@
 // linearly in the section position t, so divisions happen once per
 // source-block crossing, not once per element.
 //
-// Execution is zero-copy: values are packed directly into per-channel
-// byte buffers (the Transport wire format) owned by the plan's scratch
-// arena and reused across executions, so steady-state execution performs
-// no heap allocations. The pre-existing per-item representation is kept as
+// Execution lives in redistribute.hpp (the scheduling layer): this header
+// owns the *description* of the movement — representation, builders, the
+// pack/unpack kernels — while the redistribution layer owns the all-to-all
+// schedule the channels execute under and the backend dispatch. Execution
+// is zero-copy: values are packed directly into per-channel byte buffers
+// (the Transport wire format) owned by the plan's scratch arena and reused
+// across executions, so steady-state execution performs no heap
+// allocations. The pre-existing per-item representation is kept as
 // LegacyCommPlan for differential testing and as the benchmarks' baseline.
 //
 // Concurrency: a built plan is immutable except for the scratch arena.
@@ -48,7 +52,6 @@
 #include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
 #include "cyclick/runtime/spmd.hpp"
-#include "cyclick/runtime/transport.hpp"
 
 namespace cyclick {
 
@@ -358,304 +361,6 @@ CommPlan build_copy_plan(const DistributedArray<T>& src, const RegularSection& s
   plan.ranks = p;
   plan.adopt_channels(std::move(accum));
   return plan;
-}
-
-/// Execute a compressed plan: senders pack values straight into the plan's
-/// per-channel byte buffers, then receivers unpack — two barrier-separated
-/// SPMD phases, mirroring a message-passing implementation. Steady-state
-/// calls perform no heap allocations (the arena is reused).
-template <typename T>
-void execute_copy_plan_replicated(const CommPlan& plan, const DistributedArray<T>& src,
-                                  DistributedArray<T>& dst, const SpmdExecutor& exec,
-                                  i64 my_rank, Transport& transport);
-
-template <typename T>
-void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src,
-                            DistributedArray<T>& dst, const SpmdExecutor& exec,
-                            Transport& transport);
-
-template <typename T>
-void execute_copy_plan(const CommPlan& plan, const DistributedArray<T>& src,
-                       DistributedArray<T>& dst, const SpmdExecutor& exec) {
-  static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
-  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
-  // Inside a launched rank process (hpfc --backend=proc), route this
-  // rank's share of the copy over the wire. Plans for machines of a
-  // different size than the process world stay purely local — every rank
-  // process computes them identically, so no exchange is needed.
-  const ProcessContext& pc = process_context();
-  if (pc.active() && plan.ranks == pc.world) {
-    execute_copy_plan_replicated(plan, src, dst, exec, pc.rank, *pc.transport);
-    return;
-  }
-  // Under the simulation backend every whole-machine plan execution is
-  // replayed over the provided (virtual) transport: identical results,
-  // message-shaped movement, predicted timings as a side effect.
-  if (TransportProvider* provider = transport_provider(); provider != nullptr) {
-    execute_copy_plan_over(plan, src, dst, exec, provider->transport_for(plan.ranks));
-    return;
-  }
-  const i64 p = plan.ranks;
-
-  // Context structs keep the SPMD lambdas at one captured reference so the
-  // std::function wrapper stays within its small-buffer storage (zero
-  // allocations per call in steady state).
-  struct Ctx {
-    const CommPlan& plan;
-    const DistributedArray<T>& src;
-    DistributedArray<T>& dst;
-    i64 p;
-  };
-  Ctx ctx{plan, src, dst, p};
-
-  CYCLICK_COUNT("commplan.execs", 0, 1);
-
-  // Phase 1: every sender q packs, for every receiver m, the requested
-  // values out of its own local buffer into the channel's arena buffer.
-  exec.run([&ctx](i64 q) {
-    CYCLICK_SPAN("plan_exec.pack", q);
-    const T* local = ctx.src.local(q).data();
-    for (i64 m = 0; m < ctx.p; ++m) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
-      detail::pack_channel<T>(ch.count, ch.src_start,
-                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
-                              ch.src_advance, ch.src_contig, local,
-                              reinterpret_cast<T*>(buf.data()));
-    }
-  });
-
-  // Phase 2: every receiver m unpacks into its own local buffer. The byte
-  // counter attributes channel payloads to the receiving rank, so
-  // `--metrics` reports plan traffic even on this transport-less path.
-  exec.run([&ctx](i64 m) {
-    CYCLICK_SPAN("plan_exec.unpack", m);
-    T* local = ctx.dst.local(m).data();
-    for (i64 q = 0; q < ctx.p; ++q) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
-      const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-      detail::unpack_channel<T>(ch.count, ch.dst_start,
-                                ctx.plan.dst_off.data() + ch.gap_begin, ch.period,
-                                ch.dst_advance, ch.dst_contig,
-                                reinterpret_cast<const T*>(buf.data()), local);
-    }
-  });
-}
-
-/// Execute a compressed plan with the data movement routed through a
-/// Transport: every remote channel becomes one message whose payload is
-/// packed *directly* in wire format (no intermediate value vector); the
-/// self channel stages through the plan arena so the pack phase completes
-/// before any destination write (alias safety). Identical results to
-/// execute_copy_plan; only the movement mechanism differs — this is the
-/// entry point an MPI port would rebind.
-template <typename T>
-void execute_copy_plan_over(const CommPlan& plan, const DistributedArray<T>& src,
-                            DistributedArray<T>& dst, const SpmdExecutor& exec,
-                            Transport& transport) {
-  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
-  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
-  CYCLICK_REQUIRE(transport.ranks() == exec.ranks(), "transport/executor rank mismatch");
-  const i64 p = plan.ranks;
-
-  struct Ctx {
-    const CommPlan& plan;
-    const DistributedArray<T>& src;
-    DistributedArray<T>& dst;
-    Transport& transport;
-    i64 p;
-  };
-  Ctx ctx{plan, src, dst, transport, p};
-  CYCLICK_COUNT("commplan.execs", 0, 1);
-
-  // Phase 1: senders pack per-receiver messages straight into transport
-  // payloads and post them (one message per nonempty remote channel).
-  exec.run([&ctx](i64 q) {
-    CYCLICK_SPAN("plan_exec.pack", q);
-    const T* local = ctx.src.local(q).data();
-    for (i64 m = 0; m < ctx.p; ++m) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      const i64* off = ctx.plan.src_off.data() + ch.gap_begin;
-      if (m == q) {
-        std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
-        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
-                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
-        continue;
-      }
-      send_packed<T>(ctx.transport, q, m, ch.count, [&](std::span<T> out) {
-        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
-                                ch.src_contig, local, out.data());
-      });
-    }
-  });
-
-  // Phase 2: receivers drain their channels and store, then satisfy their
-  // self channel from the arena.
-  exec.run([&ctx](i64 m) {
-    CYCLICK_SPAN("plan_exec.unpack", m);
-    T* local = ctx.dst.local(m).data();
-    for (i64 q = 0; q < ctx.p; ++q) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
-      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
-      if (q == m) {
-        const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-        detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
-                                  ch.dst_contig, reinterpret_cast<const T*>(buf.data()),
-                                  local);
-        continue;
-      }
-      const std::vector<std::byte> payload = ctx.transport.recv(m, q);
-      CYCLICK_ASSERT(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T));
-      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
-                                ch.dst_contig, reinterpret_cast<const T*>(payload.data()),
-                                local);
-    }
-  });
-}
-
-/// Execute exactly one rank's share of a plan — the genuinely distributed
-/// entry point, where the calling process *is* rank `rank` of a
-/// multi-process machine and `transport` is its endpoint. Packs and posts
-/// this rank's outgoing channels, then blocks on its incoming ones; every
-/// remote destination element is filled exclusively from received wire
-/// bytes (never recomputed locally), and only src.local(rank) is read /
-/// dst.local(rank) written. Safe against single-phase deadlock because
-/// sends never block (the socket backend buffers them).
-template <typename T>
-void execute_copy_plan_rank(const CommPlan& plan, const DistributedArray<T>& src,
-                            DistributedArray<T>& dst, i64 rank, Transport& transport) {
-  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
-  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
-  CYCLICK_REQUIRE(rank >= 0 && rank < plan.ranks, "rank out of range");
-  const i64 p = plan.ranks;
-  CYCLICK_COUNT("commplan.execs", rank, 1);
-
-  {
-    CYCLICK_SPAN("plan_exec.pack", rank);
-    const T* local = src.local(rank).data();
-    for (i64 m = 0; m < p; ++m) {
-      const CommPlan::Channel& ch = plan.channel(m, rank);
-      if (ch.count == 0) continue;
-      const i64* off = plan.src_off.data() + ch.gap_begin;
-      if (m == rank) {
-        // Self channel stages through the arena so every read of the
-        // (possibly aliased) source completes before any write below.
-        std::vector<std::byte>& buf = plan.scratch(m, rank);
-        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
-        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
-                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
-        continue;
-      }
-      send_packed<T>(transport, rank, m, ch.count, [&](std::span<T> out) {
-        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
-                                ch.src_contig, local, out.data());
-      });
-    }
-  }
-
-  {
-    CYCLICK_SPAN("plan_exec.unpack", rank);
-    T* local = dst.local(rank).data();
-    for (i64 q = 0; q < p; ++q) {
-      const CommPlan::Channel& ch = plan.channel(rank, q);
-      if (ch.count == 0) continue;
-      CYCLICK_COUNT("commplan.bytes", rank, ch.count * static_cast<i64>(sizeof(T)));
-      const i64* off = plan.dst_off.data() + ch.gap_begin;
-      const std::vector<std::byte>* bytes;
-      std::vector<std::byte> payload;
-      if (q == rank) {
-        bytes = &plan.scratch(rank, q);
-      } else {
-        payload = transport.recv(rank, q);
-        CYCLICK_REQUIRE(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
-                        "received payload size disagrees with the plan");
-        bytes = &payload;
-      }
-      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
-                                ch.dst_contig, reinterpret_cast<const T*>(bytes->data()),
-                                local);
-    }
-  }
-}
-
-/// Replicated-machine exchange: the shape `hpfc --backend=proc` runs. Every
-/// rank process executes the whole program against a full replica of the
-/// arrays (so plans, statistics and control flow stay byte-identical to
-/// the single-process run), but channels that touch *this* process's rank
-/// still cross the real wire: its outgoing channels are sent, and its
-/// incoming remote channels are unpacked from the received bytes instead
-/// of the locally packed ones. Transport corruption therefore shows up as
-/// a checksum TransportError or a divergent replica — never silently.
-template <typename T>
-void execute_copy_plan_replicated(const CommPlan& plan, const DistributedArray<T>& src,
-                                  DistributedArray<T>& dst, const SpmdExecutor& exec,
-                                  i64 my_rank, Transport& transport) {
-  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
-  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
-  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
-  CYCLICK_REQUIRE(my_rank >= 0 && my_rank < plan.ranks, "rank out of range");
-  const i64 p = plan.ranks;
-
-  struct Ctx {
-    const CommPlan& plan;
-    const DistributedArray<T>& src;
-    DistributedArray<T>& dst;
-    Transport& transport;
-    i64 p;
-    i64 my_rank;
-  };
-  Ctx ctx{plan, src, dst, transport, p, my_rank};
-  CYCLICK_COUNT("commplan.execs", my_rank, 1);
-
-  // Phase 1: pack every channel into the arena (the replica needs them
-  // all); additionally post this process's outgoing remote channels.
-  exec.run([&ctx](i64 q) {
-    CYCLICK_SPAN("plan_exec.pack", q);
-    const T* local = ctx.src.local(q).data();
-    for (i64 m = 0; m < ctx.p; ++m) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
-      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
-      detail::pack_channel<T>(ch.count, ch.src_start,
-                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
-                              ch.src_advance, ch.src_contig, local,
-                              reinterpret_cast<T*>(buf.data()));
-      if (q == ctx.my_rank && m != q) ctx.transport.send(q, m, buf);  // copies buf
-    }
-  });
-
-  // Phase 2: unpack every channel; the ones arriving at this process's
-  // rank from remote senders use the wire bytes.
-  exec.run([&ctx](i64 m) {
-    CYCLICK_SPAN("plan_exec.unpack", m);
-    T* local = ctx.dst.local(m).data();
-    for (i64 q = 0; q < ctx.p; ++q) {
-      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
-      if (ch.count == 0) continue;
-      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
-      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
-      const std::vector<std::byte>* bytes = &ctx.plan.scratch(m, q);
-      std::vector<std::byte> payload;
-      if (m == ctx.my_rank && q != m) {
-        payload = ctx.transport.recv(m, q);
-        CYCLICK_REQUIRE(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
-                        "received payload size disagrees with the plan");
-        bytes = &payload;
-      }
-      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
-                                ch.dst_contig, reinterpret_cast<const T*>(bytes->data()),
-                                local);
-    }
-  });
 }
 
 // ---------------------------------------------------------------------------

@@ -7,13 +7,23 @@
 // the Cartesian product of its per-dimension access sequences; this module
 // materializes the per-dimension sequences with the table-free iterator
 // and walks their product.
+//
+// Region copies compose those per-dimension sequences into one CommPlan —
+// the same compressed channel representation the 1-D engine uses — and
+// execute it through the redistribution layer's phase-rotated executors,
+// so N-D remaps run over every backend (in-process, one process per rank,
+// simulated mesh) with byte-identical results. Plans are cached in the
+// process-wide RegionPlanCache, so iterative stencils rebuild nothing.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "cyclick/core/engine.hpp"
 #include "cyclick/hpf/multidim.hpp"
+#include "cyclick/runtime/plan_cache.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 #include "cyclick/runtime/spmd.hpp"
 
 namespace cyclick {
@@ -189,71 +199,146 @@ void transform_region(MultiDimArray<T>& arr, const Region& region, F&& f,
   });
 }
 
-/// dst(dregion) = src(sregion), where the regions have identical per-dim
-/// sizes. Message-shaped pull model, as in the 1-D CommPlan engine: each
-/// receiver enumerates its destination share and buckets requests by the
-/// owning sender; senders pack values from their own local buffers;
-/// receivers unpack — three barrier-separated SPMD phases with no remote
-/// memory reads.
+namespace detail {
+
+/// Common validation for region plans. With `spread` set, a source
+/// dimension of size 1 is allowed to broadcast across the matching
+/// destination dimension.
 template <typename T>
-void copy_region(const MultiDimArray<T>& src, const Region& sregion, MultiDimArray<T>& dst,
-                 const Region& dregion, const SpmdExecutor& exec) {
+void require_region_copy_shape(const MultiDimArray<T>& src, const Region& sregion,
+                               const MultiDimArray<T>& dst, const Region& dregion,
+                               const SpmdExecutor& exec, bool spread) {
   CYCLICK_REQUIRE(sregion.size() == src.dims() && dregion.size() == dst.dims(),
                   "region arity mismatch");
   CYCLICK_REQUIRE(sregion.size() == dregion.size(), "copy regions must have equal rank");
-  for (std::size_t d = 0; d < sregion.size(); ++d)
+  for (std::size_t d = 0; d < sregion.size(); ++d) {
+    if (spread && sregion[d].size() == 1) continue;
     CYCLICK_REQUIRE(sregion[d].size() == dregion[d].size(),
                     "copy region extents must match per dimension");
+  }
   CYCLICK_REQUIRE(exec.ranks() == dst.mapping().grid().rank_count(),
                   "executor/destination rank mismatch");
   CYCLICK_REQUIRE(exec.ranks() == src.mapping().grid().rank_count(),
                   "executor/source rank mismatch");
-  const i64 p = exec.ranks();
+}
 
-  struct Item {
-    i64 src_local;  ///< local address on the sender
-    i64 dst_local;  ///< local address on the receiver
+/// Everything an N-D region plan's shape depends on, flattened: rank
+/// count, spread flag, arity, then per dimension the source and
+/// destination mapping fields (extent, alignment, distribution, grid
+/// axis extent) and both sections.
+template <typename T>
+RegionPlanKey make_region_plan_key(const MultiDimArray<T>& src, const Region& sregion,
+                                   const MultiDimArray<T>& dst, const Region& dregion,
+                                   const SpmdExecutor& exec, bool spread) {
+  RegionPlanKey key;
+  key.reserve(3 + sregion.size() * 18);
+  key.push_back(exec.ranks());
+  key.push_back(spread ? 1 : 0);
+  key.push_back(static_cast<i64>(sregion.size()));
+  const auto mix_dim = [&key](const DimMapping& dm, i64 grid_extent,
+                              const RegularSection& sec) {
+    key.push_back(dm.extent);
+    key.push_back(dm.align.a);
+    key.push_back(dm.align.b);
+    key.push_back(dm.dist.procs());
+    key.push_back(dm.dist.block_size());
+    key.push_back(grid_extent);
+    key.push_back(sec.lower);
+    key.push_back(sec.upper);
+    key.push_back(sec.stride);
   };
-  // requests[receiver * p + sender]
-  std::vector<std::vector<Item>> requests(static_cast<std::size_t>(p * p));
+  for (std::size_t d = 0; d < sregion.size(); ++d) {
+    mix_dim(src.mapping().dim(d), src.mapping().grid().extent(d), sregion[d]);
+    mix_dim(dst.mapping().dim(d), dst.mapping().grid().extent(d), dregion[d]);
+  }
+  return key;
+}
 
-  // Phase 1: receivers enumerate their destination shares and bucket the
-  // matching source elements by owning sender.
-  exec.run([&](i64 rank) {
+}  // namespace detail
+
+/// Build the scheduled plan for dst(dregion) = src(sregion): each receiver
+/// enumerates its destination share (the Cartesian product of per-dim
+/// access sequences) and resolves the matching source owner per element;
+/// the per-channel address streams compress to their shortest period
+/// exactly like the 1-D builder's. With `spread`, source dimensions of
+/// size 1 broadcast across the matching destination dimension (HPF SPREAD
+/// semantics — the shape SUMMA's panel broadcasts take).
+template <typename T>
+[[nodiscard]] RedistributionPlan build_region_plan(const MultiDimArray<T>& src,
+                                                   const Region& sregion,
+                                                   const MultiDimArray<T>& dst,
+                                                   const Region& dregion,
+                                                   const SpmdExecutor& exec,
+                                                   bool spread = false) {
+  detail::require_region_copy_shape(src, sregion, dst, dregion, exec, spread);
+  const i64 p = exec.ranks();
+  CYCLICK_COUNT("redist.region_builds", 0, 1);
+  CYCLICK_TIME_SCOPE("redist.region_build_us", 0);
+  std::vector<detail::ChannelAccum> accum(static_cast<std::size_t>(p * p));
+  exec.run([&](i64 m) {
+    CYCLICK_SPAN("plan_build", m);
     std::vector<i64> sidx(sregion.size());
-    for_each_owned_region(dst, dregion, rank, [&](const std::vector<i64>& didx, i64 addr) {
+    detail::ChannelAccum* row = accum.data() + m * p;
+    for_each_owned_region(dst, dregion, m, [&](const std::vector<i64>& didx, i64 addr) {
       for (std::size_t d = 0; d < sregion.size(); ++d) {
-        const i64 t = (didx[d] - dregion[d].lower) / dregion[d].stride;
-        sidx[d] = sregion[d].element(t);
+        // A size-1 source dimension pins its subscript (broadcast); every
+        // other dimension maps the destination position back through the
+        // section pair.
+        if (sregion[d].size() == 1) {
+          sidx[d] = sregion[d].lower;
+        } else {
+          const i64 t = (didx[d] - dregion[d].lower) / dregion[d].stride;
+          sidx[d] = sregion[d].element(t);
+        }
       }
-      const i64 q = src.mapping().owner_rank(sidx);
-      requests[static_cast<std::size_t>(rank * p + q)].push_back(
-          {src.mapping().local_address(sidx), addr});
+      row[src.mapping().owner_rank(sidx)].append(src.mapping().local_address(sidx), addr);
     });
   });
+  CommPlan plan;
+  plan.ranks = p;
+  plan.adopt_channels(std::move(accum));
+  return finish_redistribution_plan(std::move(plan), static_cast<i64>(dregion.size()));
+}
 
-  // Phase 2: senders pack the requested values from their local buffers.
-  std::vector<std::vector<T>> payload(static_cast<std::size_t>(p * p));
-  exec.run([&](i64 q) {
-    auto local = src.local(q);
-    for (i64 m = 0; m < p; ++m) {
-      const auto& items = requests[static_cast<std::size_t>(m * p + q)];
-      auto& buf = payload[static_cast<std::size_t>(m * p + q)];
-      buf.reserve(items.size());
-      for (const Item& it : items) buf.push_back(local[static_cast<std::size_t>(it.src_local)]);
-    }
-  });
+/// Cache-aware region plan lookup (process-wide RegionPlanCache).
+template <typename T>
+std::shared_ptr<const RedistributionPlan> cached_region_plan(
+    const MultiDimArray<T>& src, const Region& sregion, const MultiDimArray<T>& dst,
+    const Region& dregion, const SpmdExecutor& exec, bool spread = false,
+    RegionPlanCache& cache = RegionPlanCache::global()) {
+  const RegionPlanKey key =
+      detail::make_region_plan_key(src, sregion, dst, dregion, exec, spread);
+  if (auto hit = cache.find(key)) return hit;
+  auto plan = std::make_shared<const RedistributionPlan>(
+      build_region_plan(src, sregion, dst, dregion, exec, spread));
+  cache.insert(key, plan);
+  return plan;
+}
 
-  // Phase 3: receivers unpack.
-  exec.run([&](i64 m) {
-    auto local = dst.local(m);
-    for (i64 q = 0; q < p; ++q) {
-      const auto& items = requests[static_cast<std::size_t>(m * p + q)];
-      const auto& buf = payload[static_cast<std::size_t>(m * p + q)];
-      for (std::size_t i = 0; i < items.size(); ++i)
-        local[static_cast<std::size_t>(items[i].dst_local)] = buf[i];
-    }
-  });
+/// dst(dregion) = src(sregion), where the regions have identical per-dim
+/// sizes. Builds (or replays from cache) the composed N-D CommPlan and
+/// executes it through the redistribution layer, so the copy runs
+/// message-shaped over whichever backend is active — in-process arena,
+/// the process mesh (--backend=proc), or the simulated mesh — with
+/// byte-identical results.
+template <typename T>
+void copy_region(const MultiDimArray<T>& src, const Region& sregion, MultiDimArray<T>& dst,
+                 const Region& dregion, const SpmdExecutor& exec) {
+  detail::require_region_copy_shape(src, sregion, dst, dregion, exec, /*spread=*/false);
+  const auto plan = cached_region_plan(src, sregion, dst, dregion, exec);
+  execute_redistribution(*plan, src, dst, exec);
+}
+
+/// dst(dregion) = SPREAD(src(sregion)): like copy_region, but any source
+/// dimension of size 1 replicates across the matching destination
+/// dimension. This is the HPF SPREAD lowering — e.g. SUMMA's panel
+/// broadcast ta(i, j) = A(i, t) for all j.
+template <typename T>
+void spread_region(const MultiDimArray<T>& src, const Region& sregion, MultiDimArray<T>& dst,
+                   const Region& dregion, const SpmdExecutor& exec) {
+  detail::require_region_copy_shape(src, sregion, dst, dregion, exec, /*spread=*/true);
+  const auto plan = cached_region_plan(src, sregion, dst, dregion, exec, /*spread=*/true);
+  execute_redistribution(*plan, src, dst, exec);
 }
 
 /// Reduction over a region.

@@ -19,7 +19,7 @@
 #include <utility>
 
 #include "cyclick/obs/metrics.hpp"
-#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 
 namespace cyclick {
 
@@ -149,6 +149,89 @@ class PlanCache {
   i64 hits_ = 0;
   i64 misses_ = 0;
   i64 evictions_ = 0;
+};
+
+/// Key for N-D region plans: arbitrary arity means a flat i64 vector
+/// (ranks, spread flag, then per-dimension mapping + grid + section
+/// fields) instead of a fixed struct. Built by cached_region_plan in
+/// multidim_array.hpp.
+using RegionPlanKey = std::vector<i64>;
+
+struct RegionPlanKeyHash {
+  std::size_t operator()(const RegionPlanKey& key) const noexcept {
+    // FNV-1a over the flattened fields (length included via the seed walk).
+    u64 h = 1469598103934665603ULL;
+    for (const i64 v : key) {
+      h ^= static_cast<u64>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Bounded LRU cache RegionPlanKey -> shared immutable RedistributionPlan,
+/// the N-D sibling of PlanCache: iterative stencils (heat2d's four halo
+/// copies per sweep) hit the same keys every iteration. Thread-safe; the
+/// same scratch-arena sharing caveat as PlanCache applies.
+class RegionPlanCache {
+ public:
+  explicit RegionPlanCache(std::size_t capacity = 128) : capacity_(capacity) {
+    CYCLICK_REQUIRE(capacity >= 1, "plan cache needs capacity >= 1");
+  }
+
+  [[nodiscard]] std::shared_ptr<const RedistributionPlan> find(const RegionPlanKey& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      CYCLICK_COUNT("regioncache.misses", 0, 1);
+      return nullptr;
+    }
+    CYCLICK_COUNT("regioncache.hits", 0, 1);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  void insert(const RegionPlanKey& key, std::shared_ptr<const RedistributionPlan> plan) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      CYCLICK_COUNT("regioncache.evictions", 0, 1);
+    }
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+  /// The process-wide cache copy_region / spread_region consult.
+  static RegionPlanCache& global() {
+    static RegionPlanCache cache;
+    return cache;
+  }
+
+ private:
+  using Entry = std::pair<RegionPlanKey, std::shared_ptr<const RedistributionPlan>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<RegionPlanKey, std::list<Entry>::iterator, RegionPlanKeyHash> map_;
 };
 
 /// Cache-aware plan lookup: returns the shared plan for dst(dsec) =

@@ -1,0 +1,456 @@
+// The redistribution layer: every byte the runtime moves between ranks
+// flows through here, on every backend.
+//
+// comm_plan.hpp *describes* data movement (compressed per-channel run
+// descriptors built from the paper's access sequences); this layer
+// *schedules and executes* it. A CommPlan's channels form an all-to-all
+// exchange; executing them in the naive order (every sender walks
+// receivers 0, 1, 2, ...) serializes the network into p incast bursts:
+// every sender's j-th message targets receiver j, so receiver j takes up
+// to p-1 simultaneous arrivals. The schedule here applies round-robin
+// phase rotation instead:
+//
+//   phase f in [0, p):  rank r sends to (r + f) mod p
+//                       rank r receives from (r - f + p) mod p
+//
+// Phase 0 is the self channel; each later phase is a perfect matching of
+// senders to receivers (a fixed-point-free rotation), so no destination
+// ever takes p simultaneous senders — each phase delivers at most one
+// message per receiver. The rule is pure arithmetic on (rank, phase, p),
+// identical on every backend, which is what makes the three transports
+// (in-process, socket mesh, simulated mesh) execute *the same schedule*
+// and produce byte-identical results.
+//
+// Executors (moved here from comm_plan.hpp, all phase-ordered):
+//   execute_copy_plan            backend dispatch: replicated over the
+//                                process mesh when a ProcessContext is
+//                                active, over the provider transport when
+//                                one is installed (sim), else in-process
+//   execute_copy_plan_over       whole machine over one Transport
+//   execute_copy_plan_rank       exactly one rank's share (proc backend)
+//   execute_copy_plan_replicated the replicated-machine proc shape
+//
+// They are generic over the array type: anything with local(rank) spans
+// of a trivially copyable element works (DistributedArray, MultiDimArray),
+// so 1-D section copies and N-D region remaps execute through the same
+// four entry points.
+//
+// RedistributionPlan wraps a CommPlan with its schedule metadata (phase
+// count, dimensionality); build_redistribution_plan composes the
+// per-dimension access sequences the AddressEngine produces into one
+// all-to-all schedule. replay_plan_traffic replays just the wire traffic
+// of a plan (no arrays) in naive or rotated order — the incast-study
+// primitive behind the simulation gate.
+#pragma once
+
+#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick {
+
+/// Peer that `rank` sends to in schedule phase `phase` of a `ranks`-rank
+/// exchange. Phase 0 is the self channel.
+[[nodiscard]] constexpr i64 redist_peer_to(i64 rank, i64 phase, i64 ranks) noexcept {
+  return (rank + phase) % ranks;
+}
+
+/// Peer that `rank` receives from in schedule phase `phase` (the inverse
+/// matching of redist_peer_to: redist_peer_to(q, f, p) == r iff
+/// redist_peer_from(r, f, p) == q).
+[[nodiscard]] constexpr i64 redist_peer_from(i64 rank, i64 phase, i64 ranks) noexcept {
+  return (rank - phase % ranks + ranks) % ranks;
+}
+
+/// Number of schedule phases with at least one nonempty channel (the self
+/// phase counts when any rank keeps data). At most `plan.ranks`.
+[[nodiscard]] i64 schedule_phase_count(const CommPlan& plan);
+
+/// A CommPlan plus its all-to-all schedule metadata. The channels are the
+/// movement description; `phases` is how many rotation phases the schedule
+/// actually occupies (sparse exchanges — e.g. a halo shift — touch only a
+/// few phases even on a large machine).
+struct RedistributionPlan {
+  CommPlan comm;
+  i64 dims = 1;    ///< dimensionality of the sections it was built from
+  i64 phases = 0;  ///< nonempty schedule phases, including the self phase
+
+  [[nodiscard]] i64 ranks() const noexcept { return comm.ranks; }
+  [[nodiscard]] i64 message_count() const noexcept { return comm.message_count(); }
+  [[nodiscard]] i64 remote_elements() const noexcept { return comm.remote_elements(); }
+  [[nodiscard]] i64 total_elements() const noexcept { return comm.total_elements(); }
+};
+
+/// Wrap a built CommPlan into a RedistributionPlan (computes the phase
+/// count once; O(p^2) over the channel grid).
+[[nodiscard]] RedistributionPlan finish_redistribution_plan(CommPlan&& comm, i64 dims);
+
+/// Build the scheduled plan for the 1-D copy dst(dsec) = src(ssec).
+template <typename T>
+[[nodiscard]] RedistributionPlan build_redistribution_plan(const DistributedArray<T>& src,
+                                                           const RegularSection& ssec,
+                                                           DistributedArray<T>& dst,
+                                                           const RegularSection& dsec,
+                                                           const SpmdExecutor& exec) {
+  return finish_redistribution_plan(build_copy_plan(src, ssec, dst, dsec, exec), 1);
+}
+
+namespace detail {
+
+/// Element type of an array's local spans.
+template <typename Arr>
+using local_element_t = std::remove_cvref_t<decltype(std::declval<Arr&>().local(i64{0})[0])>;
+
+}  // namespace detail
+
+/// Execute a compressed plan: senders pack values straight into the plan's
+/// per-channel byte buffers, then receivers unpack — two barrier-separated
+/// SPMD phases, mirroring a message-passing implementation. Both loops walk
+/// the rotation schedule (phase order), so the traffic pattern matches the
+/// transport-backed paths exactly. Steady-state calls perform no heap
+/// allocations (the arena is reused).
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_replicated(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                  const SpmdExecutor& exec, i64 my_rank,
+                                  Transport& transport);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_over(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                            const SpmdExecutor& exec, Transport& transport);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                       const SpmdExecutor& exec) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  // Inside a launched rank process (--backend=proc), route this rank's
+  // share of the copy over the wire. Plans for machines of a different
+  // size than the process world stay purely local — every rank process
+  // computes them identically, so no exchange is needed.
+  const ProcessContext& pc = process_context();
+  if (pc.active() && plan.ranks == pc.world) {
+    execute_copy_plan_replicated(plan, src, dst, exec, pc.rank, *pc.transport);
+    return;
+  }
+  // Under the simulation backend every whole-machine plan execution is
+  // replayed over the provided (virtual) transport: identical results,
+  // message-shaped movement, predicted timings as a side effect.
+  if (TransportProvider* provider = transport_provider(); provider != nullptr) {
+    execute_copy_plan_over(plan, src, dst, exec, provider->transport_for(plan.ranks));
+    return;
+  }
+  const i64 p = plan.ranks;
+
+  // Context structs keep the SPMD lambdas at one captured reference so the
+  // std::function wrapper stays within its small-buffer storage (zero
+  // allocations per call in steady state).
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    i64 p;
+  };
+  Ctx ctx{plan, src, dst, p};
+
+  CYCLICK_COUNT("commplan.execs", 0, 1);
+  CYCLICK_COUNT("redist.execs", 0, 1);
+
+  // Phase 1: every sender q packs, for every receiver m in schedule order,
+  // the requested values out of its own local buffer into the channel's
+  // arena buffer.
+  exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
+    const T* local = ctx.src.local(q).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 m = redist_peer_to(q, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::pack_channel<T>(ch.count, ch.src_start,
+                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
+                              ch.src_advance, ch.src_contig, local,
+                              reinterpret_cast<T*>(buf.data()));
+    }
+  });
+
+  // Phase 2: every receiver m unpacks in schedule order into its own local
+  // buffer. The byte counter attributes channel payloads to the receiving
+  // rank, so `--metrics` reports plan traffic even on this transport-less
+  // path.
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
+    T* local = ctx.dst.local(m).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      detail::unpack_channel<T>(ch.count, ch.dst_start,
+                                ctx.plan.dst_off.data() + ch.gap_begin, ch.period,
+                                ch.dst_advance, ch.dst_contig,
+                                reinterpret_cast<const T*>(buf.data()), local);
+    }
+  });
+}
+
+/// Execute a compressed plan with the data movement routed through a
+/// Transport: every remote channel becomes one message whose payload is
+/// packed *directly* in wire format (no intermediate value vector); the
+/// self channel stages through the plan arena so the pack phase completes
+/// before any destination write (alias safety). Senders post messages in
+/// rotation-phase order — sender q's f-th departure targets (q + f) mod p —
+/// so arrivals at each receiver spread across distinct departure slots
+/// instead of piling up (the incast the naive order produces). Identical
+/// results to execute_copy_plan; only the movement mechanism differs —
+/// this is the entry point an MPI port would rebind.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_over(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                            const SpmdExecutor& exec, Transport& transport) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  CYCLICK_REQUIRE(transport.ranks() == exec.ranks(), "transport/executor rank mismatch");
+  const i64 p = plan.ranks;
+
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    Transport& transport;
+    i64 p;
+  };
+  Ctx ctx{plan, src, dst, transport, p};
+  CYCLICK_COUNT("commplan.execs", 0, 1);
+  CYCLICK_COUNT("redist.execs", 0, 1);
+
+  // Phase 1: senders pack per-receiver messages straight into transport
+  // payloads and post them in schedule order (one message per nonempty
+  // remote channel).
+  exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
+    const T* local = ctx.src.local(q).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 m = redist_peer_to(q, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      const i64* off = ctx.plan.src_off.data() + ch.gap_begin;
+      if (m == q) {
+        std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
+        continue;
+      }
+      send_packed<T>(ctx.transport, q, m, ch.count, [&](std::span<T> out) {
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, out.data());
+      });
+    }
+  });
+
+  // Phase 2: receivers drain their channels in schedule order and store;
+  // the self channel comes out of the arena at phase 0.
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
+    T* local = ctx.dst.local(m).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
+      if (q == m) {
+        const std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+        detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                  ch.dst_contig, reinterpret_cast<const T*>(buf.data()),
+                                  local);
+        continue;
+      }
+      const std::vector<std::byte> payload = ctx.transport.recv(m, q);
+      CYCLICK_ASSERT(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                ch.dst_contig, reinterpret_cast<const T*>(payload.data()),
+                                local);
+    }
+  });
+}
+
+/// Execute exactly one rank's share of a plan — the genuinely distributed
+/// entry point, where the calling process *is* rank `rank` of a
+/// multi-process machine and `transport` is its endpoint. Packs and posts
+/// this rank's outgoing channels in rotation-phase order, then blocks on
+/// its incoming ones in the matching order; every remote destination
+/// element is filled exclusively from received wire bytes (never
+/// recomputed locally), and only src.local(rank) is read /
+/// dst.local(rank) written. All sends complete before the first receive,
+/// so the protocol is deadlock-free regardless of peer pacing (sends never
+/// block; the socket backend buffers them), and all source reads finish
+/// before any destination write (alias safety).
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_rank(const CommPlan& plan, const SrcArr& src, DstArr& dst, i64 rank,
+                            Transport& transport) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
+  CYCLICK_REQUIRE(rank >= 0 && rank < plan.ranks, "rank out of range");
+  const i64 p = plan.ranks;
+  CYCLICK_COUNT("commplan.execs", rank, 1);
+  CYCLICK_COUNT("redist.execs", rank, 1);
+
+  {
+    CYCLICK_SPAN("plan_exec.pack", rank);
+    const T* local = src.local(rank).data();
+    for (i64 f = 0; f < p; ++f) {
+      const i64 m = redist_peer_to(rank, f, p);
+      const CommPlan::Channel& ch = plan.channel(m, rank);
+      if (ch.count == 0) continue;
+      const i64* off = plan.src_off.data() + ch.gap_begin;
+      if (m == rank) {
+        // Self channel stages through the arena so every read of the
+        // (possibly aliased) source completes before any write below.
+        std::vector<std::byte>& buf = plan.scratch(m, rank);
+        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
+        continue;
+      }
+      send_packed<T>(transport, rank, m, ch.count, [&](std::span<T> out) {
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, out.data());
+      });
+    }
+  }
+
+  {
+    CYCLICK_SPAN("plan_exec.unpack", rank);
+    T* local = dst.local(rank).data();
+    for (i64 f = 0; f < p; ++f) {
+      const i64 q = redist_peer_from(rank, f, p);
+      const CommPlan::Channel& ch = plan.channel(rank, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", rank, ch.count * static_cast<i64>(sizeof(T)));
+      const i64* off = plan.dst_off.data() + ch.gap_begin;
+      const std::vector<std::byte>* bytes;
+      std::vector<std::byte> payload;
+      if (q == rank) {
+        bytes = &plan.scratch(rank, q);
+      } else {
+        payload = transport.recv(rank, q);
+        CYCLICK_REQUIRE(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
+                        "received payload size disagrees with the plan");
+        bytes = &payload;
+      }
+      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                ch.dst_contig, reinterpret_cast<const T*>(bytes->data()),
+                                local);
+    }
+  }
+}
+
+/// Replicated-machine exchange: the shape `--backend=proc` runs. Every
+/// rank process executes the whole program against a full replica of the
+/// arrays (so plans, statistics and control flow stay byte-identical to
+/// the single-process run), but channels that touch *this* process's rank
+/// still cross the real wire: its outgoing channels are sent, and its
+/// incoming remote channels are unpacked from the received bytes instead
+/// of the locally packed ones. Transport corruption therefore shows up as
+/// a checksum TransportError or a divergent replica — never silently.
+/// Wire traffic is posted and drained in rotation-phase order, matching
+/// the other transport-backed executors.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_replicated(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                  const SpmdExecutor& exec, i64 my_rank,
+                                  Transport& transport) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
+  CYCLICK_REQUIRE(my_rank >= 0 && my_rank < plan.ranks, "rank out of range");
+  const i64 p = plan.ranks;
+
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    Transport& transport;
+    i64 p;
+    i64 my_rank;
+  };
+  Ctx ctx{plan, src, dst, transport, p, my_rank};
+  CYCLICK_COUNT("commplan.execs", my_rank, 1);
+  CYCLICK_COUNT("redist.execs", my_rank, 1);
+
+  // Phase 1: pack every channel into the arena (the replica needs them
+  // all); additionally post this process's outgoing remote channels in
+  // schedule order.
+  exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
+    const T* local = ctx.src.local(q).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 m = redist_peer_to(q, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::pack_channel<T>(ch.count, ch.src_start,
+                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
+                              ch.src_advance, ch.src_contig, local,
+                              reinterpret_cast<T*>(buf.data()));
+      if (q == ctx.my_rank && m != q) ctx.transport.send(q, m, buf);  // copies buf
+    }
+  });
+
+  // Phase 2: unpack every channel in schedule order; the ones arriving at
+  // this process's rank from remote senders use the wire bytes.
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
+    T* local = ctx.dst.local(m).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
+      const std::vector<std::byte>* bytes = &ctx.plan.scratch(m, q);
+      std::vector<std::byte> payload;
+      if (m == ctx.my_rank && q != m) {
+        payload = ctx.transport.recv(m, q);
+        CYCLICK_REQUIRE(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
+                        "received payload size disagrees with the plan");
+        bytes = &payload;
+      }
+      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                ch.dst_contig, reinterpret_cast<const T*>(bytes->data()),
+                                local);
+    }
+  });
+}
+
+/// Execute a scheduled plan (records redist.* schedule telemetry on top of
+/// the channel-level counters, then dispatches like execute_copy_plan).
+template <typename SrcArr, typename DstArr>
+void execute_redistribution(const RedistributionPlan& plan, const SrcArr& src, DstArr& dst,
+                            const SpmdExecutor& exec) {
+  CYCLICK_SPAN("redist.exec", 0);
+  CYCLICK_COUNT("redist.phases", 0, plan.phases);
+  execute_copy_plan(plan.comm, src, dst, exec);
+}
+
+/// Which order replay_plan_traffic posts each sender's messages in.
+enum class ScheduleOrder {
+  kNaive,    ///< every sender walks receivers 0, 1, ..., p-1 (incast shape)
+  kRotated,  ///< sender q's f-th message targets (q + f) mod p
+};
+
+/// Replay only the *wire traffic* of a plan through a transport: one
+/// zero-filled message per nonempty remote channel, sized like the real
+/// payload (`elem_bytes` per element), posted in the given order and then
+/// drained. No arrays are touched — this is the incast-study primitive:
+/// run it twice over a simulated mesh (kNaive vs kRotated) and compare the
+/// transport's congestion report.
+void replay_plan_traffic(const CommPlan& plan, Transport& transport, ScheduleOrder order,
+                         i64 elem_bytes);
+
+}  // namespace cyclick

@@ -5,8 +5,9 @@
 // machinery rather than per-element owner computations.
 //
 // The communication-plan machinery itself (compressed periodic plans, the
-// legacy per-item representation, pack/unpack execution) lives in
-// comm_plan.hpp; the plan cache in plan_cache.hpp. This header provides
+// legacy per-item representation, pack/unpack kernels) lives in
+// comm_plan.hpp; the phase-rotated executors and backend dispatch in
+// redistribute.hpp; the plan cache in plan_cache.hpp. This header provides
 // the statement-level entry points.
 #pragma once
 
@@ -17,9 +18,9 @@
 #include <vector>
 
 #include "cyclick/codegen/node_loop.hpp"
-#include "cyclick/runtime/comm_plan.hpp"
 #include "cyclick/runtime/distributed_array.hpp"
 #include "cyclick/runtime/plan_cache.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 #include "cyclick/runtime/spmd.hpp"
 #include "cyclick/runtime/transport.hpp"
 

@@ -9,6 +9,32 @@
 
 namespace cyclick {
 
+namespace {
+
+// The effective schedule of the innermost run() phase on this thread:
+// 0 = outside any phase, 1 = sequential, 2 = one thread per rank. A plain
+// int (not optional) keeps the thread_local access trivially cheap.
+thread_local int t_spmd_mode = 0;
+
+// RAII so exceptions from rank functions restore the previous state.
+struct ModeScope {
+  int prev;
+  explicit ModeScope(int mode) : prev(t_spmd_mode) { t_spmd_mode = mode; }
+  ~ModeScope() { t_spmd_mode = prev; }
+  ModeScope(const ModeScope&) = delete;
+  ModeScope& operator=(const ModeScope&) = delete;
+};
+
+}  // namespace
+
+std::optional<SpmdExecutor::Mode> current_spmd_mode() noexcept {
+  switch (t_spmd_mode) {
+    case 1: return SpmdExecutor::Mode::kSequential;
+    case 2: return SpmdExecutor::Mode::kThreads;
+    default: return std::nullopt;
+  }
+}
+
 SpmdExecutor::SpmdExecutor(i64 ranks, Mode mode) : ranks_(ranks), mode_(mode) {
   CYCLICK_REQUIRE(ranks >= 1, "executor needs at least one rank");
 }
@@ -22,6 +48,7 @@ void SpmdExecutor::run(const std::function<void(i64)>& fn) const {
   CYCLICK_SPAN("spmd.phase", obs::kMainTid);
 
   if (mode_ == Mode::kSequential || ranks_ == 1) {
+    const ModeScope scope(1);
     for (i64 r = 0; r < ranks_; ++r) {
       CYCLICK_TIME_SCOPE("spmd.rank_us", r);
       fn(r);
@@ -44,6 +71,7 @@ void SpmdExecutor::run(const std::function<void(i64)>& fn) const {
   for (i64 r = 0; r < ranks_; ++r) {
     pool.emplace_back([&, r] {
       try {
+        const ModeScope scope(2);
         CYCLICK_TIME_SCOPE("spmd.rank_us", r);
         fn(r);
       } catch (...) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "cyclick/support/types.hpp"
 
@@ -35,5 +36,13 @@ class SpmdExecutor {
   i64 ranks_;
   Mode mode_;
 };
+
+/// The *effective* mode of the innermost SpmdExecutor::run phase the
+/// calling thread is executing under, or nullopt outside any phase.
+/// "Effective" means the schedule actually used: a kThreads executor with
+/// one rank runs sequentially and reports kSequential. Blocking message
+/// protocols (runtime/collectives.hpp) consult this to refuse schedules
+/// that would deadlock on a receive whose matching send can never run.
+[[nodiscard]] std::optional<SpmdExecutor::Mode> current_spmd_mode() noexcept;
 
 }  // namespace cyclick

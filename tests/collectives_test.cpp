@@ -111,5 +111,170 @@ TEST(Collectives, SingleRankIsNoop) {
   });
 }
 
+// --- Tree vs linear differential tests -------------------------------------
+// The binomial-tree collectives must agree with the pre-tree linear
+// implementations (kept in namespace linear) on exact-arithmetic payloads.
+// p = 7 keeps the tree ragged (non-power-of-two worlds lose out-of-range
+// children), which is where index arithmetic goes wrong first.
+
+TEST(Collectives, TreeBcastMatchesLinearEveryRootRaggedWorld) {
+  const i64 p = 7;
+  for (i64 root = 0; root < p; ++root) {
+    std::vector<std::vector<i64>> tree_got(static_cast<std::size_t>(p));
+    std::vector<std::vector<i64>> lin_got(static_cast<std::size_t>(p));
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        std::vector<i64> buf{rank == root ? 7 * root + 1 : -1, rank == root ? root : -1};
+        bcast(tr, rank, root, buf);
+        tree_got[static_cast<std::size_t>(rank)] = buf;
+      });
+      EXPECT_EQ(tr.in_flight(), 0);
+    }
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        std::vector<i64> buf{rank == root ? 7 * root + 1 : -1, rank == root ? root : -1};
+        linear::bcast(tr, rank, root, buf);
+        lin_got[static_cast<std::size_t>(rank)] = buf;
+      });
+    }
+    EXPECT_EQ(tree_got, lin_got) << "root=" << root;
+  }
+}
+
+TEST(Collectives, TreeGatherMatchesLinearEveryRootVariableSizes) {
+  const i64 p = 7;
+  for (i64 root = 0; root < p; ++root) {
+    std::vector<int> tree_all, lin_all;
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        // Rank r contributes (r * 3) % 5 elements — including empty ones.
+        std::vector<int> mine(static_cast<std::size_t>((rank * 3) % 5),
+                              static_cast<int>(100 + rank));
+        auto all = gather<int>(tr, rank, root, mine);
+        if (rank == root) tree_all = std::move(all);
+      });
+      EXPECT_EQ(tr.in_flight(), 0);
+    }
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        std::vector<int> mine(static_cast<std::size_t>((rank * 3) % 5),
+                              static_cast<int>(100 + rank));
+        auto all = linear::gather<int>(tr, rank, root, mine);
+        if (rank == root) lin_all = std::move(all);
+      });
+    }
+    EXPECT_EQ(tree_all, lin_all) << "root=" << root;
+  }
+}
+
+TEST(Collectives, TreeAllreduceMatchesLinearOnExactPayloads) {
+  // Integer sums are associative, so the tree's fold order and the linear
+  // left fold must agree bit-for-bit, power-of-two world or not.
+  for (const i64 p : {2, 5, 7, 8}) {
+    std::vector<std::vector<i64>> tree_got(static_cast<std::size_t>(p));
+    std::vector<std::vector<i64>> lin_got(static_cast<std::size_t>(p));
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        std::vector<i64> buf{rank + 1, rank * rank, 1};
+        allreduce(tr, rank, buf, [](i64 a, i64 b) { return a + b; });
+        tree_got[static_cast<std::size_t>(rank)] = buf;
+      });
+    }
+    {
+      InProcessTransport tr(p);
+      threaded(p).run([&](i64 rank) {
+        std::vector<i64> buf{rank + 1, rank * rank, 1};
+        linear::allreduce(tr, rank, buf, [](i64 a, i64 b) { return a + b; });
+        lin_got[static_cast<std::size_t>(rank)] = buf;
+      });
+    }
+    EXPECT_EQ(tree_got, lin_got) << "p=" << p;
+  }
+}
+
+TEST(Collectives, RotatedAlltoallvMatchesLinear) {
+  const i64 p = 7;
+  std::vector<std::vector<std::vector<i64>>> rot(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::vector<i64>>> lin(static_cast<std::size_t>(p));
+  const auto payload = [p](i64 from, i64 to) {
+    return std::vector<i64>(static_cast<std::size_t>((from + to) % 3 + 1), from * p + to);
+  };
+  {
+    InProcessTransport tr(p);
+    threaded(p).run([&](i64 rank) {
+      std::vector<std::vector<i64>> outgoing(static_cast<std::size_t>(p));
+      for (i64 r = 0; r < p; ++r) outgoing[static_cast<std::size_t>(r)] = payload(rank, r);
+      rot[static_cast<std::size_t>(rank)] = alltoallv(tr, rank, outgoing);
+    });
+    EXPECT_EQ(tr.in_flight(), 0);
+  }
+  {
+    InProcessTransport tr(p);
+    threaded(p).run([&](i64 rank) {
+      std::vector<std::vector<i64>> outgoing(static_cast<std::size_t>(p));
+      for (i64 r = 0; r < p; ++r) outgoing[static_cast<std::size_t>(r)] = payload(rank, r);
+      lin[static_cast<std::size_t>(rank)] = linear::alltoallv(tr, rank, outgoing);
+    });
+  }
+  EXPECT_EQ(rot, lin);
+}
+
+// --- Deadlock guard ---------------------------------------------------------
+// Under the sequential schedule a blocking collective's matching sends can
+// never be posted; every entry point must throw the named error instead of
+// hanging the test suite.
+
+TEST(Collectives, SequentialScheduleThrowsInsteadOfDeadlocking) {
+  const i64 p = 3;
+  const SpmdExecutor seq(p, SpmdExecutor::Mode::kSequential);
+  InProcessTransport tr(p);
+
+  EXPECT_THROW(seq.run([&](i64 rank) {
+                 std::vector<int> buf{1};
+                 bcast(tr, rank, 0, buf);
+               }),
+               CollectiveDeadlockError);
+  EXPECT_THROW(seq.run([&](i64 rank) {
+                 const std::vector<int> mine{static_cast<int>(rank)};
+                 (void)gather<int>(tr, rank, 0, mine);
+               }),
+               CollectiveDeadlockError);
+  EXPECT_THROW(seq.run([&](i64 rank) {
+                 std::vector<int> buf{1};
+                 allreduce(tr, rank, buf, [](int a, int b) { return a + b; });
+               }),
+               CollectiveDeadlockError);
+  EXPECT_THROW(seq.run([&](i64 rank) {
+                 const std::vector<std::vector<int>> outgoing(static_cast<std::size_t>(p));
+                 (void)alltoallv(tr, rank, outgoing);
+               }),
+               CollectiveDeadlockError);
+  // The linear references refuse the same schedules.
+  EXPECT_THROW(seq.run([&](i64 rank) {
+                 std::vector<int> buf{1};
+                 linear::bcast(tr, rank, 0, buf);
+               }),
+               CollectiveDeadlockError);
+  EXPECT_EQ(tr.in_flight(), 0);  // the guard fires before any send
+}
+
+TEST(Collectives, SingleRankSequentialIsStillFine) {
+  // p == 1 has no blocking receives, so even the sequential schedule (and
+  // the threaded executor's 1-rank sequential fallback) must pass.
+  const SpmdExecutor seq(1, SpmdExecutor::Mode::kSequential);
+  InProcessTransport tr(1);
+  seq.run([&](i64 rank) {
+    std::vector<int> buf{9};
+    bcast(tr, rank, 0, buf);
+    allreduce(tr, rank, buf, [](int a, int b) { return a * b; });
+    EXPECT_EQ(gather<int>(tr, rank, 0, buf), (std::vector<int>{9}));
+  });
+}
+
 }  // namespace
 }  // namespace cyclick

@@ -16,7 +16,7 @@
 
 #include "cyclick/net/launcher.hpp"
 #include "cyclick/net/socket_transport.hpp"
-#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 
 namespace cyclick::net {
 namespace {
@@ -87,6 +87,48 @@ TEST(NetProcess, DifferentialGridMatchesInProcessByteIdentically) {
     });
     const auto statuses = group.wait_all(60000);
     EXPECT_EQ(describe_failures(statuses), "");
+  }
+}
+
+TEST(NetProcess, RedistributionParityGridMatchesInProcessByteIdentically) {
+  // The issue's (k_src, k_dst) x p parity grid, proc leg: one process mesh
+  // per machine size; every child executes all 36 block-size pairs over the
+  // same socket mesh via execute_copy_plan_rank and compares its local
+  // image byte-for-byte against the in-process executor's. (The sim leg of
+  // the same grid lives in redistribute_test.cpp.)
+  const i64 n = 1500;
+  const std::vector<i64> ks = {1, 2, 3, 5, 7, 64};
+  for (const i64 p : {2, 4, 7, 16}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    const SpmdExecutor exec(p);
+    ProcessGroup group(p);
+    group.spawn([&](i64 rank) -> int {
+      SocketTransport::Options opts;
+      opts.recv_timeout_ms = 20000;
+      const auto transport = SocketTransport::connect_mesh(rank, p, group.dir(), opts);
+      int pair = 0;
+      for (const i64 k1 : ks) {
+        for (const i64 k2 : ks) {
+          ++pair;
+          DistributedArray<double> src(BlockCyclic(p, k1), n);
+          src.scatter(iota_image(n));
+          DistributedArray<double> expected(BlockCyclic(p, k2), n);
+          const CommPlan plan =
+              build_copy_plan(src, {0, n - 1, 1}, expected, {0, n - 1, 1}, exec);
+          execute_copy_plan(plan, src, expected, exec);
+
+          DistributedArray<double> dst(BlockCyclic(p, k2), n);
+          execute_copy_plan_rank(plan, src, dst, rank, *transport);
+          const auto got = dst.local(rank);
+          const auto want = expected.local(rank);
+          if (got.size() != want.size()) return 100 + pair;
+          for (std::size_t i = 0; i < got.size(); ++i)
+            if (got[i] != want[i]) return 100 + pair;
+        }
+      }
+      return 0;
+    });
+    EXPECT_EQ(describe_failures(group.wait_all(120000)), "");
   }
 }
 

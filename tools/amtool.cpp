@@ -51,7 +51,7 @@
 #include "cyclick/net/launcher.hpp"
 #include "cyclick/net/socket_transport.hpp"
 #include "cyclick/obs/report.hpp"
-#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/redistribute.hpp"
 #include "cyclick/sim/sim_transport.hpp"
 
 namespace {
