@@ -2,12 +2,18 @@
 // (k_src, k_dst) block-size pairs, executed through the redistribution
 // layer on two backends per pair:
 //
-//   inproc  the arena executor — build the scheduled plan once, execute it
-//           repeatedly (warm arena), report best-of-R wall time and the
-//           derived bytes/s;
+//   inproc  the in-process executors — build the scheduled plan once,
+//           execute it repeatedly (warm arena), report best-of-R wall time
+//           for both the sequential arena shape (seq_us, the PR 8
+//           baseline) and the fused single-pass pipeline (pipe_us), plus
+//           their ratio (speedup) and the fused bytes/s;
 //   sim     the discrete-event mesh — replay the plan's wire traffic in
 //           rotation order and report the *predicted* phase time and the
 //           bytes/s the cost model credits the exchange.
+//
+// The perf-smoke CI job gates speedup >= 1.5 on the decorrelated
+// (1,64)/(64,1) rows: those channels are contiguous on exactly one side,
+// so the fused executor halves the four memory passes of pack+unpack.
 //
 // (The proc backend runs the same schedule; its parity is gated by
 // net_process_test and the CI example diffs rather than timed here.)
@@ -56,8 +62,9 @@ int run_sweep(i64 n, i64 p, bool csv, bool json) {
   const double total_mb = static_cast<double>(n * 8) / (1024.0 * 1024.0);
   const int repeats = 5;
 
-  TextTable table({"k_src", "k_dst", "phases", "messages", "remote_frac", "inproc_us",
-                   "inproc_MB_per_s", "sim_virtual_us", "sim_MB_per_s"});
+  TextTable table({"k_src", "k_dst", "phases", "messages", "remote_frac", "seq_us",
+                   "pipe_us", "speedup", "pipe_MB_per_s", "sim_virtual_us",
+                   "sim_MB_per_s"});
 
   for (const i64 k1 : {1, 2, 3, 5, 7, 64}) {
     DistributedArray<double> src(BlockCyclic(p, k1), n);
@@ -67,8 +74,10 @@ int run_sweep(i64 n, i64 p, bool csv, bool json) {
       const double frac =
           static_cast<double>(plan.remote_elements()) / static_cast<double>(n);
 
-      const double inproc_us =
-          time_best_us(repeats, [&] { execute_redistribution(plan, src, dst, exec); });
+      const double seq_us = time_best_us(
+          repeats, [&] { execute_copy_plan_sequential(plan.comm, src, dst, exec); });
+      const double pipe_us = time_best_us(
+          repeats, [&] { execute_copy_plan_fused(plan.comm, src, dst, exec); });
 
       // Predicted wire time: one fresh mesh per measurement so endpoint
       // and link clocks start at zero.
@@ -79,8 +88,9 @@ int run_sweep(i64 n, i64 p, bool csv, bool json) {
                                (1024.0 * 1024.0);
 
       table.add_row({std::to_string(k1), std::to_string(k2), std::to_string(plan.phases),
-                     std::to_string(plan.message_count()), fmt(frac), fmt(inproc_us),
-                     fmt(total_mb / (inproc_us / 1e6)),
+                     std::to_string(plan.message_count()), fmt(frac), fmt(seq_us),
+                     fmt(pipe_us), fmt(pipe_us > 0.0 ? seq_us / pipe_us : 0.0),
+                     fmt(total_mb / (pipe_us / 1e6)),
                      fmt(sim_us),
                      sim_us > 0.0 ? fmt(remote_mb / (sim_us / 1e6)) : "-"});
     }

@@ -29,10 +29,18 @@ constexpr int kReaderPollMs = 50;
 /// Per-sender receive queue. `closed` flips on clean EOF from the peer;
 /// `error` records the first protocol/checksum failure (sticky — the
 /// stream is desynchronized beyond repair once framing is violated).
+/// `posted` holds pre-posted receives in FIFO match order; arrivals are
+/// routed to them before the queue, and a failed/closed channel fails
+/// them all (cancellation on rank failure).
 struct SocketTransport::Inbox {
+  struct PostedRecv {
+    CompletionQueue* cq = nullptr;
+    u64 op = 0;
+  };
   std::mutex mu;
   std::condition_variable cv;
   std::deque<std::vector<std::byte>> queue;
+  std::deque<PostedRecv> posted;
   bool closed = false;
   std::string error;
   ChannelStats stats;
@@ -55,6 +63,8 @@ struct SocketTransport::Endpoint {
     i64 to = -1;
     std::array<std::byte, kHeaderBytes> header{};
     std::vector<std::byte> payload;
+    CompletionQueue* cq = nullptr;  ///< isend completion target (may be null)
+    u64 op = 0;
   };
   std::mutex out_mu;
   std::condition_variable out_cv;
@@ -220,6 +230,136 @@ void SocketTransport::send(i64 from, i64 to, std::vector<std::byte> payload) {
   CYCLICK_COUNT("net.bytes", from, bytes);
 }
 
+void SocketTransport::isend(i64 from, i64 to, std::vector<std::byte> payload,
+                            CompletionQueue* cq, i64 tag) {
+  if (cq == nullptr) {
+    send(from, to, std::move(payload));
+    return;
+  }
+  Endpoint& ep = endpoint_for(from, "isend requires a rank local to this process");
+  CYCLICK_REQUIRE(to >= 0 && to < world_, "rank out of range");
+  const i64 bytes = static_cast<i64>(payload.size());
+  const u64 op = cq->post(Completion::Kind::kSend, from, to, tag);
+  if (to == from) {
+    deliver(ep, from, std::move(payload));
+    cq->complete(op);
+  } else {
+    Endpoint::OutMsg msg;
+    msg.to = to;
+    msg.cq = cq;
+    msg.op = op;
+    FrameHeader h;
+    h.from = from;
+    h.to = to;
+    h.payload_bytes = payload.size();
+    h.checksum = fnv1a64(payload.data(), payload.size());
+    encode_header(h, msg.header.data());
+    msg.payload = std::move(payload);
+    {
+      const std::lock_guard<std::mutex> lock(ep.out_mu);
+      if (ep.send_broken[static_cast<std::size_t>(to)]) {
+        cq->cancel(op);
+        throw TransportError(ep.send_error[static_cast<std::size_t>(to)]);
+      }
+      ep.outbox.push_back(std::move(msg));
+    }
+    ep.out_cv.notify_all();
+  }
+  CYCLICK_COUNT("net.messages", from, 1);
+  CYCLICK_COUNT("net.bytes", from, bytes);
+}
+
+void SocketTransport::irecv(i64 to, i64 from, CompletionQueue& cq, i64 tag) {
+  Endpoint& ep = endpoint_for(to, "irecv requires a rank local to this process");
+  CYCLICK_REQUIRE(from >= 0 && from < world_, "rank out of range");
+  // Claim the credit before touching the inbox: post() may block at the
+  // credit limit, and the reader thread must stay free to deliver (and so
+  // unblock the consumer that frees a credit).
+  const u64 op = cq.post(Completion::Kind::kRecv, from, to, tag);
+  Inbox& ib = *ep.inboxes[static_cast<std::size_t>(from)];
+  std::vector<std::byte> payload;
+  enum class State { kPosted, kImmediate, kError, kClosed } state = State::kPosted;
+  std::string error;
+  i64 delivered = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ib.mu);
+    if (!ib.queue.empty()) {
+      payload = std::move(ib.queue.front());
+      ib.queue.pop_front();
+      state = State::kImmediate;
+    } else if (!ib.error.empty()) {
+      error = ib.error;
+      state = State::kError;
+    } else if (ib.closed) {
+      delivered = ib.stats.messages;
+      state = State::kClosed;
+    } else {
+      ib.posted.push_back(Inbox::PostedRecv{&cq, op});
+    }
+  }
+  switch (state) {
+    case State::kPosted:
+      break;
+    case State::kImmediate:
+      cq.complete(op, std::move(payload));
+      break;
+    case State::kError:
+      cq.fail(op, error);
+      break;
+    case State::kClosed:
+      cq.fail(op, "channel " + channel_name(from, to) + " closed: rank " +
+                      std::to_string(from) + " exited before sending (" +
+                      std::to_string(delivered) + " messages delivered)");
+      break;
+  }
+}
+
+bool SocketTransport::try_recv(i64 to, i64 from, std::vector<std::byte>& out) {
+  Endpoint& ep = endpoint_for(to, "try_recv requires a rank local to this process");
+  CYCLICK_REQUIRE(from >= 0 && from < world_, "rank out of range");
+  Inbox& ib = *ep.inboxes[static_cast<std::size_t>(from)];
+  const std::lock_guard<std::mutex> lock(ib.mu);
+  if (ib.queue.empty()) return false;
+  out = std::move(ib.queue.front());
+  ib.queue.pop_front();
+  return true;
+}
+
+void SocketTransport::cancel_posted(CompletionQueue& cq) {
+  for (auto& ep : endpoints_) {
+    if (!ep) continue;
+    for (auto& ibp : ep->inboxes) {
+      Inbox& ib = *ibp;
+      std::vector<u64> ops;
+      {
+        const std::lock_guard<std::mutex> lock(ib.mu);
+        for (auto it = ib.posted.begin(); it != ib.posted.end();) {
+          if (it->cq == &cq) {
+            ops.push_back(it->op);
+            it = ib.posted.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (const u64 op : ops) cq.cancel(op);
+    }
+    // Queued isends still reach the wire (cancellation does not un-send);
+    // only their completions are withdrawn.
+    std::vector<u64> ops;
+    {
+      const std::lock_guard<std::mutex> lock(ep->out_mu);
+      for (auto& msg : ep->outbox) {
+        if (msg.cq == &cq) {
+          ops.push_back(msg.op);
+          msg.cq = nullptr;
+        }
+      }
+    }
+    for (const u64 op : ops) cq.cancel(op);
+  }
+}
+
 std::vector<std::byte> SocketTransport::recv(i64 to, i64 from) {
   Endpoint& ep = endpoint_for(to, "recv requires a rank local to this process");
   CYCLICK_REQUIRE(from >= 0 && from < world_, "rank out of range");
@@ -265,49 +405,84 @@ ChannelStats SocketTransport::channel_stats(i64 from, i64 to) {
 void SocketTransport::deliver(Endpoint& ep, i64 from, std::vector<std::byte> payload) {
   Inbox& ib = *ep.inboxes[static_cast<std::size_t>(from)];
   const i64 bytes = static_cast<i64>(payload.size());
+  Inbox::PostedRecv matched{};
   {
     const std::lock_guard<std::mutex> lock(ib.mu);
-    ib.queue.push_back(std::move(payload));
     if (obs::enabled()) {
       ++ib.stats.messages;
       ib.stats.bytes += bytes;
     }
+    if (!ib.posted.empty()) {
+      // A pre-posted receive claims the message directly (FIFO match
+      // order); it never touches the queue.
+      matched = ib.posted.front();
+      ib.posted.pop_front();
+    } else {
+      ib.queue.push_back(std::move(payload));
+    }
   }
-  ib.cv.notify_all();
+  if (matched.cq != nullptr)
+    matched.cq->complete(matched.op, std::move(payload));
+  else
+    ib.cv.notify_all();
 }
 
 void SocketTransport::fail_channel(Endpoint& ep, i64 from, const std::string& error) {
   Inbox& ib = *ep.inboxes[static_cast<std::size_t>(from)];
+  std::deque<Inbox::PostedRecv> orphans;
+  std::string full;
   {
     const std::lock_guard<std::mutex> lock(ib.mu);
     if (ib.error.empty())
       ib.error = "channel " + channel_name(from, ep.rank) + ": " + error;
+    full = ib.error;
+    orphans.swap(ib.posted);
   }
   ib.cv.notify_all();
+  // Pipelines waiting on this channel learn of the failure through their
+  // completions instead of hanging until a deadline.
+  for (const Inbox::PostedRecv& pr : orphans) pr.cq->fail(pr.op, full);
 }
 
 void SocketTransport::writer_loop(Endpoint& ep) {
   for (;;) {
     Endpoint::OutMsg msg;
+    bool broken = false;
+    std::string broken_error;
     {
       std::unique_lock<std::mutex> lock(ep.out_mu);
       ep.out_cv.wait(lock, [&] { return ep.out_stop || !ep.outbox.empty(); });
       if (ep.outbox.empty()) return;  // stopped and fully drained
       msg = std::move(ep.outbox.front());
       ep.outbox.pop_front();
-      if (ep.send_broken[static_cast<std::size_t>(msg.to)]) continue;  // peer already dead
+      if (ep.send_broken[static_cast<std::size_t>(msg.to)]) {  // peer already dead
+        broken = true;
+        broken_error = ep.send_error[static_cast<std::size_t>(msg.to)];
+      }
+    }
+    if (broken) {
+      if (msg.cq != nullptr) msg.cq->fail(msg.op, broken_error);
+      continue;
     }
     try {
       const int fd = ep.peer_fds[static_cast<std::size_t>(msg.to)].get();
       write_fully(fd, msg.header.data(), msg.header.size());
       if (!msg.payload.empty()) write_fully(fd, msg.payload.data(), msg.payload.size());
+      // The isend completes only once its bytes are genuinely accepted by
+      // the kernel socket — the writer thread surfaced as completions.
+      if (msg.cq != nullptr) msg.cq->complete(msg.op);
     } catch (const TransportError& e) {
       // Record and keep serving other peers; the failure surfaces on the
       // next send() to this peer (and as EOF on its recv side).
-      const std::lock_guard<std::mutex> lock(ep.out_mu);
-      ep.send_broken[static_cast<std::size_t>(msg.to)] = true;
-      ep.send_error[static_cast<std::size_t>(msg.to)] =
-          "channel " + channel_name(ep.rank, msg.to) + " broken: " + e.what();
+      {
+        const std::lock_guard<std::mutex> lock(ep.out_mu);
+        ep.send_broken[static_cast<std::size_t>(msg.to)] = true;
+        ep.send_error[static_cast<std::size_t>(msg.to)] =
+            "channel " + channel_name(ep.rank, msg.to) + " broken: " + e.what();
+      }
+      if (msg.cq != nullptr)
+        msg.cq->fail(msg.op, "channel " + channel_name(ep.rank, msg.to) +
+                                 " broken: " + e.what());
     }
   }
 }
@@ -340,12 +515,22 @@ void SocketTransport::reader_loop(Endpoint& ep) {
       try {
         if (!read_fully(fd, header.data(), kHeaderBytes)) {
           // Clean EOF on a frame boundary: the peer is done sending.
+          // Receives posted past the peer's last message fail with the
+          // same channel-naming error blocking recv() would throw.
           Inbox& ib = *ep.inboxes[static_cast<std::size_t>(q)];
+          std::deque<Inbox::PostedRecv> orphans;
+          i64 delivered = 0;
           {
             const std::lock_guard<std::mutex> lock(ib.mu);
             ib.closed = true;
+            delivered = ib.stats.messages;
+            orphans.swap(ib.posted);
           }
           ib.cv.notify_all();
+          for (const Inbox::PostedRecv& pr : orphans)
+            pr.cq->fail(pr.op, "channel " + channel_name(q, ep.rank) + " closed: rank " +
+                                   std::to_string(q) + " exited before sending (" +
+                                   std::to_string(delivered) + " messages delivered)");
         } else {
           std::string err;
           const auto h = decode_header(header.data(), err);

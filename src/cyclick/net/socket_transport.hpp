@@ -75,6 +75,19 @@ class SocketTransport final : public Transport {
   std::vector<std::byte> recv(i64 to, i64 from) override;
   [[nodiscard]] bool ready(i64 to, i64 from) override;
 
+  /// Nonblocking primitives. isend completions are produced by the writer
+  /// thread *after* the frame reaches the kernel socket (self sends
+  /// complete at delivery); irecv completions by the reader thread at
+  /// demux time. A peer that dies or poisons its stream fails every
+  /// receive posted on its channel with the channel-naming error instead
+  /// of leaving the pipeline hanging.
+  void isend(i64 from, i64 to, std::vector<std::byte> payload, CompletionQueue* cq,
+             i64 tag) override;
+  void irecv(i64 to, i64 from, CompletionQueue& cq, i64 tag) override;
+  [[nodiscard]] bool try_recv(i64 to, i64 from, std::vector<std::byte>& out) override;
+  void cancel_posted(CompletionQueue& cq) override;
+  [[nodiscard]] i64 recv_timeout_ms() const override { return opts_.recv_timeout_ms; }
+
   /// True when `rank`'s endpoint lives in this process (its channels may
   /// be used as `from` in send / `to` in recv).
   [[nodiscard]] bool is_local(i64 rank) const;

@@ -25,10 +25,29 @@
 //   execute_copy_plan            backend dispatch: replicated over the
 //                                process mesh when a ProcessContext is
 //                                active, over the provider transport when
-//                                one is installed (sim), else in-process
+//                                one is installed (sim), else in-process;
+//                                picks the pipelined/fused variant unless
+//                                CYCLICK_REDIST_WINDOW=0|1 or src/dst alias
+//   execute_copy_plan_sequential the strict pack -> barrier -> unpack arena
+//                                shape (also the aliased-copy fallback)
+//   execute_copy_plan_fused      in-process single pass: src local -> dst
+//                                local straight through the joint periodic
+//                                descriptors, no arena round trip
 //   execute_copy_plan_over       whole machine over one Transport
-//   execute_copy_plan_rank       exactly one rank's share (proc backend)
+//   execute_copy_plan_over_pipelined
+//                                same, with receives pre-posted W phases
+//                                ahead on per-rank completion queues
+//   execute_copy_plan_rank       exactly one rank's share (proc backend);
+//                                dispatches to _rank_pipelined by window
 //   execute_copy_plan_replicated the replicated-machine proc shape
+//   execute_copy_plan_replicated_pipelined
+//                                same, with this rank's receives pre-posted
+//                                before the pack phase so payloads land
+//                                while the replica is still packing
+//
+// Pipeline window: resolve_redist_window — CYCLICK_REDIST_WINDOW (0/1
+// forces the sequential executors, >= 2 fixes the depth, unset lets the
+// sim cost model size it), clamped by CYCLICK_TRANSPORT_CREDITS.
 //
 // They are generic over the array type: anything with local(rank) spans
 // of a trivially copyable element works (DistributedArray, MultiDimArray),
@@ -43,6 +62,10 @@
 // primitive behind the simulation gate.
 #pragma once
 
+#include <algorithm>
+#include <memory>
+
+#include "cyclick/obs/trace.hpp"
 #include "cyclick/runtime/comm_plan.hpp"
 #include "cyclick/runtime/transport.hpp"
 
@@ -84,6 +107,20 @@ struct RedistributionPlan {
 /// count once; O(p^2) over the channel grid).
 [[nodiscard]] RedistributionPlan finish_redistribution_plan(CommPlan&& comm, i64 dims);
 
+/// CYCLICK_REDIST_WINDOW as written: -1 when unset (adaptive), 0/1 to
+/// force the sequential executors, >= 2 for a fixed pipeline depth.
+[[nodiscard]] i64 redist_window_from_env();
+
+/// Pipeline depth predicted from the sim cost model for this plan's
+/// dominant per-phase payload: 1 + ceil(wire_time / pack_time), clamped to
+/// [2, 8]. Reads the same CYCLICK_SIM_* knobs the simulated mesh uses.
+[[nodiscard]] i64 adaptive_redist_window(const CommPlan& plan, i64 elem_bytes);
+
+/// The window one plan execution runs with: the env override (0/1 ->
+/// returns 1, sequential) or the adaptive prediction, clamped by the
+/// transport credit limit. >= 2 means the pipelined/fused executors run.
+[[nodiscard]] i64 resolve_redist_window(const CommPlan& plan, i64 elem_bytes);
+
 /// Build the scheduled plan for the 1-D copy dst(dsec) = src(ssec).
 template <typename T>
 [[nodiscard]] RedistributionPlan build_redistribution_plan(const DistributedArray<T>& src,
@@ -100,6 +137,109 @@ namespace detail {
 template <typename Arr>
 using local_element_t = std::remove_cvref_t<decltype(std::declval<Arr&>().local(i64{0})[0])>;
 
+/// True when src's and dst's local spans for `rank` share any bytes. The
+/// fused/pipelined executors write destinations while sources are still
+/// live, so aliased copies (same array, shifted sections) must take the
+/// arena-staged sequential path instead.
+template <typename SrcArr, typename DstArr>
+[[nodiscard]] bool rank_locals_alias(const SrcArr& src, DstArr& dst, i64 rank) {
+  const auto s = src.local(rank);
+  const auto d = dst.local(rank);
+  if (s.empty() || d.empty()) return false;
+  const void* s0 = s.data();
+  const void* s1 = s.data() + s.size();
+  const void* d0 = d.data();
+  const void* d1 = d.data() + d.size();
+  const std::less<const void*> lt;  // total order even for unrelated objects
+  return lt(s0, d1) && lt(d0, s1);
+}
+
+template <typename SrcArr, typename DstArr>
+[[nodiscard]] bool arrays_alias(const SrcArr& src, DstArr& dst, i64 ranks) {
+  for (i64 r = 0; r < ranks; ++r)
+    if (rank_locals_alias(src, dst, r)) return true;
+  return false;
+}
+
+/// Copy one channel straight from the sender's local span to the
+/// receiver's — the fused form of pack_channel + unpack_channel with the
+/// arena round trip removed. Pack's gather and unpack's scatter share one
+/// joint period, so their composition is a single gather/scatter (or
+/// memcpy) per channel: one read and one write per element where the
+/// staged path does two of each.
+template <typename T>
+void copy_channel(const CommPlan::Channel& ch, const i64* soff, const i64* doff,
+                  const T* src_local, T* dst_local) {
+  if (ch.count == 1) {
+    dst_local[ch.dst_start] = src_local[ch.src_start];
+    return;
+  }
+  if (ch.src_contig) {
+    // The wire stream in channel order IS the contiguous source span:
+    // scatter it into the destination directly.
+    unpack_channel<T>(ch.count, ch.dst_start, doff, ch.period, ch.dst_advance,
+                      ch.dst_contig, src_local + ch.src_start, dst_local);
+    return;
+  }
+  if (ch.dst_contig) {
+    // Dual case: gather the source straight into the contiguous
+    // destination span.
+    pack_channel<T>(ch.count, ch.src_start, soff, ch.period, ch.src_advance,
+                    ch.src_contig, src_local, dst_local + ch.dst_start);
+    return;
+  }
+  if (ch.period == 1) {
+    // Strided-to-strided: the whole channel is one dual-stride loop.
+    const T* s = src_local + ch.src_start;
+    T* d = dst_local + ch.dst_start;
+    for (i64 j = 0; j < ch.count; ++j) d[j * ch.dst_advance] = s[j * ch.src_advance];
+    return;
+  }
+  // Both sides periodic-noncontiguous: replay the joint offset tables
+  // blockwise. Same addressing work as one pack *or* one unpack leg, but
+  // it replaces both.
+  const T* s = src_local + ch.src_start;
+  T* d = dst_local + ch.dst_start;
+  const i64 full = ch.count / ch.period;
+  for (i64 i = 0; i < full; ++i) {
+    for (i64 r = 0; r < ch.period; ++r) d[doff[r]] = s[soff[r]];
+    s += ch.src_advance;
+    d += ch.dst_advance;
+  }
+  for (i64 r = 0; r < ch.count % ch.period; ++r) d[doff[r]] = s[soff[r]];
+}
+
+/// Manual chrome-trace interval for pipeline stages (per-phase, so the
+/// overlap of pack(f+1) with in-flight(f) is visible on the timeline).
+/// CYCLICK_SPAN needs a literal name too but records into the span ring;
+/// these go straight to the TraceSink like the sim's per-message spans.
+struct PipeSpan {
+  const char* name;
+  i64 tid;
+  i64 t0 = -1;
+  PipeSpan(const char* name_, i64 tid_) : name(name_), tid(tid_) {
+    if (obs::enabled()) t0 = obs::now_ns();
+  }
+  void close() {
+    if (t0 >= 0) {
+      obs::TraceSink::global().complete(name, tid, t0, obs::now_ns());
+      t0 = -1;
+    }
+  }
+  ~PipeSpan() { close(); }
+};
+
+/// Exception-path cleanup: withdraw whatever a dying pipeline still has
+/// posted so the transport holds no dangling CompletionQueue pointers.
+/// Callers null `cq` out on clean completion (everything reaped).
+struct PostedCancelGuard {
+  Transport& transport;
+  CompletionQueue* cq;
+  ~PostedCancelGuard() {
+    if (cq != nullptr) transport.cancel_posted(*cq);
+  }
+};
+
 }  // namespace detail
 
 /// Execute a compressed plan: senders pack values straight into the plan's
@@ -114,8 +254,34 @@ void execute_copy_plan_replicated(const CommPlan& plan, const SrcArr& src, DstAr
                                   Transport& transport);
 
 template <typename SrcArr, typename DstArr>
+void execute_copy_plan_replicated_pipelined(const CommPlan& plan, const SrcArr& src,
+                                            DstArr& dst, const SpmdExecutor& exec,
+                                            i64 my_rank, Transport& transport, i64 window);
+
+template <typename SrcArr, typename DstArr>
 void execute_copy_plan_over(const CommPlan& plan, const SrcArr& src, DstArr& dst,
                             const SpmdExecutor& exec, Transport& transport);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_over_pipelined(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                      const SpmdExecutor& exec, Transport& transport,
+                                      i64 window);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_rank_sequential(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                       i64 rank, Transport& transport);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_rank_pipelined(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                      i64 rank, Transport& transport, i64 window);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_sequential(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                  const SpmdExecutor& exec);
+
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_fused(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                             const SpmdExecutor& exec);
 
 template <typename SrcArr, typename DstArr>
 void execute_copy_plan(const CommPlan& plan, const SrcArr& src, DstArr& dst,
@@ -123,22 +289,96 @@ void execute_copy_plan(const CommPlan& plan, const SrcArr& src, DstArr& dst,
   using T = detail::local_element_t<DstArr>;
   static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
   CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  const i64 window = resolve_redist_window(plan, static_cast<i64>(sizeof(T)));
   // Inside a launched rank process (--backend=proc), route this rank's
   // share of the copy over the wire. Plans for machines of a different
   // size than the process world stay purely local — every rank process
   // computes them identically, so no exchange is needed.
   const ProcessContext& pc = process_context();
   if (pc.active() && plan.ranks == pc.world) {
-    execute_copy_plan_replicated(plan, src, dst, exec, pc.rank, *pc.transport);
+    if (window >= 2)
+      execute_copy_plan_replicated_pipelined(plan, src, dst, exec, pc.rank, *pc.transport,
+                                             window);
+    else
+      execute_copy_plan_replicated(plan, src, dst, exec, pc.rank, *pc.transport);
     return;
   }
   // Under the simulation backend every whole-machine plan execution is
   // replayed over the provided (virtual) transport: identical results,
   // message-shaped movement, predicted timings as a side effect.
   if (TransportProvider* provider = transport_provider(); provider != nullptr) {
-    execute_copy_plan_over(plan, src, dst, exec, provider->transport_for(plan.ranks));
+    Transport& transport = provider->transport_for(plan.ranks);
+    if (window >= 2)
+      execute_copy_plan_over_pipelined(plan, src, dst, exec, transport, window);
+    else
+      execute_copy_plan_over(plan, src, dst, exec, transport);
     return;
   }
+  // In-process: the fused single-pass executor, unless pipelining is
+  // disabled or the copy aliases (same array, shifted sections — the
+  // arena's pack barrier is what makes those correct).
+  if (window >= 2 && !detail::arrays_alias(src, dst, plan.ranks)) {
+    execute_copy_plan_fused(plan, src, dst, exec);
+    return;
+  }
+  execute_copy_plan_sequential(plan, src, dst, exec);
+}
+
+/// Execute a compressed plan in-process without the arena: every channel
+/// is copied in one pass, sender local -> receiver local, straight through
+/// the joint periodic descriptors (pack's gather and unpack's scatter
+/// share one period and gap table, so the composition is a single
+/// gather/scatter/memcpy per channel). Halves the memory traffic of the
+/// sequential executor — the in-process expression of "overlap": with no
+/// wire to hide, the win is not doing the staging pass at all. Requires
+/// src and dst not to alias; execute_copy_plan checks and falls back.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_fused(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                             const SpmdExecutor& exec) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  const i64 p = plan.ranks;
+
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    i64 p;
+  };
+  Ctx ctx{plan, src, dst, p};
+  CYCLICK_COUNT("commplan.execs", 0, 1);
+  CYCLICK_COUNT("redist.execs", 0, 1);
+  CYCLICK_COUNT("redist.fused_execs", 0, 1);
+
+  // One pass: every receiver walks its incoming channels in schedule order
+  // and copies each one directly (sources are read-only here, so receivers
+  // are independent under the threaded executor too).
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.fused", m);
+    T* local = ctx.dst.local(m).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const i64* soff = ctx.plan.src_off.data() + ch.gap_begin;
+      const i64* doff = ctx.plan.dst_off.data() + ch.gap_begin;
+      detail::copy_channel<T>(ch, soff, doff, ctx.src.local(q).data(), local);
+    }
+  });
+}
+
+/// The strict two-phase arena executor (pack everything, barrier, unpack
+/// everything) — the PR 8 shape, kept as the aliased-copy fallback and the
+/// CYCLICK_REDIST_WINDOW=0|1 escape hatch, and as the baseline the fused
+/// executor is benchmarked against.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_sequential(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                  const SpmdExecutor& exec) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "plans move raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
   const i64 p = plan.ranks;
 
   // Context structs keep the SPMD lambdas at one captured reference so the
@@ -277,20 +517,183 @@ void execute_copy_plan_over(const CommPlan& plan, const SrcArr& src, DstArr& dst
   });
 }
 
+/// The pipelined whole-machine transport executor: identical traffic and
+/// results to execute_copy_plan_over, but every rank pre-posts a window of
+/// receives on its own CompletionQueue *before* the pack phase, then
+/// unpacks completions as they arrive (possibly out of phase order —
+/// payloads carry their phase as the completion tag) while keeping the
+/// window full. On the sim backend waiting on the queue advances the
+/// virtual clock; on real backends the reader threads complete receives
+/// while other ranks are still packing.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_over_pipelined(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                      const SpmdExecutor& exec, Transport& transport,
+                                      i64 window) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  CYCLICK_REQUIRE(transport.ranks() == exec.ranks(), "transport/executor rank mismatch");
+  CYCLICK_REQUIRE(window >= 1, "pipeline window must be positive");
+  const i64 p = plan.ranks;
+
+  // Per-rank pipeline state: the completion queue, the incoming remote
+  // phase list in schedule order, and (telemetry) per-phase post times for
+  // the in-flight trace intervals.
+  struct RankPipe {
+    std::unique_ptr<CompletionQueue> cq;
+    std::vector<i64> in_phases;
+    std::vector<i64> posted_ns;  ///< [phase] -> post time (-1 untracked)
+    std::size_t next = 0;        ///< next in_phases index to post
+  };
+
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    Transport& transport;
+    i64 p;
+    i64 window;
+    std::vector<RankPipe>& pipes;
+
+    void post_next(i64 m) {
+      RankPipe& rp = pipes[static_cast<std::size_t>(m)];
+      if (rp.next >= rp.in_phases.size()) return;
+      const i64 f = rp.in_phases[rp.next++];
+      if (obs::enabled()) rp.posted_ns[static_cast<std::size_t>(f)] = obs::now_ns();
+      transport.irecv(m, redist_peer_from(m, f, p), *rp.cq, f);
+    }
+  };
+  std::vector<RankPipe> pipes(static_cast<std::size_t>(p));
+  Ctx ctx{plan, src, dst, transport, p, window, pipes};
+  CYCLICK_COUNT("commplan.execs", 0, 1);
+  CYCLICK_COUNT("redist.execs", 0, 1);
+  CYCLICK_COUNT("redist.pipelined_execs", 0, 1);
+
+  // A throwing phase (deadline expiry, failed channel) must withdraw
+  // whatever is still posted before the queues leave scope.
+  struct Guard {
+    Transport& transport;
+    std::vector<RankPipe>& pipes;
+    bool armed = true;
+    ~Guard() {
+      if (!armed) return;
+      for (RankPipe& rp : pipes)
+        if (rp.cq) transport.cancel_posted(*rp.cq);
+    }
+  } guard{transport, pipes};
+
+  // Phase A: every receiver enumerates its incoming remote phases and
+  // pre-posts the first W receives.
+  exec.run([&ctx](i64 m) {
+    RankPipe& rp = ctx.pipes[static_cast<std::size_t>(m)];
+    for (i64 f = 1; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      if (q != m && ctx.plan.channel(m, q).count > 0) rp.in_phases.push_back(f);
+    }
+    if (rp.in_phases.empty()) return;
+    rp.cq = std::make_unique<CompletionQueue>(ctx.window);
+    rp.posted_ns.assign(static_cast<std::size_t>(ctx.p), -1);
+    const std::size_t first =
+        std::min<std::size_t>(static_cast<std::size_t>(ctx.window), rp.in_phases.size());
+    for (std::size_t i = 0; i < first; ++i) ctx.post_next(m);
+  });
+
+  // Phase B: pack + post sends in schedule order (identical to the
+  // sequential transport executor; the self channel stages through the
+  // arena).
+  exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
+    const T* local = ctx.src.local(q).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 m = redist_peer_to(q, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      const i64* off = ctx.plan.src_off.data() + ch.gap_begin;
+      detail::PipeSpan span("redist.pipe.pack", q);
+      if (m == q) {
+        std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+        buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+        detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                                ch.src_contig, local, reinterpret_cast<T*>(buf.data()));
+        continue;
+      }
+      std::vector<std::byte> payload(static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::pack_channel<T>(ch.count, ch.src_start, off, ch.period, ch.src_advance,
+                              ch.src_contig, local, reinterpret_cast<T*>(payload.data()));
+      ctx.transport.isend(q, m, std::move(payload), nullptr, f);
+    }
+  });
+
+  // Phase C: reap completions as they arrive, unpack, and keep the window
+  // full; the self channel comes out of the arena first (schedule phase 0).
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
+    T* local = ctx.dst.local(m).data();
+    const CommPlan::Channel& self = ctx.plan.channel(m, m);
+    if (self.count > 0) {
+      CYCLICK_COUNT("commplan.bytes", m, self.count * static_cast<i64>(sizeof(T)));
+      const std::vector<std::byte>& buf = ctx.plan.scratch(m, m);
+      detail::unpack_channel<T>(self.count, self.dst_start,
+                                ctx.plan.dst_off.data() + self.gap_begin, self.period,
+                                self.dst_advance, self.dst_contig,
+                                reinterpret_cast<const T*>(buf.data()), local);
+    }
+    RankPipe& rp = ctx.pipes[static_cast<std::size_t>(m)];
+    if (!rp.cq) return;
+    const i64 timeout = ctx.transport.recv_timeout_ms();
+    for (std::size_t reaped = 0; reaped < rp.in_phases.size(); ++reaped) {
+      Completion c = rp.cq->wait(timeout);
+      const i64 f = c.tag;
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      CYCLICK_REQUIRE(c.payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
+                      "received payload size disagrees with the plan");
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const i64 post_ns = rp.posted_ns[static_cast<std::size_t>(f)];
+      if (post_ns >= 0)
+        obs::TraceSink::global().complete("redist.pipe.inflight", m, post_ns,
+                                          obs::now_ns());
+      detail::PipeSpan span("redist.pipe.unpack", m);
+      detail::unpack_channel<T>(ch.count, ch.dst_start,
+                                ctx.plan.dst_off.data() + ch.gap_begin, ch.period,
+                                ch.dst_advance, ch.dst_contig,
+                                reinterpret_cast<const T*>(c.payload.data()), local);
+      span.close();
+      ctx.post_next(m);
+    }
+  });
+  guard.armed = false;  // everything reaped; nothing left to withdraw
+}
+
 /// Execute exactly one rank's share of a plan — the genuinely distributed
 /// entry point, where the calling process *is* rank `rank` of a
-/// multi-process machine and `transport` is its endpoint. Packs and posts
-/// this rank's outgoing channels in rotation-phase order, then blocks on
-/// its incoming ones in the matching order; every remote destination
-/// element is filled exclusively from received wire bytes (never
-/// recomputed locally), and only src.local(rank) is read /
-/// dst.local(rank) written. All sends complete before the first receive,
-/// so the protocol is deadlock-free regardless of peer pacing (sends never
-/// block; the socket backend buffers them), and all source reads finish
-/// before any destination write (alias safety).
+/// multi-process machine and `transport` is its endpoint. Dispatches to
+/// the sliding-window pipelined body unless CYCLICK_REDIST_WINDOW forces
+/// the sequential shape or this rank's src/dst locals alias.
 template <typename SrcArr, typename DstArr>
 void execute_copy_plan_rank(const CommPlan& plan, const SrcArr& src, DstArr& dst, i64 rank,
                             Transport& transport) {
+  using T = detail::local_element_t<DstArr>;
+  const i64 window = resolve_redist_window(plan, static_cast<i64>(sizeof(T)));
+  if (window >= 2 && !detail::rank_locals_alias(src, dst, rank)) {
+    execute_copy_plan_rank_pipelined(plan, src, dst, rank, transport, window);
+    return;
+  }
+  execute_copy_plan_rank_sequential(plan, src, dst, rank, transport);
+}
+
+/// The strict two-phase rank executor: packs and posts this rank's
+/// outgoing channels in rotation-phase order, then blocks on its incoming
+/// ones in the matching order; every remote destination element is filled
+/// exclusively from received wire bytes (never recomputed locally), and
+/// only src.local(rank) is read / dst.local(rank) written. All sends
+/// complete before the first receive, so the protocol is deadlock-free
+/// regardless of peer pacing (sends never block; the socket backend
+/// buffers them), and all source reads finish before any destination
+/// write (alias safety).
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_rank_sequential(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                       i64 rank, Transport& transport) {
   using T = detail::local_element_t<DstArr>;
   static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
   CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
@@ -347,6 +750,110 @@ void execute_copy_plan_rank(const CommPlan& plan, const SrcArr& src, DstArr& dst
                                 local);
     }
   }
+}
+
+/// The sliding-window rank executor: receives are pre-posted `window`
+/// phases ahead on a CompletionQueue, sends go out nonblocking in schedule
+/// order with opportunistic unpacking between pack phases, and the tail is
+/// drained by completion arrival (out of phase order is fine — completions
+/// carry their phase as the tag). The dispatcher guarantees src/dst locals
+/// do not alias, so the self channel copies directly (no arena round trip)
+/// and remote unpacks may interleave with remaining packs.
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_rank_pipelined(const CommPlan& plan, const SrcArr& src, DstArr& dst,
+                                      i64 rank, Transport& transport, i64 window) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
+  CYCLICK_REQUIRE(rank >= 0 && rank < plan.ranks, "rank out of range");
+  CYCLICK_REQUIRE(window >= 1, "pipeline window must be positive");
+  const i64 p = plan.ranks;
+  CYCLICK_COUNT("commplan.execs", rank, 1);
+  CYCLICK_COUNT("redist.execs", rank, 1);
+  CYCLICK_COUNT("redist.pipelined_execs", rank, 1);
+
+  // Incoming remote phases in schedule order.
+  std::vector<i64> in_phases;
+  for (i64 f = 1; f < p; ++f) {
+    const i64 q = redist_peer_from(rank, f, p);
+    if (q != rank && plan.channel(rank, q).count > 0) in_phases.push_back(f);
+  }
+
+  CompletionQueue cq(window);
+  detail::PostedCancelGuard guard{transport, in_phases.empty() ? nullptr : &cq};
+  std::vector<i64> posted_ns(static_cast<std::size_t>(p), -1);
+  std::size_t next = 0;
+  std::size_t reaped = 0;
+  T* dlocal = dst.local(rank).data();
+
+  const auto post_next = [&] {
+    if (next >= in_phases.size()) return;
+    const i64 f = in_phases[next++];
+    if (obs::enabled()) posted_ns[static_cast<std::size_t>(f)] = obs::now_ns();
+    transport.irecv(rank, redist_peer_from(rank, f, p), cq, f);
+  };
+  const auto consume = [&](Completion c) {
+    const i64 f = c.tag;
+    const i64 q = redist_peer_from(rank, f, p);
+    const CommPlan::Channel& ch = plan.channel(rank, q);
+    CYCLICK_REQUIRE(c.payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
+                    "received payload size disagrees with the plan");
+    CYCLICK_COUNT("commplan.bytes", rank, ch.count * static_cast<i64>(sizeof(T)));
+    const i64 post_ns = posted_ns[static_cast<std::size_t>(f)];
+    if (post_ns >= 0)
+      obs::TraceSink::global().complete("redist.pipe.inflight", rank, post_ns,
+                                        obs::now_ns());
+    detail::PipeSpan span("redist.pipe.unpack", rank);
+    detail::unpack_channel<T>(ch.count, ch.dst_start, plan.dst_off.data() + ch.gap_begin,
+                              ch.period, ch.dst_advance, ch.dst_contig,
+                              reinterpret_cast<const T*>(c.payload.data()), dlocal);
+    span.close();
+    ++reaped;
+    post_next();
+  };
+
+  // Pre-post the first W receives before any packing so arrivals can land
+  // (and on the socket backend, be reaped by the reader thread) while this
+  // rank is still producing its own outgoing payloads.
+  const std::size_t first =
+      std::min<std::size_t>(static_cast<std::size_t>(window), in_phases.size());
+  for (std::size_t i = 0; i < first; ++i) post_next();
+
+  {
+    CYCLICK_SPAN("plan_exec.pack", rank);
+    const T* local = src.local(rank).data();
+    for (i64 f = 0; f < p; ++f) {
+      const i64 m = redist_peer_to(rank, f, p);
+      const CommPlan::Channel& ch = plan.channel(m, rank);
+      if (ch.count == 0) continue;
+      const i64* soff = plan.src_off.data() + ch.gap_begin;
+      detail::PipeSpan span("redist.pipe.pack", rank);
+      if (m == rank) {
+        // Dispatch guarantees no aliasing, so the self channel copies
+        // straight across — the fused form, no arena staging.
+        CYCLICK_COUNT("commplan.bytes", rank, ch.count * static_cast<i64>(sizeof(T)));
+        detail::copy_channel<T>(ch, soff, plan.dst_off.data() + ch.gap_begin, local,
+                                dlocal);
+      } else {
+        std::vector<std::byte> payload(static_cast<std::size_t>(ch.count) * sizeof(T));
+        detail::pack_channel<T>(ch.count, ch.src_start, soff, ch.period, ch.src_advance,
+                                ch.src_contig, local,
+                                reinterpret_cast<T*>(payload.data()));
+        transport.isend(rank, m, std::move(payload), nullptr, f);
+      }
+      span.close();
+      // Opportunistic drain: unpack whatever has already arrived so the
+      // tail wait after the pack loop starts as short as possible.
+      while (std::optional<Completion> c = cq.try_wait()) consume(std::move(*c));
+    }
+  }
+
+  {
+    CYCLICK_SPAN("plan_exec.unpack", rank);
+    const i64 timeout = transport.recv_timeout_ms();
+    while (reaped < in_phases.size()) consume(cq.wait(timeout));
+  }
+  guard.cq = nullptr;  // everything reaped; nothing left to withdraw
 }
 
 /// Replicated-machine exchange: the shape `--backend=proc` runs. Every
@@ -426,6 +933,130 @@ void execute_copy_plan_replicated(const CommPlan& plan, const SrcArr& src, DstAr
                                 local);
     }
   });
+}
+
+/// The pipelined replicated exchange: identical replica semantics and wire
+/// traffic to execute_copy_plan_replicated, but this process pre-posts a
+/// window of its incoming receives *before* the pack phase, so the socket
+/// backend's reader thread completes them while the replica is still
+/// packing — genuine pack/in-flight overlap across processes. Arrivals may
+/// complete out of phase order; the unpack phase stashes them and consumes
+/// in schedule order (replica determinism requires the schedule walk).
+template <typename SrcArr, typename DstArr>
+void execute_copy_plan_replicated_pipelined(const CommPlan& plan, const SrcArr& src,
+                                            DstArr& dst, const SpmdExecutor& exec,
+                                            i64 my_rank, Transport& transport, i64 window) {
+  using T = detail::local_element_t<DstArr>;
+  static_assert(std::is_trivially_copyable_v<T>, "transport carries raw bytes");
+  CYCLICK_REQUIRE(plan.ranks == exec.ranks(), "plan built for a different machine");
+  CYCLICK_REQUIRE(transport.ranks() == plan.ranks, "transport/plan rank mismatch");
+  CYCLICK_REQUIRE(my_rank >= 0 && my_rank < plan.ranks, "rank out of range");
+  CYCLICK_REQUIRE(window >= 1, "pipeline window must be positive");
+  const i64 p = plan.ranks;
+
+  struct Ctx {
+    const CommPlan& plan;
+    const SrcArr& src;
+    DstArr& dst;
+    Transport& transport;
+    i64 p;
+    i64 my_rank;
+    CompletionQueue& cq;
+    std::vector<i64>& in_phases;
+    std::vector<i64>& posted_ns;
+    std::size_t next = 0;
+    std::vector<std::vector<std::byte>> arrived;  ///< [phase] stashed payloads
+    std::vector<char> have;                       ///< [phase] arrival flags
+
+    void post_next() {
+      if (next >= in_phases.size()) return;
+      const i64 f = in_phases[next++];
+      if (obs::enabled()) posted_ns[static_cast<std::size_t>(f)] = obs::now_ns();
+      transport.irecv(my_rank, redist_peer_from(my_rank, f, p), cq, f);
+    }
+  };
+
+  // This process's incoming remote phases, in schedule order.
+  std::vector<i64> in_phases;
+  for (i64 f = 1; f < p; ++f) {
+    const i64 q = redist_peer_from(my_rank, f, p);
+    if (q != my_rank && plan.channel(my_rank, q).count > 0) in_phases.push_back(f);
+  }
+  CompletionQueue cq(window);
+  detail::PostedCancelGuard guard{transport, in_phases.empty() ? nullptr : &cq};
+  std::vector<i64> posted_ns(static_cast<std::size_t>(p), -1);
+  Ctx ctx{plan, src, dst, transport, p, my_rank, cq, in_phases, posted_ns, 0, {}, {}};
+  ctx.arrived.resize(static_cast<std::size_t>(p));
+  ctx.have.assign(static_cast<std::size_t>(p), 0);
+  CYCLICK_COUNT("commplan.execs", my_rank, 1);
+  CYCLICK_COUNT("redist.execs", my_rank, 1);
+  CYCLICK_COUNT("redist.pipelined_execs", my_rank, 1);
+
+  // Pre-post the first W receives before the pack phase begins: the reader
+  // thread lands remote payloads into the queue while this replica packs.
+  const std::size_t first =
+      std::min<std::size_t>(static_cast<std::size_t>(window), in_phases.size());
+  for (std::size_t i = 0; i < first; ++i) ctx.post_next();
+
+  // Phase 1: pack every channel into the arena (the replica needs them
+  // all); post this process's outgoing remote channels nonblocking in
+  // schedule order.
+  exec.run([&ctx](i64 q) {
+    CYCLICK_SPAN("plan_exec.pack", q);
+    const T* local = ctx.src.local(q).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 m = redist_peer_to(q, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      detail::PipeSpan span("redist.pipe.pack", q);
+      std::vector<std::byte>& buf = ctx.plan.scratch(m, q);
+      buf.resize(static_cast<std::size_t>(ch.count) * sizeof(T));
+      detail::pack_channel<T>(ch.count, ch.src_start,
+                              ctx.plan.src_off.data() + ch.gap_begin, ch.period,
+                              ch.src_advance, ch.src_contig, local,
+                              reinterpret_cast<T*>(buf.data()));
+      if (q == ctx.my_rank && m != q)
+        ctx.transport.isend(q, m, std::vector<std::byte>(buf), nullptr, f);
+    }
+  });
+
+  // Phase 2: unpack every channel in schedule order; channels arriving at
+  // this process's rank block on the completion queue the first time their
+  // phase has not landed yet (later arrivals were stashed).
+  exec.run([&ctx](i64 m) {
+    CYCLICK_SPAN("plan_exec.unpack", m);
+    T* local = ctx.dst.local(m).data();
+    for (i64 f = 0; f < ctx.p; ++f) {
+      const i64 q = redist_peer_from(m, f, ctx.p);
+      const CommPlan::Channel& ch = ctx.plan.channel(m, q);
+      if (ch.count == 0) continue;
+      CYCLICK_COUNT("commplan.bytes", m, ch.count * static_cast<i64>(sizeof(T)));
+      const i64* off = ctx.plan.dst_off.data() + ch.gap_begin;
+      const std::vector<std::byte>* bytes = &ctx.plan.scratch(m, q);
+      if (m == ctx.my_rank && q != m) {
+        while (!ctx.have[static_cast<std::size_t>(f)]) {
+          Completion c = ctx.cq.wait(ctx.transport.recv_timeout_ms());
+          const i64 g = c.tag;
+          const i64 post_ns = ctx.posted_ns[static_cast<std::size_t>(g)];
+          if (post_ns >= 0)
+            obs::TraceSink::global().complete("redist.pipe.inflight", m, post_ns,
+                                              obs::now_ns());
+          ctx.arrived[static_cast<std::size_t>(g)] = std::move(c.payload);
+          ctx.have[static_cast<std::size_t>(g)] = 1;
+          ctx.post_next();
+        }
+        const std::vector<std::byte>& payload = ctx.arrived[static_cast<std::size_t>(f)];
+        CYCLICK_REQUIRE(payload.size() == static_cast<std::size_t>(ch.count) * sizeof(T),
+                        "received payload size disagrees with the plan");
+        bytes = &payload;
+      }
+      detail::PipeSpan span("redist.pipe.unpack", m);
+      detail::unpack_channel<T>(ch.count, ch.dst_start, off, ch.period, ch.dst_advance,
+                                ch.dst_contig, reinterpret_cast<const T*>(bytes->data()),
+                                local);
+    }
+  });
+  guard.cq = nullptr;  // everything reaped; nothing left to withdraw
 }
 
 /// Execute a scheduled plan (records redist.* schedule telemetry on top of

@@ -48,6 +48,27 @@ void SimTransport::check_ranks(i64 from, i64 to) const {
 }
 
 void SimTransport::send(i64 from, i64 to, std::vector<std::byte> payload) {
+  schedule_send(from, to, std::move(payload), nullptr, 0);
+}
+
+void SimTransport::isend(i64 from, i64 to, std::vector<std::byte> payload,
+                         CompletionQueue* cq, i64 tag) {
+  u64 op = 0;
+  if (cq != nullptr) {
+    // Post before taking mu_ (post may block at the credit limit) and
+    // point the queue's progress hook at the event drain so waiting on
+    // this queue advances the virtual clock.
+    op = cq->post(Completion::Kind::kSend, from, to, tag);
+    cq->set_progress([this] {
+      const std::lock_guard<std::mutex> lock(mu_);
+      drain_locked();
+    });
+  }
+  schedule_send(from, to, std::move(payload), cq, op);
+}
+
+void SimTransport::schedule_send(i64 from, i64 to, std::vector<std::byte> payload,
+                                 CompletionQueue* cq, u64 op) {
   check_ranks(from, to);
   const i64 bytes = static_cast<i64>(payload.size());
   {
@@ -81,7 +102,7 @@ void SimTransport::send(i64 from, i64 to, std::vector<std::byte> payload) {
     recv_free_ns_[static_cast<std::size_t>(to)] = arrive;
 
     const i64 msg = seq_;
-    in_flight_[msg] = InFlight{std::move(payload), depart, arrive};
+    in_flight_[msg] = InFlight{std::move(payload), depart, arrive, cq, op};
     heap_.push(Event{depart, seq_++, Event::Kind::kDepart, from, to, msg});
     heap_.push(Event{arrive, seq_++, Event::Kind::kArrive, from, to, msg});
     horizon_ns_ = std::max(horizon_ns_, arrive);
@@ -111,6 +132,13 @@ void SimTransport::drain_locked() {
         max_in_flight_ = now;
         max_in_flight_rank_ = e.to;
       }
+      // An isend completes at its virtual departure time.
+      const auto dit = in_flight_.find(e.msg);
+      CYCLICK_ASSERT(dit != in_flight_.end());
+      if (dit->second.send_cq != nullptr) {
+        dit->second.send_cq->complete(dit->second.send_op);
+        dit->second.send_cq = nullptr;
+      }
       continue;
     }
     --in_network_[static_cast<std::size_t>(e.to)];
@@ -125,7 +153,16 @@ void SimTransport::drain_locked() {
       ++ch.stats.messages;
       ch.stats.bytes += static_cast<i64>(msg.payload.size());
     }
-    ch.queue.push_back(std::move(msg.payload));
+    if (!ch.posted.empty()) {
+      // A pre-posted receive claims the arrival directly (FIFO match
+      // order); completing under mu_ is safe — queues never call back
+      // into the transport while holding their lock.
+      const PostedRecv pr = ch.posted.front();
+      ch.posted.pop_front();
+      pr.cq->complete(pr.op, std::move(msg.payload));
+    } else {
+      ch.queue.push_back(std::move(msg.payload));
+    }
     in_flight_.erase(it);
   }
   if (processed > 0) {
@@ -161,6 +198,69 @@ bool SimTransport::ready(i64 to, i64 from) {
   drain_locked();
   const auto it = channels_.find(channel_key(from, to));
   return it != channels_.end() && !it->second.queue.empty();
+}
+
+void SimTransport::irecv(i64 to, i64 from, CompletionQueue& cq, i64 tag) {
+  check_ranks(from, to);
+  // Post before taking mu_ (post may block at the credit limit); aim the
+  // progress hook at the drain so cq.wait() advances the virtual clock.
+  const u64 op = cq.post(Completion::Kind::kRecv, from, to, tag);
+  cq.set_progress([this] {
+    const std::lock_guard<std::mutex> lock(mu_);
+    drain_locked();
+  });
+  std::vector<std::byte> payload;
+  bool immediate = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    drain_locked();
+    Channel& ch = channels_[channel_key(from, to)];
+    if (!ch.queue.empty()) {
+      payload = std::move(ch.queue.front());
+      ch.queue.pop_front();
+      immediate = true;
+    } else {
+      ch.posted.push_back(PostedRecv{&cq, op});
+    }
+  }
+  if (immediate) cq.complete(op, std::move(payload));
+}
+
+bool SimTransport::try_recv(i64 to, i64 from, std::vector<std::byte>& out) {
+  check_ranks(from, to);
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  const auto it = channels_.find(channel_key(from, to));
+  if (it == channels_.end() || it->second.queue.empty()) return false;
+  out = std::move(it->second.queue.front());
+  it->second.queue.pop_front();
+  return true;
+}
+
+void SimTransport::cancel_posted(CompletionQueue& cq) {
+  std::vector<u64> ops;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, ch] : channels_) {
+      for (auto it = ch.posted.begin(); it != ch.posted.end();) {
+        if (it->cq == &cq) {
+          ops.push_back(it->op);
+          it = ch.posted.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Pending isend completions: the (virtual) message still departs and
+    // arrives; only the completion is withdrawn.
+    for (auto& [msg_id, msg] : in_flight_) {
+      if (msg.send_cq == &cq) {
+        ops.push_back(msg.send_op);
+        msg.send_cq = nullptr;
+      }
+    }
+  }
+  for (const u64 op : ops) cq.cancel(op);
 }
 
 i64 SimTransport::virtual_ns() {

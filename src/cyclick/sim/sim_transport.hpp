@@ -65,6 +65,19 @@ class SimTransport final : public Transport {
   std::vector<std::byte> recv(i64 to, i64 from) override;
   [[nodiscard]] bool ready(i64 to, i64 from) override;
 
+  /// Nonblocking primitives on the virtual clock: an isend completes when
+  /// its kDepart event is processed (virtual departure time), a posted
+  /// irecv when its kArrive event delivers the payload. The queue's
+  /// progress hook is pointed at the event-heap drain, so waiting on a
+  /// completion *advances virtual time* — exactly how the real backends'
+  /// reader threads advance wall time.
+  void isend(i64 from, i64 to, std::vector<std::byte> payload, CompletionQueue* cq,
+             i64 tag) override;
+  void irecv(i64 to, i64 from, CompletionQueue& cq, i64 tag) override;
+  [[nodiscard]] bool try_recv(i64 to, i64 from, std::vector<std::byte>& out) override;
+  void cancel_posted(CompletionQueue& cq) override;
+  [[nodiscard]] i64 recv_timeout_ms() const override { return recv_timeout_ms_; }
+
   [[nodiscard]] const SimParams& params() const noexcept { return params_; }
   [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
 
@@ -114,14 +127,21 @@ class SimTransport final : public Transport {
   [[nodiscard]] Report report(i64 top_n = 5);
 
  private:
+  struct PostedRecv {
+    CompletionQueue* cq = nullptr;
+    u64 op = 0;
+  };
   struct Channel {
     std::deque<std::vector<std::byte>> queue;
+    std::deque<PostedRecv> posted;  ///< pre-posted receives, FIFO match order
     ChannelStats stats;
   };
   struct InFlight {
     std::vector<std::byte> payload;
     i64 depart_ns = 0;
     i64 arrive_ns = 0;
+    CompletionQueue* send_cq = nullptr;  ///< isend completion target
+    u64 send_op = 0;
   };
   struct Link {
     i64 free_ns = 0;
@@ -134,6 +154,10 @@ class SimTransport final : public Transport {
     return from * world_ + to;
   }
   void check_ranks(i64 from, i64 to) const;
+  /// Schedule one message through the cost model; `cq`/`op` (optional)
+  /// receive the kSend completion at virtual departure.
+  void schedule_send(i64 from, i64 to, std::vector<std::byte> payload, CompletionQueue* cq,
+                     u64 op);
   /// Process every pending event in (time, seq) order. Caller holds mu_.
   void drain_locked();
 

@@ -16,7 +16,9 @@
 // virtual arrival time, which those calls perform themselves.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -249,6 +251,162 @@ TEST_P(TransportConformance, TransportCopyMatchesDirectCopy) {
     execute_copy_plan_over(plan, a, b2, exec, *tr);
     EXPECT_EQ(b1.gather(), b2.gather());
   }
+}
+
+// --- nonblocking primitives (isend / irecv / CompletionQueue) --------------
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST_P(TransportConformance, IsendIrecvRoundtrip) {
+  const auto tr = transport(2);
+  CompletionQueue cq(4);
+  tr->irecv(1, 0, cq, /*tag=*/7);
+  tr->isend(0, 1, bytes_of({1, 2, 3}), nullptr, 7);
+  const Completion c = cq.wait(5000);
+  EXPECT_EQ(c.kind, Completion::Kind::kRecv);
+  EXPECT_EQ(c.from, 0);
+  EXPECT_EQ(c.to, 1);
+  EXPECT_EQ(c.tag, 7);
+  EXPECT_EQ(c.payload, bytes_of({1, 2, 3}));
+}
+
+TEST_P(TransportConformance, IsendCompletionReported) {
+  const auto tr = transport(2);
+  CompletionQueue cq(4);
+  tr->isend(0, 1, bytes_of({9}), &cq, 3);
+  const Completion c = cq.wait(5000);
+  EXPECT_EQ(c.kind, Completion::Kind::kSend);
+  EXPECT_EQ(c.tag, 3);
+  EXPECT_EQ(recv_values<std::byte>(*tr, 1, 0), bytes_of({9}));
+}
+
+TEST_P(TransportConformance, IrecvMatchesAlreadyQueuedMessage) {
+  const auto tr = transport(2);
+  tr->send(0, 1, bytes_of({5, 6}));
+  ASSERT_TRUE(wait_ready(*tr, 1, 0));
+  CompletionQueue cq(2);
+  tr->irecv(1, 0, cq, 0);
+  EXPECT_EQ(cq.wait(5000).payload, bytes_of({5, 6}));
+}
+
+TEST_P(TransportConformance, OutOfOrderCompletionArrival) {
+  // Receives posted for two different senders complete in *arrival* order,
+  // not posting order; the tag identifies which is which.
+  const auto tr = transport(3);
+  CompletionQueue cq(4);
+  tr->irecv(0, 1, cq, /*tag=*/1);
+  tr->irecv(0, 2, cq, /*tag=*/2);
+  tr->send(2, 0, bytes_of({22}));
+  const Completion first = cq.wait(5000);
+  EXPECT_EQ(first.tag, 2);
+  EXPECT_EQ(first.from, 2);
+  tr->send(1, 0, bytes_of({11}));
+  const Completion second = cq.wait(5000);
+  EXPECT_EQ(second.tag, 1);
+  EXPECT_EQ(second.payload, bytes_of({11}));
+}
+
+TEST_P(TransportConformance, WindowExhaustionBlocksInsteadOfDropping) {
+  // A full credit window makes the *poster* block until a completion is
+  // reaped — nothing is dropped and nothing throws.
+  const auto tr = transport(2);
+  CompletionQueue cq(2);
+  tr->send(0, 1, bytes_of({1}));
+  tr->send(0, 1, bytes_of({2}));
+  tr->send(0, 1, bytes_of({3}));
+  ASSERT_TRUE(wait_ready(*tr, 1, 0));
+  tr->irecv(1, 0, cq, 0);
+  tr->irecv(1, 0, cq, 1);
+  std::atomic<bool> third_posted{false};
+  std::thread poster([&] {
+    tr->irecv(1, 0, cq, 2);  // blocks: both credits held by unreaped ops
+    third_posted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_posted.load());
+  EXPECT_EQ(cq.wait(5000).tag, 0);  // reap -> credit freed -> poster unblocks
+  poster.join();
+  EXPECT_TRUE(third_posted.load());
+  EXPECT_EQ(cq.wait(5000).tag, 1);
+  EXPECT_EQ(cq.wait(5000).payload, bytes_of({3}));
+}
+
+TEST_P(TransportConformance, CompletionWaitTimeoutNamesChannelAndPhase) {
+  // The deadline counts from when the pipeline *waits*, and the error
+  // names the oldest pending op's channel and tag (= schedule phase).
+  const auto tr = transport(2);
+  CompletionQueue cq(2);
+  tr->irecv(1, 0, cq, /*tag=*/7);
+  try {
+    (void)cq.wait(50);
+    FAIL() << "wait should have timed out";
+  } catch (const TransportError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("phase 7"), std::string::npos) << what;
+  }
+  tr->cancel_posted(cq);
+}
+
+TEST_P(TransportConformance, TimeoutCountsFromWaitNotFromPost) {
+  // An irecv may sit posted longer than the deadline as long as the
+  // consumer is not waiting on it yet.
+  const auto tr = transport(2, /*recv_timeout_ms=*/150);
+  CompletionQueue cq(2);
+  tr->irecv(1, 0, cq, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  tr->send(0, 1, bytes_of({8}));
+  EXPECT_EQ(cq.wait(tr->recv_timeout_ms()).payload, bytes_of({8}));
+}
+
+TEST_P(TransportConformance, CancelPostedDropsPendingOps) {
+  const auto tr = transport(2);
+  CompletionQueue cq(4);
+  tr->irecv(1, 0, cq, 0);
+  tr->irecv(1, 0, cq, 1);
+  tr->cancel_posted(cq);
+  EXPECT_EQ(cq.in_flight(), 0);
+  // A message sent after cancellation stays in the queue for blocking recv
+  // rather than feeding a withdrawn op.
+  tr->send(0, 1, bytes_of({4}));
+  EXPECT_EQ(recv_values<std::byte>(*tr, 1, 0), bytes_of({4}));
+}
+
+TEST_P(TransportConformance, TryRecvIsNonblocking) {
+  const auto tr = transport(2);
+  std::vector<std::byte> out;
+  EXPECT_FALSE(tr->try_recv(1, 0, out));
+  tr->send(0, 1, bytes_of({3, 1}));
+  ASSERT_TRUE(wait_ready(*tr, 1, 0));
+  EXPECT_TRUE(tr->try_recv(1, 0, out));
+  EXPECT_EQ(out, bytes_of({3, 1}));
+  EXPECT_FALSE(tr->try_recv(1, 0, out));
+}
+
+TEST(SocketTransportLocal, RankFailureFailsPostedReceives) {
+  // Cancellation on rank failure: when the peer's endpoint dies while a
+  // receive is posted, the completion surfaces as a TransportError naming
+  // the closed channel rather than hanging.
+  char tmpl[] = "/tmp/cyclick_rankfail_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::unique_ptr<net::SocketTransport> r0;
+  std::thread joiner([&] { r0 = net::SocketTransport::connect_mesh(0, 2, tmpl); });
+  const auto r1 = net::SocketTransport::connect_mesh(1, 2, tmpl);
+  joiner.join();
+  CompletionQueue cq(2);
+  r1->irecv(1, 0, cq, /*tag=*/4);
+  r0.reset();  // rank 0 exits without sending
+  try {
+    (void)cq.wait(5000);
+    FAIL() << "posted receive should fail when the sender exits";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("0->1"), std::string::npos) << e.what();
+  }
+  r1->cancel_posted(cq);
 }
 
 // --- in-process-only behavior ---------------------------------------------
