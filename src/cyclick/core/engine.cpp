@@ -150,8 +150,8 @@ OffsetTables SectionPlan::offset_tables() const {
   return t;
 }
 
-AddressEngine::AddressEngine(std::size_t table_capacity)
-    : capacity_(table_capacity == 0 ? 1 : table_capacity) {}
+AddressEngine::AddressEngine(std::size_t table_capacity, std::size_t table_shards)
+    : cache_(table_capacity, table_shards) {}
 
 AddressStrategy AddressEngine::classify(const BlockCyclic& dist, i64 stride) noexcept {
   const i64 mag = stride > 0 ? stride : -stride;
@@ -168,33 +168,18 @@ std::shared_ptr<const EngineTables> AddressEngine::tables(const BlockCyclic& dis
   CYCLICK_REQUIRE(stride != 0, "engine tables require a nonzero stride");
   const i64 mag = stride > 0 ? stride : -stride;
   const TableKey key{dist.procs(), dist.block_size(), mag};
-  {
-    std::scoped_lock lock(mu_);
-    if (const auto it = map_.find(key); it != map_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-      CYCLICK_COUNT("engine.tables.hits", 0, 1);
-      return it->second->second;
-    }
-    ++misses_;
+  if (auto hit = cache_.find(key)) {
+    CYCLICK_COUNT("engine.tables.hits", 0, 1);
+    return hit;
   }
   CYCLICK_COUNT("engine.tables.misses", 0, 1);
   auto built = build_tables(dist, mag);
-  std::scoped_lock lock(mu_);
-  // Re-check: another thread may have built the same tables meanwhile.
-  if (const auto it = map_.find(key); it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
-  }
-  lru_.emplace_front(key, built);
-  map_[key] = lru_.begin();
-  if (map_.size() > capacity_) {
-    ++evictions_;
-    CYCLICK_COUNT("engine.tables.evictions", 0, 1);
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
-  return built;
+  // Keep-existing insert: a racing builder of the same key converges on one
+  // canonical table object (SectionPlan identity tests rely on this).
+  bool evicted = false;
+  auto canonical = cache_.insert(key, std::move(built), &evicted);
+  if (evicted) CYCLICK_COUNT("engine.tables.evictions", 0, 1);
+  return canonical;
 }
 
 SectionPlan AddressEngine::plan(const BlockCyclic& dist, const RegularSection& sec,
@@ -286,15 +271,11 @@ LocalAccessIterator AddressEngine::stream(const BlockCyclic& dist, i64 lower, i6
 }
 
 AddressEngine::CacheStats AddressEngine::cache_stats() const {
-  std::scoped_lock lock(mu_);
-  return CacheStats{hits_, misses_, evictions_, map_.size()};
+  const auto st = cache_.stats();
+  return CacheStats{st.hits, st.misses, st.evictions, st.size};
 }
 
-void AddressEngine::clear_cache() const {
-  std::scoped_lock lock(mu_);
-  lru_.clear();
-  map_.clear();
-}
+void AddressEngine::clear_cache() const { cache_.clear(); }
 
 AddressEngine& AddressEngine::global() {
   static AddressEngine engine;

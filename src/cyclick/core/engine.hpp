@@ -23,10 +23,8 @@
 // classification (memcpy/std::fill on dense runs) without re-deriving it.
 #pragma once
 
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,6 +33,7 @@
 #include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/distribution.hpp"
 #include "cyclick/hpf/section.hpp"
+#include "cyclick/serve/shard_cache.hpp"
 
 namespace cyclick {
 
@@ -280,8 +279,8 @@ class SectionPlan {
   i64 al_global_ = 0, al_local_ = 0;  ///< ascending-last owned access
 };
 
-/// The dispatch facade. Stateless except for the (p, k, |s|)-keyed LRU
-/// table cache; thread-safe. Most callers use the process-wide global().
+/// The dispatch facade. Stateless except for the (p, k, |s|)-keyed sharded
+/// LRU table cache; thread-safe. Most callers use the process-wide global().
 class AddressEngine {
  public:
   struct CacheStats {
@@ -291,7 +290,9 @@ class AddressEngine {
     std::size_t size = 0;
   };
 
-  explicit AddressEngine(std::size_t table_capacity = 256);
+  /// `table_shards` == 0 picks the automatic shard count for the capacity
+  /// (1 for small caches, so exact-LRU semantics hold; striped for large).
+  explicit AddressEngine(std::size_t table_capacity = 256, std::size_t table_shards = 0);
 
   /// Strategy classification from the distribution and (signed) stride
   /// alone — no tables touched.
@@ -319,7 +320,8 @@ class AddressEngine {
 
   [[nodiscard]] CacheStats cache_stats() const;
   void clear_cache() const;
-  [[nodiscard]] std::size_t cache_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t cache_capacity() const noexcept { return cache_.capacity(); }
+  [[nodiscard]] std::size_t cache_shards() const noexcept { return cache_.shard_count(); }
 
   /// The process-wide engine every runtime layer dispatches through.
   static AddressEngine& global();
@@ -342,15 +344,7 @@ class AddressEngine {
       return static_cast<std::size_t>(h);
     }
   };
-  using Entry = std::pair<TableKey, std::shared_ptr<const EngineTables>>;
-
-  std::size_t capacity_;
-  mutable std::mutex mu_;
-  mutable std::list<Entry> lru_;  ///< front = most recently used
-  mutable std::unordered_map<TableKey, std::list<Entry>::iterator, TableKeyHash> map_;
-  mutable i64 hits_ = 0;
-  mutable i64 misses_ = 0;
-  mutable i64 evictions_ = 0;
+  mutable serve::ShardedCache<TableKey, EngineTables, TableKeyHash> cache_;
 };
 
 }  // namespace cyclick

@@ -12,14 +12,12 @@
 // arena, which one execution at a time may use (see comm_plan.hpp).
 #pragma once
 
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <utility>
 
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/runtime/redistribute.hpp"
+#include "cyclick/serve/shard_cache.hpp"
 
 namespace cyclick {
 
@@ -66,9 +64,10 @@ PlanKey make_plan_key(const DistributedArray<T>& src, const RegularSection& ssec
                  dsec.lower, dsec.upper, dsec.stride};
 }
 
-/// Bounded LRU cache PlanKey -> shared immutable CommPlan, with hit / miss
-/// / eviction counters for the bench harness. Thread-safe; evicted plans
-/// stay alive for as long as callers hold their shared_ptr.
+/// Bounded sharded-LRU cache PlanKey -> shared immutable CommPlan, with
+/// hit / miss / eviction counters for the bench harness. Thread-safe (lock
+/// scope is one shard of serve::ShardedCache); evicted plans stay alive for
+/// as long as callers hold their shared_ptr.
 class PlanCache {
  public:
   struct Stats {
@@ -78,7 +77,10 @@ class PlanCache {
     std::size_t size = 0;
   };
 
-  explicit PlanCache(std::size_t capacity = 128) : capacity_(capacity) {
+  /// `shards` == 0 picks the automatic shard count for the capacity (1 for
+  /// small caches, preserving exact global LRU order).
+  explicit PlanCache(std::size_t capacity = 128, std::size_t shards = 0)
+      : cache_(capacity, shards) {
     CYCLICK_REQUIRE(capacity >= 1, "plan cache needs capacity >= 1");
   }
 
@@ -86,52 +88,36 @@ class PlanCache {
   /// Instance counters feed stats(); the process-wide telemetry registry
   /// sees the same increments so `--metrics` aggregates across caches.
   [[nodiscard]] std::shared_ptr<const CommPlan> find(const PlanKey& key) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++misses_;
+    auto hit = cache_.find(key);
+    if (hit == nullptr) {
       CYCLICK_COUNT("plancache.misses", 0, 1);
       return nullptr;
     }
-    ++hits_;
     CYCLICK_COUNT("plancache.hits", 0, 1);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return hit;
   }
 
-  /// Insert (or refresh) a plan, evicting the least recently used entry
-  /// when over capacity.
+  /// Insert a plan, evicting the shard's least recently used entry when
+  /// over capacity. Keep-existing: a plan already cached under `key` stays
+  /// canonical, so racing builders converge on one object.
   void insert(const PlanKey& key, std::shared_ptr<const CommPlan> plan) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      it->second->second = std::move(plan);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
-    }
-    lru_.emplace_front(key, std::move(plan));
-    map_.emplace(key, lru_.begin());
-    if (map_.size() > capacity_) {
-      map_.erase(lru_.back().first);
-      lru_.pop_back();
-      ++evictions_;
-      CYCLICK_COUNT("plancache.evictions", 0, 1);
-    }
+    bool evicted = false;
+    cache_.insert(key, std::move(plan), &evicted);
+    if (evicted) CYCLICK_COUNT("plancache.evictions", 0, 1);
   }
 
   [[nodiscard]] Stats stats() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return {hits_, misses_, evictions_, map_.size()};
+    const auto st = cache_.stats();
+    return {st.hits, st.misses, st.evictions, st.size};
   }
 
   void clear() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
-    lru_.clear();
-    hits_ = misses_ = evictions_ = 0;
+    cache_.clear();
+    cache_.reset_stats();
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cache_.capacity(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return cache_.shard_count(); }
 
   /// The process-wide cache copy_section consults.
   static PlanCache& global() {
@@ -140,15 +126,7 @@ class PlanCache {
   }
 
  private:
-  using Entry = std::pair<PlanKey, std::shared_ptr<const CommPlan>>;
-
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
-  i64 hits_ = 0;
-  i64 misses_ = 0;
-  i64 evictions_ = 0;
+  serve::ShardedCache<PlanKey, CommPlan, PlanKeyHash> cache_;
 };
 
 /// Key for N-D region plans: arbitrary arity means a flat i64 vector
@@ -175,49 +153,30 @@ struct RegionPlanKeyHash {
 /// same scratch-arena sharing caveat as PlanCache applies.
 class RegionPlanCache {
  public:
-  explicit RegionPlanCache(std::size_t capacity = 128) : capacity_(capacity) {
+  explicit RegionPlanCache(std::size_t capacity = 128, std::size_t shards = 0)
+      : cache_(capacity, shards) {
     CYCLICK_REQUIRE(capacity >= 1, "plan cache needs capacity >= 1");
   }
 
   [[nodiscard]] std::shared_ptr<const RedistributionPlan> find(const RegionPlanKey& key) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
+    auto hit = cache_.find(key);
+    if (hit == nullptr) {
       CYCLICK_COUNT("regioncache.misses", 0, 1);
       return nullptr;
     }
     CYCLICK_COUNT("regioncache.hits", 0, 1);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return hit;
   }
 
   void insert(const RegionPlanKey& key, std::shared_ptr<const RedistributionPlan> plan) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      it->second->second = std::move(plan);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
-    }
-    lru_.emplace_front(key, std::move(plan));
-    map_.emplace(key, lru_.begin());
-    if (map_.size() > capacity_) {
-      map_.erase(lru_.back().first);
-      lru_.pop_back();
-      CYCLICK_COUNT("regioncache.evictions", 0, 1);
-    }
+    bool evicted = false;
+    cache_.insert(key, std::move(plan), &evicted);
+    if (evicted) CYCLICK_COUNT("regioncache.evictions", 0, 1);
   }
 
-  void clear() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
-    lru_.clear();
-  }
+  void clear() { cache_.clear(); }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
-  }
+  [[nodiscard]] std::size_t size() const { return cache_.stats().size; }
 
   /// The process-wide cache copy_region / spread_region consult.
   static RegionPlanCache& global() {
@@ -226,12 +185,7 @@ class RegionPlanCache {
   }
 
  private:
-  using Entry = std::pair<RegionPlanKey, std::shared_ptr<const RedistributionPlan>>;
-
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<RegionPlanKey, std::list<Entry>::iterator, RegionPlanKeyHash> map_;
+  serve::ShardedCache<RegionPlanKey, RedistributionPlan, RegionPlanKeyHash> cache_;
 };
 
 /// Cache-aware plan lookup: returns the shared plan for dst(dsec) =

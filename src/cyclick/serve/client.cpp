@@ -1,0 +1,82 @@
+#include "cyclick/serve/client.hpp"
+
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::serve {
+
+namespace {
+
+[[nodiscard]] std::string error_text(const Frame& f) {
+  return std::string(reinterpret_cast<const char*>(f.payload.data()), f.payload.size());
+}
+
+/// Receive the next frame, converting server kError frames and EOF into
+/// TransportError so callers only handle the expected type.
+[[nodiscard]] Frame expect_frame(int fd, net::FrameType want) {
+  auto f = recv_frame(fd);
+  if (!f) throw TransportError("plan service: server closed the connection");
+  if (f->header.type == net::FrameType::kError)
+    throw TransportError("plan service rejected the request: " + error_text(*f));
+  if (f->header.type != want)
+    throw TransportError("plan service: unexpected frame type " +
+                         std::to_string(static_cast<u64>(f->header.type)));
+  return std::move(*f);
+}
+
+}  // namespace
+
+PlanClient::PlanClient(const std::string& socket_path, Options opt)
+    : fd_(net::unix_connect_retry(socket_path, opt.connect_timeout_ms, 1, 0)),
+      version_(opt.advertise_version) {
+  send_frame(fd_.get(), net::FrameType::kHello, nullptr, 0, version_);
+  (void)expect_frame(fd_.get(), net::FrameType::kHello);
+}
+
+std::vector<std::byte> PlanClient::round_trip(const std::vector<PlanQuery>& qs) {
+  const std::vector<std::byte> payload = encode_queries(qs);
+  send_frame(fd_.get(), net::FrameType::kPlanRequest, payload.data(), payload.size(), version_);
+  return expect_frame(fd_.get(), net::FrameType::kPlanResponse).payload;
+}
+
+std::vector<ReplyEntry> PlanClient::query(const std::vector<PlanQuery>& qs) {
+  const std::vector<std::byte> payload = round_trip(qs);
+  std::vector<QueryKind> kinds;
+  kinds.reserve(qs.size());
+  for (const PlanQuery& q : qs) kinds.push_back(static_cast<QueryKind>(q.kind));
+  std::string err;
+  auto entries = decode_response(payload, kinds, err);
+  if (!entries) throw TransportError("plan service: " + err);
+  return std::move(*entries);
+}
+
+std::vector<std::byte> PlanClient::query_raw(const std::vector<PlanQuery>& qs, i64& ok_entries,
+                                             i64& error_entries) {
+  std::vector<std::byte> payload = round_trip(qs);
+  if (!scan_response(payload, ok_entries, error_entries))
+    throw TransportError("plan service: malformed response payload");
+  return payload;
+}
+
+ReplyEntry PlanClient::query_tables(i64 procs, i64 block, i64 stride) {
+  PlanQuery q;
+  q.kind = static_cast<i64>(QueryKind::kTables);
+  q.procs = procs;
+  q.block = block;
+  q.stride = stride;
+  return query({q}).front();
+}
+
+ReplyEntry PlanClient::query_copy_plan(i64 procs, i64 block, i64 lower, i64 upper, i64 stride,
+                                       i64 dst_block) {
+  PlanQuery q;
+  q.kind = static_cast<i64>(QueryKind::kCopyPlan);
+  q.procs = procs;
+  q.block = block;
+  q.stride = stride;
+  q.lower = lower;
+  q.upper = upper;
+  q.dst_block = dst_block;
+  return query({q}).front();
+}
+
+}  // namespace cyclick::serve

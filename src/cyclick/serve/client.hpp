@@ -1,0 +1,59 @@
+// Client side of the plan service: connect, handshake, and run batched
+// query round trips against an `amtool serve` daemon.
+//
+// The client is deliberately synchronous per connection — the closed-loop
+// driver gets concurrency by running one PlanClient per client thread, the
+// same shape real consumers (one compiler process per connection) have. A
+// kError frame from the server surfaces as TransportError carrying the
+// server's text, so a version-mismatched client fails with the server's
+// named rejection, not a hung read.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cyclick/net/socket.hpp"
+#include "cyclick/serve/protocol.hpp"
+
+namespace cyclick::serve {
+
+class PlanClient {
+ public:
+  struct Options {
+    i64 connect_timeout_ms = 5000;
+    /// Protocol version to advertise; overriding it exercises the server's
+    /// version-mismatch rejection path (tests only).
+    u64 advertise_version = net::kWireVersion;
+  };
+
+  /// Connect to the daemon at `socket_path` and complete the hello
+  /// handshake. Throws TransportError on connection failure or rejection.
+  explicit PlanClient(const std::string& socket_path) : PlanClient(socket_path, Options{}) {}
+  PlanClient(const std::string& socket_path, Options opt);
+
+  PlanClient(PlanClient&&) = default;
+  PlanClient& operator=(PlanClient&&) = default;
+
+  /// One batched round trip, decoded into typed entries.
+  [[nodiscard]] std::vector<ReplyEntry> query(const std::vector<PlanQuery>& qs);
+
+  /// One batched round trip, undecoded: returns the raw kPlanResponse
+  /// payload after tallying its ok/error entry counts. The driver's hot
+  /// path — no per-entry vector materialization.
+  [[nodiscard]] std::vector<std::byte> query_raw(const std::vector<PlanQuery>& qs,
+                                                 i64& ok_entries, i64& error_entries);
+
+  /// Convenience single-query helpers.
+  [[nodiscard]] ReplyEntry query_tables(i64 procs, i64 block, i64 stride);
+  [[nodiscard]] ReplyEntry query_copy_plan(i64 procs, i64 block, i64 lower, i64 upper,
+                                           i64 stride, i64 dst_block);
+
+ private:
+  [[nodiscard]] std::vector<std::byte> round_trip(const std::vector<PlanQuery>& qs);
+
+  net::Fd fd_;
+  u64 version_;
+};
+
+}  // namespace cyclick::serve

@@ -1,0 +1,312 @@
+#include "cyclick/serve/protocol.hpp"
+
+#include <cstring>
+
+#include "cyclick/core/engine.hpp"
+#include "cyclick/net/socket.hpp"
+#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::serve {
+
+namespace {
+
+// Little-endian i64 stream codecs; the reply blobs are flat i64 dumps so
+// one pair of helpers covers every message.
+void put_i64(std::vector<std::byte>& out, i64 v) {
+  const u64 u = static_cast<u64>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((u >> (8 * i)) & 0xff));
+}
+
+void put_vec(std::vector<std::byte>& out, const std::vector<i64>& v) {
+  put_i64(out, static_cast<i64>(v.size()));
+  for (const i64 x : v) put_i64(out, x);
+}
+
+/// Bounds-checked reader over a byte span; `ok` latches false on underrun.
+struct Reader {
+  const std::byte* p;
+  std::size_t left;
+  bool ok = true;
+
+  i64 i64v() {
+    if (left < 8) {
+      ok = false;
+      return 0;
+    }
+    u64 u = 0;
+    for (int i = 0; i < 8; ++i) u |= static_cast<u64>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return static_cast<i64>(u);
+  }
+
+  bool vec(std::vector<i64>& out, i64 max_len) {
+    const i64 n = i64v();
+    if (!ok || n < 0 || n > max_len || static_cast<u64>(n) * 8 > left) {
+      ok = false;
+      return false;
+    }
+    out.resize(static_cast<std::size_t>(n));
+    for (auto& x : out) x = i64v();
+    return ok;
+  }
+};
+
+/// Sanity bound on decoded vector lengths: no legitimate table or offset
+/// pool in this protocol exceeds it, and it keeps a corrupt length from
+/// turning into a giant allocation.
+constexpr i64 kMaxVecLen = i64{1} << 24;
+
+}  // namespace
+
+std::vector<std::byte> encode_queries(const std::vector<PlanQuery>& qs) {
+  std::vector<std::byte> out;
+  out.reserve(8 + qs.size() * kQueryBytes);
+  put_i64(out, static_cast<i64>(qs.size()));
+  for (const PlanQuery& q : qs) {
+    put_i64(out, q.kind);
+    put_i64(out, q.procs);
+    put_i64(out, q.block);
+    put_i64(out, q.stride);
+    put_i64(out, q.lower);
+    put_i64(out, q.upper);
+    put_i64(out, q.dst_block);
+  }
+  return out;
+}
+
+std::optional<std::vector<PlanQuery>> decode_queries(const std::vector<std::byte>& payload,
+                                                     std::string& error) {
+  Reader r{payload.data(), payload.size()};
+  const i64 n = r.i64v();
+  if (!r.ok || n < 0 || static_cast<u64>(n) * kQueryBytes != r.left) {
+    error = "malformed plan request (count " + std::to_string(n) + ", " +
+            std::to_string(payload.size()) + " payload bytes)";
+    return std::nullopt;
+  }
+  std::vector<PlanQuery> qs(static_cast<std::size_t>(n));
+  for (PlanQuery& q : qs) {
+    q.kind = r.i64v();
+    q.procs = r.i64v();
+    q.block = r.i64v();
+    q.stride = r.i64v();
+    q.lower = r.i64v();
+    q.upper = r.i64v();
+    q.dst_block = r.i64v();
+  }
+  return qs;
+}
+
+std::vector<std::byte> serialize_tables(const EngineTables& t) {
+  std::vector<std::byte> out;
+  out.reserve(80 + 8 * 4 * static_cast<std::size_t>(t.block));
+  put_i64(out, 0);  // status ok
+  put_i64(out, t.procs);
+  put_i64(out, t.block);
+  put_i64(out, t.stride);
+  put_i64(out, static_cast<i64>(t.strategy));
+  put_i64(out, t.degenerate ? 1 : 0);
+  put_i64(out, t.fixed_dglobal);
+  put_i64(out, t.fixed_dlocal);
+  put_i64(out, t.offsets.start_offset);
+  put_vec(out, t.offsets.delta);
+  put_vec(out, t.offsets.next_offset);
+  put_vec(out, t.dglobal);
+  put_vec(out, t.prev_offset);
+  return out;
+}
+
+std::vector<std::byte> serialize_plan(const CommPlan& p) {
+  std::vector<std::byte> out;
+  out.reserve(64 + 72 * p.channels.size() + 8 * (p.src_off.size() + p.dst_off.size()));
+  put_i64(out, 0);  // status ok
+  put_i64(out, p.ranks);
+  put_i64(out, static_cast<i64>(p.channels.size()));
+  for (const CommPlan::Channel& c : p.channels) {
+    put_i64(out, c.count);
+    put_i64(out, c.src_start);
+    put_i64(out, c.dst_start);
+    put_i64(out, c.period);
+    put_i64(out, c.gap_begin);
+    put_i64(out, c.src_advance);
+    put_i64(out, c.dst_advance);
+    put_i64(out, c.src_contig ? 1 : 0);
+    put_i64(out, c.dst_contig ? 1 : 0);
+  }
+  put_vec(out, p.src_off);
+  put_vec(out, p.dst_off);
+  put_i64(out, p.message_count());
+  put_i64(out, p.remote_elements());
+  put_i64(out, p.total_elements());
+  return out;
+}
+
+std::vector<std::byte> serialize_error(i64 status, const std::string& text) {
+  CYCLICK_REQUIRE(status != 0, "error replies need a nonzero status");
+  std::vector<std::byte> out;
+  out.reserve(8 + text.size());
+  put_i64(out, status);
+  for (const char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+std::vector<std::byte> encode_response(const std::vector<std::vector<std::byte>>& blobs) {
+  std::size_t total = 8;
+  for (const auto& b : blobs) total += 8 + b.size();
+  std::vector<std::byte> out;
+  out.reserve(total);
+  put_i64(out, static_cast<i64>(blobs.size()));
+  for (const auto& b : blobs) {
+    put_i64(out, static_cast<i64>(b.size()));
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_response_shared(
+    const std::vector<std::shared_ptr<const std::vector<std::byte>>>& blobs,
+    std::size_t headroom) {
+  std::size_t total = headroom + 8;
+  for (const auto& b : blobs) total += 8 + b->size();
+  std::vector<std::byte> out;
+  out.reserve(total);
+  out.resize(headroom);
+  put_i64(out, static_cast<i64>(blobs.size()));
+  for (const auto& b : blobs) {
+    put_i64(out, static_cast<i64>(b->size()));
+    out.insert(out.end(), b->begin(), b->end());
+  }
+  return out;
+}
+
+std::optional<std::vector<ReplyEntry>> decode_response(const std::vector<std::byte>& payload,
+                                                       const std::vector<QueryKind>& kinds,
+                                                       std::string& error) {
+  Reader r{payload.data(), payload.size()};
+  const i64 n = r.i64v();
+  if (!r.ok || n < 0 || static_cast<std::size_t>(n) != kinds.size()) {
+    error = "plan response entry count " + std::to_string(n) + " does not match the " +
+            std::to_string(kinds.size()) + " queries sent";
+    return std::nullopt;
+  }
+  std::vector<ReplyEntry> entries(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const i64 len = r.i64v();
+    if (!r.ok || len < 8 || static_cast<u64>(len) > r.left) {
+      error = "malformed plan response entry " + std::to_string(i);
+      return std::nullopt;
+    }
+    Reader e{r.p, static_cast<std::size_t>(len)};
+    r.p += len;
+    r.left -= static_cast<std::size_t>(len);
+    ReplyEntry& out = entries[i];
+    out.kind = kinds[i];
+    out.status = e.i64v();
+    if (out.status != 0) {
+      out.error.assign(reinterpret_cast<const char*>(e.p), e.left);
+      continue;
+    }
+    bool ok = true;
+    if (out.kind == QueryKind::kTables) {
+      WireTables& t = out.tables;
+      t.procs = e.i64v();
+      t.block = e.i64v();
+      t.stride = e.i64v();
+      t.strategy = e.i64v();
+      t.degenerate = e.i64v();
+      t.fixed_dglobal = e.i64v();
+      t.fixed_dlocal = e.i64v();
+      t.start_offset = e.i64v();
+      ok = e.vec(t.delta, kMaxVecLen) && e.vec(t.next_offset, kMaxVecLen) &&
+           e.vec(t.dglobal, kMaxVecLen) && e.vec(t.prev_offset, kMaxVecLen);
+    } else {
+      WirePlan& p = out.plan;
+      p.ranks = e.i64v();
+      const i64 nch = e.i64v();
+      if (!e.ok || nch < 0 || nch > kMaxVecLen) {
+        ok = false;
+      } else {
+        p.channels.resize(static_cast<std::size_t>(nch));
+        for (WirePlan::Channel& c : p.channels) {
+          c.count = e.i64v();
+          c.src_start = e.i64v();
+          c.dst_start = e.i64v();
+          c.period = e.i64v();
+          c.gap_begin = e.i64v();
+          c.src_advance = e.i64v();
+          c.dst_advance = e.i64v();
+          c.src_contig = e.i64v();
+          c.dst_contig = e.i64v();
+        }
+        ok = e.vec(p.src_off, kMaxVecLen) && e.vec(p.dst_off, kMaxVecLen);
+        p.message_count = e.i64v();
+        p.remote_elements = e.i64v();
+        p.total_elements = e.i64v();
+        ok = ok && e.ok;
+      }
+    }
+    if (!ok) {
+      error = "truncated plan response entry " + std::to_string(i);
+      return std::nullopt;
+    }
+  }
+  return entries;
+}
+
+bool scan_response(const std::vector<std::byte>& payload, i64& ok_entries, i64& error_entries) {
+  ok_entries = 0;
+  error_entries = 0;
+  Reader r{payload.data(), payload.size()};
+  const i64 n = r.i64v();
+  if (!r.ok || n < 0) return false;
+  for (i64 i = 0; i < n; ++i) {
+    const i64 len = r.i64v();
+    if (!r.ok || len < 8 || static_cast<u64>(len) > r.left) return false;
+    Reader e{r.p, 8};
+    (e.i64v() == 0 ? ok_entries : error_entries) += 1;
+    r.p += len;
+    r.left -= static_cast<std::size_t>(len);
+  }
+  return r.left == 0;
+}
+
+void send_frame(int fd, net::FrameType type, const std::byte* payload, std::size_t n,
+                u64 version) {
+  net::FrameHeader h;
+  h.version = version;
+  h.type = type;
+  h.from = 0;
+  h.to = 0;
+  h.payload_bytes = n;
+  h.checksum = net::fnv1a64w(payload, n);
+  std::byte hdr[net::kHeaderBytes];
+  net::encode_header(h, hdr);
+  net::write_fully(fd, hdr, net::kHeaderBytes);
+  if (n > 0) net::write_fully(fd, payload, n);
+}
+
+std::optional<Frame> recv_frame(int fd) {
+  std::byte hdr[net::kHeaderBytes];
+  if (!net::read_fully(fd, hdr, net::kHeaderBytes)) return std::nullopt;
+  std::string err;
+  const auto h = net::decode_header_lenient(hdr, err);
+  if (!h) throw TransportError("plan service: " + err);
+  Frame f;
+  f.header = *h;
+  f.payload.resize(static_cast<std::size_t>(h->payload_bytes));
+  if (h->payload_bytes > 0 && !net::read_fully(fd, f.payload.data(), f.payload.size()))
+    throw TransportError("plan service: connection closed mid-frame");
+  // Only in-version frames get checksum-verified; a future version may hash
+  // differently, and the lenient path exists so we can still *name* the
+  // mismatch in a reply. Plan-service frames use the word-folded FNV: a
+  // batched response runs to hundreds of kilobytes and the byte-wise walk
+  // would dominate the serving cost.
+  if (h->version == net::kWireVersion &&
+      net::fnv1a64w(f.payload.data(), f.payload.size()) != h->checksum)
+    throw TransportError("plan service: frame checksum mismatch");
+  return f;
+}
+
+}  // namespace cyclick::serve

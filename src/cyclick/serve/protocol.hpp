@@ -1,0 +1,208 @@
+// Plan-service wire protocol: the request/response vocabulary `amtool
+// serve` speaks on top of the net/ frame layer.
+//
+// The paper's tables are processor-count/layout-keyed and program-
+// independent (Section 6.2), so a daemon can answer every client's
+// (p, k, |s|, section) question from one shared cache. The protocol is
+// deliberately batch-first: a kPlanRequest frame carries many fixed-size
+// PlanQuery records and its kPlanResponse carries one length-prefixed reply
+// blob per query, so a closed-loop client amortizes the per-frame syscall
+// cost over hundreds of cached lookups.
+//
+// Session shape (over one Unix-domain connection):
+//
+//   client                          server
+//   kHello (version V) ---------->
+//              <----------  kHello (version kWireVersion)     V supported
+//              <----------  kError "unsupported protocol..."  V unsupported
+//   kPlanRequest [q0 q1 ...] ---->
+//              <----------  kPlanResponse [blob0 blob1 ...]
+//   ... repeat ...
+//
+// Per-query failures (invalid p, absurd section) are *entry* errors: the
+// response blob carries a nonzero status plus text, and the connection
+// stays up. kError frames are connection-fatal (version mismatch, frame
+// garbage) and are followed by close.
+//
+// All integers are little-endian i64 on the wire; reply blobs for
+// EngineTables and CommPlan are flat field dumps (see WireTables /
+// WirePlan) — stable enough for same-version peers, versioned by the frame
+// header for everything else.
+//
+// Plan-service frames checksum their payload with the word-folded FNV-1a
+// (net::fnv1a64w): batched responses run to hundreds of kilobytes, and the
+// byte-wise walk kData frames use would dominate the serving cost.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cyclick/net/wire.hpp"
+#include "cyclick/support/types.hpp"
+
+namespace cyclick {
+struct EngineTables;  // core/engine.hpp
+struct CommPlan;      // runtime/comm_plan.hpp
+}  // namespace cyclick
+
+namespace cyclick::serve {
+
+/// What a PlanQuery asks the service to compute.
+enum class QueryKind : i64 {
+  kTables = 0,    ///< EngineTables for (procs, block, |stride|)
+  kCopyPlan = 1,  ///< CommPlan for dst(0:|sec|-1) = src(lower:upper:stride)
+};
+
+/// One fixed-size query record (7 i64 fields = 56 bytes on the wire).
+/// For kTables only (procs, block, stride) matter; lower/upper/dst_block
+/// are ignored and should be zeroed so equal questions share a cache key.
+struct PlanQuery {
+  i64 kind = 0;  ///< QueryKind
+  i64 procs = 1;
+  i64 block = 1;
+  i64 stride = 1;     ///< signed section stride
+  i64 lower = 0;      ///< section lower bound (kCopyPlan)
+  i64 upper = 0;      ///< section upper bound (kCopyPlan)
+  i64 dst_block = 1;  ///< destination cyclic(k') (kCopyPlan)
+
+  friend bool operator==(const PlanQuery&, const PlanQuery&) = default;
+};
+
+struct PlanQueryHash {
+  std::size_t operator()(const PlanQuery& q) const noexcept {
+    // FNV-1a over the record's fields (same scheme as PlanKeyHash).
+    u64 h = 1469598103934665603ULL;
+    for (const i64 v : {q.kind, q.procs, q.block, q.stride, q.lower, q.upper, q.dst_block}) {
+      h ^= static_cast<u64>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+inline constexpr std::size_t kQueryBytes = 7 * 8;
+
+/// Flat transportable mirror of EngineTables (core/engine.hpp): everything
+/// a client needs to rebuild navigation state, none of the in-process-only
+/// members (kernel cache, mutex).
+struct WireTables {
+  i64 procs = 1;
+  i64 block = 1;
+  i64 stride = 1;
+  i64 strategy = 0;  ///< AddressStrategy as ordinal
+  i64 degenerate = 0;
+  i64 fixed_dglobal = 0;
+  i64 fixed_dlocal = 0;
+  i64 start_offset = -1;
+  std::vector<i64> delta;
+  std::vector<i64> next_offset;
+  std::vector<i64> dglobal;
+  std::vector<i64> prev_offset;
+
+  friend bool operator==(const WireTables&, const WireTables&) = default;
+};
+
+/// Flat transportable mirror of CommPlan's run descriptors: the periodic
+/// channel descriptors plus the pooled offset tables, and the build-time
+/// traffic statistics.
+struct WirePlan {
+  struct Channel {
+    i64 count = 0;
+    i64 src_start = 0;
+    i64 dst_start = 0;
+    i64 period = 0;
+    i64 gap_begin = 0;
+    i64 src_advance = 0;
+    i64 dst_advance = 0;
+    i64 src_contig = 0;
+    i64 dst_contig = 0;
+
+    friend bool operator==(const Channel&, const Channel&) = default;
+  };
+
+  i64 ranks = 0;
+  std::vector<Channel> channels;  ///< [receiver * ranks + sender]
+  std::vector<i64> src_off;
+  std::vector<i64> dst_off;
+  i64 message_count = 0;
+  i64 remote_elements = 0;
+  i64 total_elements = 0;
+
+  friend bool operator==(const WirePlan&, const WirePlan&) = default;
+};
+
+/// One decoded response entry: `status` == 0 carries a payload of the
+/// requested kind; nonzero carries `error` text and the connection stays up.
+struct ReplyEntry {
+  i64 status = 0;
+  std::string error;
+  QueryKind kind = QueryKind::kTables;
+  WireTables tables;  ///< valid when status == 0 and kind == kTables
+  WirePlan plan;      ///< valid when status == 0 and kind == kCopyPlan
+};
+
+// --- request / response payload codecs -------------------------------------
+
+/// Encode a query batch into a kPlanRequest payload (u64 count + records).
+[[nodiscard]] std::vector<std::byte> encode_queries(const std::vector<PlanQuery>& qs);
+
+/// Decode a kPlanRequest payload. Returns nullopt (with `error` set) on a
+/// malformed payload — a connection-fatal condition.
+[[nodiscard]] std::optional<std::vector<PlanQuery>> decode_queries(
+    const std::vector<std::byte>& payload, std::string& error);
+
+/// Serialize one EngineTables / CommPlan into a reply blob (status 0).
+[[nodiscard]] std::vector<std::byte> serialize_tables(const EngineTables& t);
+[[nodiscard]] std::vector<std::byte> serialize_plan(const CommPlan& p);
+/// An error reply blob (nonzero status + UTF-8 text).
+[[nodiscard]] std::vector<std::byte> serialize_error(i64 status, const std::string& text);
+
+/// Assemble a kPlanResponse payload from per-query blobs.
+[[nodiscard]] std::vector<std::byte> encode_response(
+    const std::vector<std::vector<std::byte>>& blobs);
+/// Assemble the same payload from borrowed blobs (the daemon's cache-hit
+/// path: no per-entry copy of the cached vector, one memcpy into the frame).
+/// `headroom` zero-bytes are prepended so the daemon can write the frame
+/// header in place and send the buffer without a second copy.
+[[nodiscard]] std::vector<std::byte> encode_response_shared(
+    const std::vector<std::shared_ptr<const std::vector<std::byte>>>& blobs,
+    std::size_t headroom = 0);
+
+/// Decode a kPlanResponse payload into typed entries. `kinds` supplies the
+/// query kind for each entry (responses do not repeat it). Returns nullopt
+/// with `error` set on malformed payloads.
+[[nodiscard]] std::optional<std::vector<ReplyEntry>> decode_response(
+    const std::vector<std::byte>& payload, const std::vector<QueryKind>& kinds,
+    std::string& error);
+
+/// Count the entries of a kPlanResponse payload and their ok/error split
+/// without materializing typed entries — the closed-loop driver's fast
+/// path. Returns false on a malformed payload.
+[[nodiscard]] bool scan_response(const std::vector<std::byte>& payload, i64& ok_entries,
+                                 i64& error_entries);
+
+// --- framed I/O over a connected socket ------------------------------------
+
+/// A received frame: header (possibly version/type-mismatched — the serve
+/// read path decodes leniently) plus its checksum-unverified payload.
+/// Checksums are verified here for in-version frames; lenient frames skip
+/// verification because a future version may checksum differently.
+struct Frame {
+  net::FrameHeader header;
+  std::vector<std::byte> payload;
+};
+
+/// Write one frame (header + payload). `version` overrides the advertised
+/// protocol version — the client's version-mismatch test hook.
+void send_frame(int fd, net::FrameType type, const std::byte* payload, std::size_t n,
+                u64 version = net::kWireVersion);
+
+/// Read one frame. Returns nullopt on clean EOF before a header byte.
+/// Throws TransportError on garbage (bad magic, absurd length, checksum
+/// mismatch of an in-version frame, mid-frame EOF).
+[[nodiscard]] std::optional<Frame> recv_frame(int fd);
+
+}  // namespace cyclick::serve

@@ -1,0 +1,286 @@
+#include "cyclick/serve/service.hpp"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "cyclick/core/engine.hpp"
+#include "cyclick/obs/metrics.hpp"
+#include "cyclick/runtime/comm_plan.hpp"
+#include "cyclick/runtime/distributed_array.hpp"
+#include "cyclick/runtime/spmd.hpp"
+#include "cyclick/runtime/transport.hpp"
+
+namespace cyclick::serve {
+
+namespace {
+
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Validate a query against the service ceilings; returns a human-readable
+/// rejection or empty when the query is computable.
+[[nodiscard]] std::string validate(const PlanQuery& q) {
+  if (q.kind != static_cast<i64>(QueryKind::kTables) &&
+      q.kind != static_cast<i64>(QueryKind::kCopyPlan))
+    return "unknown query kind " + std::to_string(q.kind);
+  if (q.procs < 1 || q.procs > kMaxServeProcs)
+    return "procs " + std::to_string(q.procs) + " outside [1, " +
+           std::to_string(kMaxServeProcs) + "]";
+  if (q.block < 1 || q.block > kMaxServeBlock)
+    return "block " + std::to_string(q.block) + " outside [1, " +
+           std::to_string(kMaxServeBlock) + "]";
+  if (q.stride == 0 || q.stride > kMaxServeStride || q.stride < -kMaxServeStride)
+    return "stride " + std::to_string(q.stride) + " outside [-" +
+           std::to_string(kMaxServeStride) + ", " + std::to_string(kMaxServeStride) +
+           "] \\ {0}";
+  if (q.kind == static_cast<i64>(QueryKind::kCopyPlan)) {
+    if (q.procs > kMaxServePlanRanks)
+      return "copy-plan procs " + std::to_string(q.procs) + " exceeds " +
+             std::to_string(kMaxServePlanRanks);
+    if (q.dst_block < 1 || q.dst_block > kMaxServeBlock)
+      return "dst_block " + std::to_string(q.dst_block) + " outside [1, " +
+             std::to_string(kMaxServeBlock) + "]";
+    const RegularSection sec{q.lower, q.upper, q.stride};
+    if (sec.empty()) return "empty copy-plan section";
+    const RegularSection asc = sec.ascending();
+    if (asc.lower < 0) return "copy-plan section must be nonnegative";
+    if (asc.upper + 1 > kMaxServeElements)
+      return "copy-plan extent " + std::to_string(asc.upper + 1) + " exceeds " +
+             std::to_string(kMaxServeElements) + " elements";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t serve_cap_from_env() { return env_size("CYCLICK_SERVE_CAP", 4096); }
+std::size_t serve_shards_from_env() { return env_size("CYCLICK_SERVE_SHARDS", 0); }
+
+std::vector<std::byte> PlanService::compute(const PlanQuery& q) const {
+  if (std::string why = validate(q); !why.empty()) return serialize_error(1, why);
+  try {
+    if (q.kind == static_cast<i64>(QueryKind::kTables)) {
+      const BlockCyclic dist(q.procs, q.block);
+      const auto tables = AddressEngine::global().tables(dist, q.stride);
+      return serialize_tables(*tables);
+    }
+    // dst(0 : |sec|-1 : 1) = src(sec): the same shape `amtool xfer`
+    // builds, over a cyclic(k) source image of asc.upper + 1 elements.
+    const RegularSection ssec{q.lower, q.upper, q.stride};
+    const RegularSection asc = ssec.ascending();
+    const i64 src_n = asc.upper + 1;
+    const i64 dst_n = ssec.size();
+    const RegularSection dsec{0, dst_n - 1, 1};
+    const SpmdExecutor exec(q.procs);
+    const DistributedArray<double> src(BlockCyclic(q.procs, q.block), src_n);
+    DistributedArray<double> dst(BlockCyclic(q.procs, q.dst_block), dst_n);
+    const CommPlan plan = build_copy_plan(src, ssec, dst, dsec, exec);
+    return serialize_plan(plan);
+  } catch (const std::exception& e) {
+    return serialize_error(2, e.what());
+  }
+}
+
+std::shared_ptr<const std::vector<std::byte>> PlanService::answer(const PlanQuery& q) {
+  CYCLICK_COUNT("serve.queries", 0, 1);
+  if (auto hit = cache_.find(q)) {
+    CYCLICK_COUNT("serve.cache.hits", 0, 1);
+    return hit;
+  }
+  CYCLICK_COUNT("serve.cache.misses", 0, 1);
+  auto blob = std::make_shared<std::vector<std::byte>>(compute(q));
+  // Error blobs are answered but never cached: a storm of distinct invalid
+  // queries must not evict the plans live clients are hitting. The blob's
+  // leading i64 is the status; its low byte is nonzero exactly for errors.
+  const bool failed = blob->size() >= 8 && (*blob)[0] != std::byte{0};
+  if (failed) {
+    CYCLICK_COUNT("serve.query_errors", 0, 1);
+    return blob;
+  }
+  bool evicted = false;
+  auto canonical = cache_.insert(q, std::move(blob), &evicted);
+  if (evicted) CYCLICK_COUNT("serve.cache.evictions", 0, 1);
+  return canonical;
+}
+
+std::vector<std::byte> PlanService::answer_batch(const std::vector<PlanQuery>& qs,
+                                                 std::size_t headroom) {
+  std::vector<std::shared_ptr<const std::vector<std::byte>>> blobs;
+  blobs.reserve(qs.size());
+  for (const PlanQuery& q : qs) blobs.push_back(answer(q));
+  return encode_response_shared(blobs, headroom);
+}
+
+ServeDaemon::ServeDaemon(Options opt)
+    : opt_(std::move(opt)), service_(opt_.cache_capacity, opt_.cache_shards) {}
+
+ServeDaemon::~ServeDaemon() { stop(); }
+
+void ServeDaemon::start() {
+  CYCLICK_REQUIRE(!acceptor_.joinable(), "serve daemon already started");
+  listener_ = net::unix_listen(opt_.socket_path, 128);
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeDaemon::stop() {
+  if (!acceptor_.joinable()) return;
+  stopping_.store(true);
+  acceptor_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    // Shut the socket down so a reader blocked in read_fully sees EOF, and
+    // wake the writer so it can observe `closing`.
+    {
+      const std::lock_guard<std::mutex> lock(c->mu);
+      c->closing = true;
+    }
+    ::shutdown(c->fd.get(), SHUT_RDWR);
+    c->cv.notify_all();
+    if (c->reader.joinable()) c->reader.join();
+    if (c->writer.joinable()) c->writer.join();
+  }
+  listener_.reset();
+}
+
+void ServeDaemon::accept_loop() {
+  while (!stopping_.load()) {
+    net::Fd conn_fd;
+    try {
+      conn_fd = net::unix_accept(listener_, 100);
+    } catch (const TransportError&) {
+      continue;  // accept timeout: poll the stop flag and wait again
+    }
+    CYCLICK_COUNT("serve.accepts", 0, 1);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>(std::move(conn_fd));
+    Connection& ref = *conn;
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    ref.writer = std::thread([this, &ref] { writer_loop(ref); });
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ServeDaemon::enqueue(Connection& conn, net::FrameType type, const std::byte* payload,
+                          std::size_t n, bool then_close) {
+  net::FrameHeader h;
+  h.type = type;
+  h.payload_bytes = n;
+  h.checksum = net::fnv1a64w(payload, n);
+  std::vector<std::byte> framed(net::kHeaderBytes + n);
+  net::encode_header(h, framed.data());
+  if (n > 0) std::memcpy(framed.data() + net::kHeaderBytes, payload, n);
+  {
+    const std::lock_guard<std::mutex> lock(conn.mu);
+    conn.outbox.push_back(std::move(framed));
+    if (then_close) conn.closing = true;
+  }
+  conn.cv.notify_all();
+}
+
+void ServeDaemon::enqueue_framed(Connection& conn, net::FrameType type,
+                                 std::vector<std::byte> framed) {
+  net::FrameHeader h;
+  h.type = type;
+  h.payload_bytes = framed.size() - net::kHeaderBytes;
+  h.checksum = net::fnv1a64w(framed.data() + net::kHeaderBytes, h.payload_bytes);
+  net::encode_header(h, framed.data());
+  {
+    const std::lock_guard<std::mutex> lock(conn.mu);
+    conn.outbox.push_back(std::move(framed));
+  }
+  conn.cv.notify_all();
+}
+
+void ServeDaemon::reader_loop(Connection& conn) {
+  bool saw_hello = false;
+  try {
+    for (;;) {
+      const auto frame = recv_frame(conn.fd.get());
+      if (!frame) break;  // clean disconnect
+      if (frame->header.version != net::kWireVersion) {
+        CYCLICK_COUNT("serve.version_rejects", 0, 1);
+        const std::string text = "unsupported protocol version " +
+                                 std::to_string(frame->header.version) + " (this server speaks " +
+                                 std::to_string(net::kWireVersion) + ")";
+        enqueue(conn, net::FrameType::kError,
+                reinterpret_cast<const std::byte*>(text.data()), text.size(),
+                /*then_close=*/true);
+        break;
+      }
+      if (frame->header.type == net::FrameType::kHello) {
+        saw_hello = true;
+        enqueue(conn, net::FrameType::kHello, nullptr, 0, /*then_close=*/false);
+        continue;
+      }
+      if (frame->header.type != net::FrameType::kPlanRequest || !saw_hello) {
+        CYCLICK_COUNT("serve.bad_frames", 0, 1);
+        const std::string text = saw_hello
+                                     ? "unexpected frame type " +
+                                           std::to_string(static_cast<u64>(frame->header.type))
+                                     : "plan request before hello handshake";
+        enqueue(conn, net::FrameType::kError,
+                reinterpret_cast<const std::byte*>(text.data()), text.size(),
+                /*then_close=*/true);
+        break;
+      }
+      std::string err;
+      const auto queries = decode_queries(frame->payload, err);
+      if (!queries || static_cast<i64>(queries->size()) > kMaxBatchQueries) {
+        CYCLICK_COUNT("serve.bad_frames", 0, 1);
+        const std::string text = queries ? "plan request batch exceeds " +
+                                               std::to_string(kMaxBatchQueries) + " queries"
+                                         : err;
+        enqueue(conn, net::FrameType::kError,
+                reinterpret_cast<const std::byte*>(text.data()), text.size(),
+                /*then_close=*/true);
+        break;
+      }
+      enqueue_framed(conn, net::FrameType::kPlanResponse,
+                     service_.answer_batch(*queries, net::kHeaderBytes));
+    }
+  } catch (const TransportError&) {
+    CYCLICK_COUNT("serve.bad_frames", 0, 1);
+  }
+  // Reader is done: after the outbox drains the writer should exit too.
+  {
+    const std::lock_guard<std::mutex> lock(conn.mu);
+    conn.closing = true;
+  }
+  conn.cv.notify_all();
+}
+
+void ServeDaemon::writer_loop(Connection& conn) {
+  try {
+    for (;;) {
+      std::vector<std::byte> framed;
+      {
+        std::unique_lock<std::mutex> lock(conn.mu);
+        conn.cv.wait(lock, [&conn] { return !conn.outbox.empty() || conn.closing; });
+        if (conn.outbox.empty()) break;  // closing with nothing left to flush
+        framed = std::move(conn.outbox.front());
+        conn.outbox.pop_front();
+      }
+      net::write_fully(conn.fd.get(), framed.data(), framed.size());
+    }
+  } catch (const TransportError&) {
+    // Peer vanished mid-write; nothing to flush to.
+  }
+  ::shutdown(conn.fd.get(), SHUT_RDWR);
+}
+
+}  // namespace cyclick::serve

@@ -1,0 +1,147 @@
+// The plan service: compute-once, serve-many answers for address-plan
+// queries, and the daemon that exposes them on a Unix-domain socket.
+//
+// PlanService is the transport-free core: it validates a PlanQuery, builds
+// the EngineTables or CommPlan it names, serializes the result once, and
+// caches the *serialized reply blob* in a serve::ShardedCache — so a cache
+// hit is a hash probe plus one memcpy into the response frame, with no
+// re-serialization. ServeDaemon wraps it in the per-endpoint reader/writer
+// machinery the socket transport established: an accept loop hands each
+// connection a reader thread (parse, answer, enqueue) and a writer thread
+// (drain the outbox), so a slow client's socket never blocks computing
+// answers for a fast one.
+//
+// Deployment knobs (also flags on `amtool serve`):
+//   CYCLICK_SERVE_CAP     reply-cache capacity in entries   (default 4096)
+//   CYCLICK_SERVE_SHARDS  cache shard count, 0 = automatic  (default 0)
+//
+// Obs counters (per `--metrics`): serve.accepts, serve.queries,
+// serve.cache.hits / .misses / .evictions, serve.version_rejects,
+// serve.query_errors, serve.bad_frames.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cyclick/net/socket.hpp"
+#include "cyclick/serve/protocol.hpp"
+#include "cyclick/serve/shard_cache.hpp"
+
+namespace cyclick::serve {
+
+/// Validation ceilings for daemon-side plan construction: a query larger
+/// than these is answered with an error entry, not computed (one request
+/// must not be able to pin the server in an hour-long build).
+inline constexpr i64 kMaxServeProcs = 4096;
+inline constexpr i64 kMaxServeBlock = i64{1} << 20;
+inline constexpr i64 kMaxServeStride = i64{1} << 20;
+inline constexpr i64 kMaxServeElements = i64{1} << 20;
+inline constexpr i64 kMaxServePlanRanks = 256;
+inline constexpr i64 kMaxBatchQueries = 1 << 16;
+
+/// Reads CYCLICK_SERVE_CAP / CYCLICK_SERVE_SHARDS (unset or invalid values
+/// fall back to the defaults above the knobs' doc block).
+[[nodiscard]] std::size_t serve_cap_from_env();
+[[nodiscard]] std::size_t serve_shards_from_env();
+
+/// The transport-free query answerer with its sharded reply-blob cache.
+/// Thread-safe: many connection readers call answer() concurrently.
+class PlanService {
+ public:
+  explicit PlanService(std::size_t capacity = serve_cap_from_env(),
+                       std::size_t shards = serve_shards_from_env())
+      : cache_(capacity, shards) {}
+
+  /// Answer one query: cached blob on a hit, validate + build + serialize +
+  /// insert on a miss. Invalid queries yield (uncached) error blobs.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> answer(const PlanQuery& q);
+
+  /// Answer a batch into one kPlanResponse payload. `headroom` zero-bytes
+  /// are prepended (the daemon reserves frame-header space so the reply is
+  /// assembled exactly once and sent without a second copy).
+  [[nodiscard]] std::vector<std::byte> answer_batch(const std::vector<PlanQuery>& qs,
+                                                    std::size_t headroom = 0);
+
+  [[nodiscard]] ShardedCache<PlanQuery, std::vector<std::byte>, PlanQueryHash>::Stats
+  cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] std::size_t cache_shards() const noexcept { return cache_.shard_count(); }
+
+ private:
+  [[nodiscard]] std::vector<std::byte> compute(const PlanQuery& q) const;
+
+  ShardedCache<PlanQuery, std::vector<std::byte>, PlanQueryHash> cache_;
+};
+
+/// `amtool serve`: accept loop + per-connection reader/writer threads over
+/// a Unix-domain socket. start() returns once the listener is live; stop()
+/// (or destruction) drains every connection thread.
+class ServeDaemon {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::size_t cache_capacity = serve_cap_from_env();
+    std::size_t cache_shards = serve_shards_from_env();
+  };
+
+  explicit ServeDaemon(Options opt);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept { return opt_.socket_path; }
+  [[nodiscard]] PlanService& service() noexcept { return service_; }
+  /// Connections accepted since start (monotonic, includes closed ones).
+  [[nodiscard]] i64 accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One client connection: the reader thread parses requests and enqueues
+  /// framed replies; the writer thread drains them. `closing` latches after
+  /// a connection-fatal condition (version mismatch, bad frame) once the
+  /// pending error frame has been queued.
+  struct Connection {
+    explicit Connection(net::Fd socket) : fd(std::move(socket)) {}
+
+    net::Fd fd;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::byte>> outbox;  ///< pre-framed bytes
+    bool closing = false;
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  void enqueue(Connection& conn, net::FrameType type, const std::byte* payload, std::size_t n,
+               bool then_close);
+  /// Enqueue a buffer whose first kHeaderBytes were reserved as headroom:
+  /// writes the header in place (no payload copy) and hands it to the
+  /// writer thread.
+  void enqueue_framed(Connection& conn, net::FrameType type, std::vector<std::byte> framed);
+
+  Options opt_;
+  PlanService service_;
+  net::Fd listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<i64> accepted_{0};
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace cyclick::serve

@@ -1,0 +1,284 @@
+// Sharded concurrent LRU cache: the serving layer's answer to the
+// single-mutex LRUs that every plan cache in the system grew up with.
+//
+// The access-sequence artifacts this system caches (EngineTables, CommPlans,
+// serialized plan-service replies) are immutable once built and keyed by
+// small value structs, so the cache's job is pure read scaling: thousands of
+// concurrent lookups against a mostly-warm table. A single mutex serializes
+// every reader *and* forces a list splice per hit; under load the lock convoy
+// dominates the lookup itself. This cache stripes the key space over N
+// independent shards:
+//
+//   - shard selection hashes the key once and takes the high bits of a
+//     Fibonacci remix, so shard load stays balanced even for clustered keys;
+//   - each shard owns a mutex, an open hash map, and an exact per-shard LRU
+//     implemented with monotonic touch tags (every hit stamps the entry with
+//     the shard's clock; eviction removes the minimum stamp). No intrusive
+//     list means a hit's critical section is a hash probe plus two stores;
+//   - values are shared_ptr<const V>: readers leave the lock with a
+//     refcounted snapshot, and an evicted value stays alive for every holder;
+//   - insert is keep-existing: when two threads build the same value after
+//     racing through a miss, the first insert wins and both converge on one
+//     canonical object (the dedup AddressEngine relies on for table sharing);
+//   - each shard carries a *content generation* counter bumped by every
+//     insert / eviction / clear (never by a hit). Snapshot readers use it to
+//     bracket quiescence: two stats() calls that observe the same generation
+//     saw the same key set. The generation is the one atomic on the hot
+//     path; hit/miss/eviction counters are plain fields guarded by the shard
+//     mutex (stats() briefly locks each shard in turn), keeping a cache hit's
+//     critical section free of read-modify-write atomics.
+//
+// Capacity semantics: total capacity is split evenly across shards and
+// eviction is per-shard, so the cache is exactly-LRU within a shard and
+// approximately-LRU globally. When the shard count is 1 (the automatic
+// choice for small capacities) the behavior is bit-for-bit the classic
+// single-LRU discipline — which is how the differential tests pin the
+// sharded engine against the historical single-mutex path.
+//
+// This header is dependency-free (support/types.hpp only) on purpose: the
+// core and runtime caches include it without linking the serve library.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cyclick/support/types.hpp"
+
+namespace cyclick::serve {
+
+/// Automatic shard count for a given total capacity: the largest power of
+/// two that still leaves >= 16 entries per shard, capped at 64. Small
+/// caches (capacity < 32) get one shard and therefore exact global LRU.
+[[nodiscard]] inline std::size_t auto_shard_count(std::size_t capacity) noexcept {
+  std::size_t shards = 1;
+  while (shards < 64 && shards * 2 * 16 <= capacity) shards *= 2;
+  return shards;
+}
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache {
+ public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+    std::size_t size = 0;
+    u64 generation = 0;  ///< sum of shard content generations
+  };
+
+  /// `shards` == 0 selects auto_shard_count(capacity); otherwise it is
+  /// rounded down to a power of two (minimum 1).
+  explicit ShardedCache(std::size_t capacity, std::size_t shards = 0)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    std::size_t n = shards == 0 ? auto_shard_count(capacity_) : shards;
+    std::size_t pow2 = 1;
+    while (pow2 * 2 <= n) pow2 *= 2;
+    shard_mask_ = pow2 - 1;
+    const std::size_t per_shard = (capacity_ + pow2 - 1) / pow2;
+    // One contiguous allocation: shard_for() resolves to base + index with
+    // no per-shard pointer chase.
+    shards_ = std::make_unique<Shard[]>(pow2);
+    for (std::size_t i = 0; i < pow2; ++i) shards_[i].cap = per_shard == 0 ? 1 : per_shard;
+  }
+
+  /// Look up `key`; counts a hit (stamping recency) or a miss. Lock scope is
+  /// one shard.
+  [[nodiscard]] std::shared_ptr<const Value> find(const Key& key) {
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    it->second.touch = ++s.clock;
+    ++s.hits;
+    return it->second.value;
+  }
+
+  /// Insert `value` under `key`, evicting the shard's least recently used
+  /// entry when the shard is over its slice of the capacity. Keep-existing:
+  /// if the key is already present the stored value is refreshed in recency
+  /// and returned unchanged, so racing builders converge on one object.
+  /// `evicted`, when non-null, reports whether this insert displaced an
+  /// entry (callers mirror it into their own obs counters).
+  std::shared_ptr<const Value> insert(const Key& key, std::shared_ptr<const Value> value,
+                                      bool* evicted = nullptr) {
+    if (evicted != nullptr) *evicted = false;
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto [it, fresh] = s.map.try_emplace(key);
+    it->second.touch = ++s.clock;
+    if (!fresh) return it->second.value;
+    it->second.value = std::move(value);
+    s.gen.fetch_add(1, std::memory_order_relaxed);
+    if (s.map.size() > s.cap) {
+      // The new entry holds the maximum touch stamp, so the scan can never
+      // pick it; erasing another key leaves `it` valid.
+      auto victim = s.map.begin();
+      for (auto j = s.map.begin(); j != s.map.end(); ++j)
+        if (j->second.touch < victim->second.touch) victim = j;
+      s.map.erase(victim);
+      ++s.evictions;
+      s.gen.fetch_add(1, std::memory_order_relaxed);
+      if (evicted != nullptr) *evicted = true;
+    }
+    return it->second.value;
+  }
+
+  /// Drop every entry (counters keep their values; reset_stats() zeroes
+  /// them separately). Each shard's content generation advances.
+  void clear() {
+    for (std::size_t i = 0; i <= shard_mask_; ++i) {
+      Shard& s = shards_[i];
+      const std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.map.empty()) s.gen.fetch_add(1, std::memory_order_relaxed);
+      s.map.clear();
+    }
+  }
+
+  /// Zero the hit/miss/eviction counters (bench and test isolation).
+  void reset_stats() {
+    for (std::size_t i = 0; i <= shard_mask_; ++i) {
+      Shard& s = shards_[i];
+      const std::lock_guard<std::mutex> lock(s.mu);
+      s.hits = 0;
+      s.misses = 0;
+      s.evictions = 0;
+    }
+  }
+
+  /// Aggregate snapshot; briefly locks each shard in turn, so sizes are
+  /// exact per shard (the aggregate can still interleave with writers on
+  /// other shards — that is what the generation bracket is for).
+  [[nodiscard]] Stats stats() const {
+    Stats st;
+    for (std::size_t i = 0; i <= shard_mask_; ++i) {
+      Shard& s = shards_[i];
+      const std::lock_guard<std::mutex> lock(s.mu);
+      st.hits += s.hits;
+      st.misses += s.misses;
+      st.evictions += s.evictions;
+      st.size += s.map.size();
+      st.generation += s.gen.load(std::memory_order_relaxed);
+    }
+    return st;
+  }
+
+  /// Content generation of the shard `key` maps to: changes exactly when
+  /// that shard's key set changes (insert / evict / clear), never on a hit.
+  [[nodiscard]] u64 shard_generation(const Key& key) const {
+    return shard_for(key).gen.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    u64 touch = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, Hash> map;
+    u64 clock = 0;  ///< recency stamp source; guarded by mu
+    std::size_t cap = 1;
+    // Guarded by mu: plain fields keep the hit path free of atomic RMWs.
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+    std::atomic<u64> gen{0};  ///< content generation; readable without mu
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) const {
+    // Fibonacci remix of the key hash; high bits pick the shard so maps
+    // whose low bits collide (common for small integer keys) still spread.
+    const u64 h = static_cast<u64>(Hash{}(key)) * 0x9e3779b97f4a7c15ULL;
+    return shards_[static_cast<std::size_t>(h >> 32) & shard_mask_];
+  }
+
+  std::size_t capacity_;
+  std::size_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// The historical discipline: one mutex, one intrusive LRU list, one map.
+/// Kept as the differential-testing oracle for ShardedCache (a 1-shard
+/// ShardedCache must reproduce its hit/miss/eviction stream exactly) and as
+/// the contention baseline in bench/plan_service. Not used on any hot path.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleMutexLruCache {
+ public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+    std::size_t size = 0;
+  };
+
+  explicit SingleMutexLruCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::shared_ptr<const Value> find(const Key& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  std::shared_ptr<const Value> insert(const Key& key, std::shared_ptr<const Value> value,
+                                      bool* evicted = nullptr) {
+    if (evicted != nullptr) *evicted = false;
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(key, std::move(value));
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+      if (evicted != nullptr) *evicted = true;
+    }
+    return lru_.front().second;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return Stats{hits_, misses_, evictions_, map_.size()};
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using ListEntry = std::pair<Key, std::shared_ptr<const Value>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<ListEntry> lru_;
+  std::unordered_map<Key, typename std::list<ListEntry>::iterator, Hash> map_;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  i64 evictions_ = 0;
+};
+
+}  // namespace cyclick::serve

@@ -84,6 +84,57 @@ TEST(Wire, MalformedHeadersRejectedWithReason) {
   EXPECT_NE(err.find("payload"), std::string::npos) << err;
 }
 
+TEST(Wire, PlanServiceFrameTypesRoundTrip) {
+  // The serve protocol's frame vocabulary is part of the same header codec.
+  for (const FrameType t :
+       {FrameType::kPlanRequest, FrameType::kPlanResponse, FrameType::kError}) {
+    FrameHeader h;
+    h.type = t;
+    h.payload_bytes = 64;
+    std::array<std::byte, kHeaderBytes> buf{};
+    encode_header(h, buf.data());
+    std::string err;
+    const auto back = decode_header(buf.data(), err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->type, t);
+  }
+}
+
+TEST(Wire, LenientDecodeToleratesVersionAndTypeButNotFraming) {
+  FrameHeader good;
+  std::array<std::byte, kHeaderBytes> buf{};
+  std::string err;
+
+  // A future-version frame must still parse so a server can *answer* the
+  // mismatch instead of dropping the stream.
+  encode_header(good, buf.data());
+  buf[4] = std::byte{0x7f};
+  const auto versioned = decode_header_lenient(buf.data(), err);
+  ASSERT_TRUE(versioned.has_value()) << err;
+  EXPECT_EQ(versioned->version, 0x7fu);
+  EXPECT_FALSE(decode_header(buf.data(), err).has_value());
+
+  // Unknown types pass through as their raw value for the caller to judge.
+  encode_header(good, buf.data());
+  buf[6] = std::byte{0x42};
+  const auto typed = decode_header_lenient(buf.data(), err);
+  ASSERT_TRUE(typed.has_value()) << err;
+  EXPECT_EQ(static_cast<u64>(typed->type), 0x42u);
+
+  // Framing violations stay fatal even leniently: a bad magic or an absurd
+  // length means the stream cannot be re-synchronized.
+  encode_header(good, buf.data());
+  buf[0] = std::byte{0x00};
+  EXPECT_FALSE(decode_header_lenient(buf.data(), err).has_value());
+  EXPECT_NE(err.find("magic"), std::string::npos) << err;
+
+  FrameHeader huge;
+  huge.payload_bytes = kMaxPayloadBytes + 1;
+  encode_header(huge, buf.data());
+  EXPECT_FALSE(decode_header_lenient(buf.data(), err).has_value());
+  EXPECT_NE(err.find("payload"), std::string::npos) << err;
+}
+
 TEST(Wire, Fnv1a64MatchesReferenceVectors) {
   // Standard FNV-1a 64 test vectors.
   EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
@@ -102,6 +153,29 @@ TEST(Wire, ChecksumIsSensitiveToEveryByte) {
     EXPECT_NE(fnv1a64(payload.data(), payload.size()), base) << "byte " << i;
     payload[i] = std::byte{0x5a};
   }
+}
+
+TEST(Wire, WordFoldedChecksumIsSensitiveAcrossWordAndTailBytes) {
+  // 67 bytes: eight full 8-byte words plus a 3-byte tail, so both the word
+  // loop and the byte tail are exercised.
+  std::vector<std::byte> payload(67);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i * 37 + 11);
+  EXPECT_EQ(fnv1a64w(nullptr, 0), 0xcbf29ce484222325ULL);
+  // Deliberately a different function than the byte-wise walk (one multiply
+  // per word), so the two must not be conflated on either end of a frame.
+  EXPECT_NE(fnv1a64w(payload.data(), payload.size()),
+            fnv1a64(payload.data(), payload.size()));
+  const u64 base = fnv1a64w(payload.data(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= std::byte{0x80};
+    EXPECT_NE(fnv1a64w(payload.data(), payload.size()), base) << "byte " << i;
+    payload[i] ^= std::byte{0x80};
+  }
+  // Sub-word inputs take the byte tail exclusively, where the fold is the
+  // plain byte-wise FNV-1a — the two functions agree below one word.
+  for (std::size_t n = 0; n < 8; ++n)
+    EXPECT_EQ(fnv1a64w(payload.data(), n), fnv1a64(payload.data(), n)) << "n " << n;
 }
 
 // --- fault injection against a live endpoint -------------------------------
@@ -189,6 +263,29 @@ TEST(WireFaults, MisroutedFrameRejected) {
     FAIL() << "misrouted frame must not be delivered";
   } catch (const TransportError& e) {
     EXPECT_NE(std::string(e.what()).find("misrouted"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WireFaults, VersionMismatchedPeerRejectedWithNamedError) {
+  // A peer that advertises an unsupported wire version must surface as a
+  // named TransportError on the receiving endpoint, never as silent garbage
+  // or a hang.
+  RawPeerHarness h;
+  FrameHeader frame;
+  frame.from = 1;
+  frame.to = 0;
+  frame.checksum = fnv1a64(nullptr, 0);
+  std::array<std::byte, kHeaderBytes> hdr{};
+  encode_header(frame, hdr.data());
+  hdr[4] = std::byte{0x7f};  // advertise version 127
+  write_fully(h.raw.get(), hdr.data(), hdr.size());
+  try {
+    (void)h.transport->recv(0, 1);
+    FAIL() << "version-mismatched frame must not be delivered";
+  } catch (const TransportError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find("127"), std::string::npos) << what;
   }
 }
 
