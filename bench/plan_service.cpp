@@ -53,7 +53,7 @@
 #include "bench_common.hpp"
 #include "cyclick/serve/client.hpp"
 #include "cyclick/serve/service.hpp"
-#include "cyclick/serve/shard_cache.hpp"
+#include "cyclick/support/shard_cache.hpp"
 
 namespace {
 

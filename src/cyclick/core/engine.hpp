@@ -33,7 +33,7 @@
 #include "cyclick/core/lattice_addresser.hpp"
 #include "cyclick/hpf/distribution.hpp"
 #include "cyclick/hpf/section.hpp"
-#include "cyclick/serve/shard_cache.hpp"
+#include "cyclick/support/shard_cache.hpp"
 
 namespace cyclick {
 
@@ -344,7 +344,7 @@ class AddressEngine {
       return static_cast<std::size_t>(h);
     }
   };
-  mutable serve::ShardedCache<TableKey, EngineTables, TableKeyHash> cache_;
+  mutable ShardedCache<TableKey, EngineTables, TableKeyHash> cache_;
 };
 
 }  // namespace cyclick

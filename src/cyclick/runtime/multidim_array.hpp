@@ -311,6 +311,10 @@ std::shared_ptr<const RedistributionPlan> cached_region_plan(
   if (auto hit = cache.find(key)) return hit;
   auto plan = std::make_shared<const RedistributionPlan>(
       build_region_plan(src, sregion, dst, dregion, exec, spread));
+  // Keep-existing insert: if another thread raced this build and cached its
+  // plan first, ours is dropped. Safe because the key fully determines the
+  // plan's content — returning either copy is equivalent; inserting here is
+  // never a refresh. See ShardedCache::insert for the contract.
   cache.insert(key, plan);
   return plan;
 }

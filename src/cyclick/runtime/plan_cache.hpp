@@ -17,7 +17,7 @@
 
 #include "cyclick/obs/metrics.hpp"
 #include "cyclick/runtime/redistribute.hpp"
-#include "cyclick/serve/shard_cache.hpp"
+#include "cyclick/support/shard_cache.hpp"
 
 namespace cyclick {
 
@@ -66,7 +66,7 @@ PlanKey make_plan_key(const DistributedArray<T>& src, const RegularSection& ssec
 
 /// Bounded sharded-LRU cache PlanKey -> shared immutable CommPlan, with
 /// hit / miss / eviction counters for the bench harness. Thread-safe (lock
-/// scope is one shard of serve::ShardedCache); evicted plans stay alive for
+/// scope is one shard of ShardedCache); evicted plans stay alive for
 /// as long as callers hold their shared_ptr.
 class PlanCache {
  public:
@@ -126,7 +126,7 @@ class PlanCache {
   }
 
  private:
-  serve::ShardedCache<PlanKey, CommPlan, PlanKeyHash> cache_;
+  ShardedCache<PlanKey, CommPlan, PlanKeyHash> cache_;
 };
 
 /// Key for N-D region plans: arbitrary arity means a flat i64 vector
@@ -185,7 +185,7 @@ class RegionPlanCache {
   }
 
  private:
-  serve::ShardedCache<RegionPlanKey, RedistributionPlan, RegionPlanKeyHash> cache_;
+  ShardedCache<RegionPlanKey, RedistributionPlan, RegionPlanKeyHash> cache_;
 };
 
 /// Cache-aware plan lookup: returns the shared plan for dst(dsec) =
@@ -200,6 +200,10 @@ std::shared_ptr<const CommPlan> cached_copy_plan(const DistributedArray<T>& src,
   const PlanKey key = make_plan_key(src, ssec, dst, dsec, exec);
   if (auto hit = cache.find(key)) return hit;
   auto plan = std::make_shared<const CommPlan>(build_copy_plan(src, ssec, dst, dsec, exec));
+  // Keep-existing insert: if another thread raced this build and cached its
+  // plan first, ours is dropped. Safe because PlanKey fully determines the
+  // plan's content — returning either copy is equivalent; inserting here is
+  // never a refresh. See ShardedCache::insert for the contract.
   cache.insert(key, plan);
   return plan;
 }

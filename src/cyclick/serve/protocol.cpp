@@ -81,9 +81,17 @@ std::optional<std::vector<PlanQuery>> decode_queries(const std::vector<std::byte
                                                      std::string& error) {
   Reader r{payload.data(), payload.size()};
   const i64 n = r.i64v();
-  if (!r.ok || n < 0 || static_cast<u64>(n) * kQueryBytes != r.left) {
+  // Divide, never multiply: `n * kQueryBytes` wraps mod 2^64, so a crafted
+  // count near 2^60 could match a small payload and drive a huge resize.
+  if (!r.ok || n < 0 || r.left % kQueryBytes != 0 ||
+      static_cast<u64>(n) != r.left / kQueryBytes) {
     error = "malformed plan request (count " + std::to_string(n) + ", " +
             std::to_string(payload.size()) + " payload bytes)";
+    return std::nullopt;
+  }
+  if (n > kMaxBatchQueries) {
+    error = "plan request batch of " + std::to_string(n) + " queries exceeds " +
+            std::to_string(kMaxBatchQueries);
     return std::nullopt;
   }
   std::vector<PlanQuery> qs(static_cast<std::size_t>(n));
@@ -287,12 +295,19 @@ void send_frame(int fd, net::FrameType type, const std::byte* payload, std::size
   if (n > 0) net::write_fully(fd, payload, n);
 }
 
-std::optional<Frame> recv_frame(int fd) {
+std::optional<Frame> recv_frame(int fd, u64 max_payload_bytes) {
   std::byte hdr[net::kHeaderBytes];
   if (!net::read_fully(fd, hdr, net::kHeaderBytes)) return std::nullopt;
   std::string err;
   const auto h = net::decode_header_lenient(hdr, err);
   if (!h) throw TransportError("plan service: " + err);
+  // Reject oversized claims before sizing the payload buffer: the lenient
+  // header bound is net::kMaxPayloadBytes (1 TB), far past what any plan
+  // frame carries, and resizing to a hostile length would throw bad_alloc
+  // instead of a named protocol error.
+  if (h->payload_bytes > max_payload_bytes)
+    throw TransportError("plan service: frame claims " + std::to_string(h->payload_bytes) +
+                         " payload bytes (limit " + std::to_string(max_payload_bytes) + ")");
   Frame f;
   f.header = *h;
   f.payload.resize(static_cast<std::size_t>(h->payload_bytes));

@@ -85,6 +85,22 @@ struct PlanQueryHash {
 
 inline constexpr std::size_t kQueryBytes = 7 * 8;
 
+/// Largest query batch one kPlanRequest may carry; decode_queries rejects
+/// anything bigger before allocating, so a hostile count field cannot turn
+/// into a giant allocation.
+inline constexpr i64 kMaxBatchQueries = 1 << 16;
+
+/// Plan-service payload ceilings, enforced by recv_frame *before* the
+/// payload buffer is sized. net::kMaxPayloadBytes (1 TB) exists to keep the
+/// rank-to-rank data stream framed; a plan-service peer claiming anywhere
+/// near it is hostile or corrupt, and resizing to the claimed length would
+/// throw bad_alloc past the connection error handling. Requests are bounded
+/// by the batch limit; responses by a generous multiple of the largest
+/// reply a maximal batch of ceiling-sized plans can produce.
+inline constexpr u64 kMaxRequestPayloadBytes =
+    8 + static_cast<u64>(kMaxBatchQueries) * kQueryBytes;
+inline constexpr u64 kMaxResponsePayloadBytes = u64{1} << 31;
+
 /// Flat transportable mirror of EngineTables (core/engine.hpp): everything
 /// a client needs to rebuild navigation state, none of the in-process-only
 /// members (kernel cache, mutex).
@@ -150,7 +166,8 @@ struct ReplyEntry {
 [[nodiscard]] std::vector<std::byte> encode_queries(const std::vector<PlanQuery>& qs);
 
 /// Decode a kPlanRequest payload. Returns nullopt (with `error` set) on a
-/// malformed payload — a connection-fatal condition.
+/// malformed payload (count/size mismatch or a batch over kMaxBatchQueries)
+/// — a connection-fatal condition.
 [[nodiscard]] std::optional<std::vector<PlanQuery>> decode_queries(
     const std::vector<std::byte>& payload, std::string& error);
 
@@ -201,8 +218,11 @@ void send_frame(int fd, net::FrameType type, const std::byte* payload, std::size
                 u64 version = net::kWireVersion);
 
 /// Read one frame. Returns nullopt on clean EOF before a header byte.
-/// Throws TransportError on garbage (bad magic, absurd length, checksum
-/// mismatch of an in-version frame, mid-frame EOF).
-[[nodiscard]] std::optional<Frame> recv_frame(int fd);
+/// Throws TransportError on garbage (bad magic, a claimed payload over
+/// `max_payload_bytes`, checksum mismatch of an in-version frame, mid-frame
+/// EOF). The daemon passes kMaxRequestPayloadBytes; clients reading
+/// responses keep the default.
+[[nodiscard]] std::optional<Frame> recv_frame(int fd,
+                                              u64 max_payload_bytes = kMaxResponsePayloadBytes);
 
 }  // namespace cyclick::serve

@@ -156,8 +156,33 @@ void ServeDaemon::stop() {
   listener_.reset();
 }
 
+void ServeDaemon::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    auto keep = conns_.begin();
+    for (auto& c : conns_) {
+      if (c->reader_done.load(std::memory_order_acquire) &&
+          c->writer_done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(c));
+      } else {
+        *keep++ = std::move(c);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  // Join (and close, via ~Connection) outside the lock: the threads have
+  // already returned past their done flags, so these joins cannot block on
+  // connection work.
+  for (auto& c : dead) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->writer.joinable()) c->writer.join();
+  }
+}
+
 void ServeDaemon::accept_loop() {
   while (!stopping_.load()) {
+    reap_finished();
     net::Fd conn_fd;
     try {
       conn_fd = net::unix_accept(listener_, 100);
@@ -210,7 +235,7 @@ void ServeDaemon::reader_loop(Connection& conn) {
   bool saw_hello = false;
   try {
     for (;;) {
-      const auto frame = recv_frame(conn.fd.get());
+      const auto frame = recv_frame(conn.fd.get(), kMaxRequestPayloadBytes);
       if (!frame) break;  // clean disconnect
       if (frame->header.version != net::kWireVersion) {
         CYCLICK_COUNT("serve.version_rejects", 0, 1);
@@ -240,13 +265,10 @@ void ServeDaemon::reader_loop(Connection& conn) {
       }
       std::string err;
       const auto queries = decode_queries(frame->payload, err);
-      if (!queries || static_cast<i64>(queries->size()) > kMaxBatchQueries) {
+      if (!queries) {
         CYCLICK_COUNT("serve.bad_frames", 0, 1);
-        const std::string text = queries ? "plan request batch exceeds " +
-                                               std::to_string(kMaxBatchQueries) + " queries"
-                                         : err;
         enqueue(conn, net::FrameType::kError,
-                reinterpret_cast<const std::byte*>(text.data()), text.size(),
+                reinterpret_cast<const std::byte*>(err.data()), err.size(),
                 /*then_close=*/true);
         break;
       }
@@ -255,6 +277,10 @@ void ServeDaemon::reader_loop(Connection& conn) {
     }
   } catch (const TransportError&) {
     CYCLICK_COUNT("serve.bad_frames", 0, 1);
+  } catch (const std::exception&) {
+    // Anything else (allocation failure, a decode invariant) must close
+    // this one connection, not escape the thread and terminate the daemon.
+    CYCLICK_COUNT("serve.bad_frames", 0, 1);
   }
   // Reader is done: after the outbox drains the writer should exit too.
   {
@@ -262,6 +288,7 @@ void ServeDaemon::reader_loop(Connection& conn) {
     conn.closing = true;
   }
   conn.cv.notify_all();
+  conn.reader_done.store(true, std::memory_order_release);
 }
 
 void ServeDaemon::writer_loop(Connection& conn) {
@@ -281,6 +308,7 @@ void ServeDaemon::writer_loop(Connection& conn) {
     // Peer vanished mid-write; nothing to flush to.
   }
   ::shutdown(conn.fd.get(), SHUT_RDWR);
+  conn.writer_done.store(true, std::memory_order_release);
 }
 
 }  // namespace cyclick::serve

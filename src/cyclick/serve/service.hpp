@@ -3,7 +3,7 @@
 //
 // PlanService is the transport-free core: it validates a PlanQuery, builds
 // the EngineTables or CommPlan it names, serializes the result once, and
-// caches the *serialized reply blob* in a serve::ShardedCache — so a cache
+// caches the *serialized reply blob* in a ShardedCache — so a cache
 // hit is a hash probe plus one memcpy into the response frame, with no
 // re-serialization. ServeDaemon wraps it in the per-endpoint reader/writer
 // machinery the socket transport established: an accept loop hands each
@@ -31,7 +31,7 @@
 
 #include "cyclick/net/socket.hpp"
 #include "cyclick/serve/protocol.hpp"
-#include "cyclick/serve/shard_cache.hpp"
+#include "cyclick/support/shard_cache.hpp"
 
 namespace cyclick::serve {
 
@@ -43,7 +43,6 @@ inline constexpr i64 kMaxServeBlock = i64{1} << 20;
 inline constexpr i64 kMaxServeStride = i64{1} << 20;
 inline constexpr i64 kMaxServeElements = i64{1} << 20;
 inline constexpr i64 kMaxServePlanRanks = 256;
-inline constexpr i64 kMaxBatchQueries = 1 << 16;
 
 /// Reads CYCLICK_SERVE_CAP / CYCLICK_SERVE_SHARDS (unset or invalid values
 /// fall back to the defaults above the knobs' doc block).
@@ -106,6 +105,14 @@ class ServeDaemon {
   [[nodiscard]] i64 accepted() const noexcept {
     return accepted_.load(std::memory_order_relaxed);
   }
+  /// Connections currently tracked. Finished connections are reaped by the
+  /// accept loop (threads joined, fd closed), so under a churn of
+  /// short-lived clients this stays near the live-client count instead of
+  /// growing toward fd exhaustion.
+  [[nodiscard]] std::size_t live_connections() const {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    return conns_.size();
+  }
 
  private:
   /// One client connection: the reader thread parses requests and enqueues
@@ -122,9 +129,18 @@ class ServeDaemon {
     std::condition_variable cv;
     std::deque<std::vector<std::byte>> outbox;  ///< pre-framed bytes
     bool closing = false;
+    /// Exit markers, set as each loop returns: once both are true the
+    /// accept loop reaps the connection (joins the threads, closes the fd).
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> writer_done{false};
   };
 
   void accept_loop();
+  /// Erase connections whose reader and writer have both exited, joining
+  /// their threads and closing their fds. Runs on the acceptor thread every
+  /// accept-poll tick so a long-lived daemon serving short-lived clients
+  /// does not accumulate one fd plus two finished threads per connection.
+  void reap_finished();
   void reader_loop(Connection& conn);
   void writer_loop(Connection& conn);
   void enqueue(Connection& conn, net::FrameType type, const std::byte* payload, std::size_t n,
@@ -140,7 +156,7 @@ class ServeDaemon {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
   std::atomic<i64> accepted_{0};
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
 };
 

@@ -35,8 +35,9 @@
 // single-LRU discipline — which is how the differential tests pin the
 // sharded engine against the historical single-mutex path.
 //
-// This header is dependency-free (support/types.hpp only) on purpose: the
-// core and runtime caches include it without linking the serve library.
+// This header lives in support/ (dependency-free beyond types.hpp) so the
+// core engine, the runtime plan caches, and the serve daemon all share one
+// cache without any of them depending on another layer's namespace.
 #pragma once
 
 #include <atomic>
@@ -49,7 +50,7 @@
 
 #include "cyclick/support/types.hpp"
 
-namespace cyclick::serve {
+namespace cyclick {
 
 /// Automatic shard count for a given total capacity: the largest power of
 /// two that still leaves >= 16 entries per shard, capped at 64. Small
@@ -105,6 +106,11 @@ class ShardedCache {
   /// entry when the shard is over its slice of the capacity. Keep-existing:
   /// if the key is already present the stored value is refreshed in recency
   /// and returned unchanged, so racing builders converge on one object.
+  /// This is only sound because every cached artifact here is fully
+  /// determined by its key; there is deliberately no replace path, so a
+  /// caller that ever needs refresh-with-new-value semantics (e.g. after an
+  /// invalidation) must clear() first or grow an explicit replace API —
+  /// inserting over a live key silently keeps the old value.
   /// `evicted`, when non-null, reports whether this insert displaced an
   /// entry (callers mirror it into their own obs counters).
   std::shared_ptr<const Value> insert(const Key& key, std::shared_ptr<const Value> value,
@@ -281,4 +287,4 @@ class SingleMutexLruCache {
   i64 evictions_ = 0;
 };
 
-}  // namespace cyclick::serve
+}  // namespace cyclick

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <random>
@@ -24,7 +25,7 @@
 #include "cyclick/serve/client.hpp"
 #include "cyclick/serve/protocol.hpp"
 #include "cyclick/serve/service.hpp"
-#include "cyclick/serve/shard_cache.hpp"
+#include "cyclick/support/shard_cache.hpp"
 
 namespace cyclick::serve {
 namespace {
@@ -276,6 +277,43 @@ TEST(ServeProtocol, QueryBatchRoundTrips) {
   EXPECT_FALSE(decode_queries(cut, err).has_value());
 }
 
+namespace {
+/// Little-endian i64 append, mirroring the wire codec (the encoder's helper
+/// is internal to protocol.cpp).
+void append_i64(std::vector<std::byte>& out, i64 v) {
+  const u64 u = static_cast<u64>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((u >> (8 * i)) & 0xff));
+}
+}  // namespace
+
+TEST(ServeProtocol, WrappingQueryCountIsRejectedNotAllocated) {
+  // 56 * 2^61 == 0 mod 2^64 and 56 * (2^61 + 1) == 56 mod 2^64: under a
+  // multiplicative size check either count would "validate" against a tiny
+  // payload and drive a 2^61-element allocation. Both must be rejected.
+  std::string err;
+  std::vector<std::byte> empty_records;
+  append_i64(empty_records, i64{1} << 61);
+  EXPECT_FALSE(decode_queries(empty_records, err).has_value());
+
+  std::vector<std::byte> one_record;
+  append_i64(one_record, (i64{1} << 61) + 1);
+  for (int f = 0; f < 7; ++f) append_i64(one_record, 0);
+  EXPECT_FALSE(decode_queries(one_record, err).has_value());
+}
+
+TEST(ServeProtocol, OversizedBatchIsRejectedByName) {
+  // A structurally valid batch one past the limit: rejected with the limit
+  // named, before any per-query work.
+  std::vector<std::byte> payload;
+  const i64 n = kMaxBatchQueries + 1;
+  append_i64(payload, n);
+  payload.resize(8 + static_cast<std::size_t>(n) * kQueryBytes);
+  std::string err;
+  EXPECT_FALSE(decode_queries(payload, err).has_value());
+  EXPECT_NE(err.find("exceeds"), std::string::npos) << err;
+}
+
 TEST(ServeProtocol, TablesBlobRoundTripsThroughDecodeResponse) {
   const BlockCyclic dist(4, 8);
   const auto tables = AddressEngine::global().tables(dist, 9);
@@ -477,6 +515,64 @@ TEST(ServeDaemon, VersionMismatchedClientGetsNamedRejection) {
     const std::string what = e.what();
     EXPECT_NE(what.find("unsupported protocol version 99"), std::string::npos) << what;
   }
+}
+
+TEST(ServeDaemon, HostileFramesCloseOneConnectionNotTheDaemon) {
+  DaemonHarness h;
+  // A header claiming a payload over the request ceiling: the daemon must
+  // drop that connection (never sizing a buffer to the claim) and keep
+  // serving everyone else.
+  {
+    net::Fd raw = net::unix_connect_retry(h.daemon.socket_path(), 2000, 1, 0);
+    send_frame(raw.get(), net::FrameType::kHello, nullptr, 0);
+    ASSERT_TRUE(recv_frame(raw.get()).has_value());
+    net::FrameHeader huge;
+    huge.type = net::FrameType::kPlanRequest;
+    huge.payload_bytes = kMaxRequestPayloadBytes + 1;
+    std::byte hdr[net::kHeaderBytes];
+    net::encode_header(huge, hdr);
+    net::write_fully(raw.get(), hdr, net::kHeaderBytes);
+    // The server closes without replying; our next read sees EOF (or a
+    // reset if the close races the read).
+    try {
+      EXPECT_FALSE(recv_frame(raw.get()).has_value());
+    } catch (const TransportError&) {
+    }
+  }
+  // A count field chosen so that count * 56 wraps mod 2^64 to the actual
+  // payload size: rejected as malformed, with the error named in a reply.
+  {
+    net::Fd raw = net::unix_connect_retry(h.daemon.socket_path(), 2000, 1, 0);
+    send_frame(raw.get(), net::FrameType::kHello, nullptr, 0);
+    ASSERT_TRUE(recv_frame(raw.get()).has_value());
+    std::vector<std::byte> wrap;
+    append_i64(wrap, i64{1} << 61);
+    send_frame(raw.get(), net::FrameType::kPlanRequest, wrap.data(), wrap.size());
+    const auto reply = recv_frame(raw.get());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->header.type, net::FrameType::kError);
+    const std::string text(reinterpret_cast<const char*>(reply->payload.data()),
+                           reply->payload.size());
+    EXPECT_NE(text.find("malformed plan request"), std::string::npos) << text;
+  }
+  // The daemon survived both and still answers a well-behaved client.
+  PlanClient client(h.daemon.socket_path());
+  EXPECT_EQ(client.query_tables(4, 8, 9).status, 0);
+}
+
+TEST(ServeDaemon, FinishedConnectionsAreReaped) {
+  DaemonHarness h;
+  for (int i = 0; i < 12; ++i) {
+    PlanClient client(h.daemon.socket_path());
+    (void)client.query_tables(2 + (i % 3), 4, 7);
+  }
+  EXPECT_GE(h.daemon.accepted(), 12);
+  // Every client above has disconnected; the accept loop's reap tick must
+  // drain conns_ (joining the threads, closing the fds) rather than holding
+  // one fd plus two finished threads per connection forever.
+  for (int spin = 0; spin < 100 && h.daemon.live_connections() != 0; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(h.daemon.live_connections(), 0u);
 }
 
 TEST(ServeDaemon, ManyConcurrentClientsGetConsistentAnswers) {
